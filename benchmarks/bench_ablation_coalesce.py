@@ -1,0 +1,89 @@
+"""Ablation — the LOSS coalescing threshold T.
+
+The paper: "Experiments show that 1410 (the size of 2 sections) is a
+good choice for T, and that the quality of the schedule is not highly
+sensitive to T."  This sweep regenerates that claim and also shows why
+coalescing exists at all: the CPU cost of LOSS collapses.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.geometry import generate_tape
+from repro.model import LocateTimeModel
+from repro.scheduling import LossScheduler
+from repro.workload import UniformWorkload
+
+THRESHOLDS = (175, 350, 704, 1410, 2820, 5640)
+BATCH = 384
+TRIALS = 4
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tape = generate_tape(seed=1)
+    return tape, LocateTimeModel(tape)
+
+
+def _mean_estimate(model, threshold, trials=TRIALS):
+    workload = UniformWorkload(
+        total_segments=model.geometry.total_segments, seed=3
+    )
+    scheduler = LossScheduler(threshold=threshold)
+    totals = []
+    for _ in range(trials):
+        origin, batch = workload.sample_batch_with_origin(BATCH, False)
+        schedule = scheduler.schedule(model, origin, batch.tolist())
+        totals.append(schedule.estimated_seconds)
+    return float(np.mean(totals))
+
+
+def test_threshold_insensitivity(benchmark, setup):
+    _, model = setup
+
+    def sweep():
+        return {t: _mean_estimate(model, t) for t in THRESHOLDS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    reference = results[1410]
+    # Quality is flat over the whole factor-of-8 range up to the
+    # paper's T = 1410 (two sections)...
+    for threshold in (175, 350, 704):
+        assert abs(results[threshold] - reference) / reference < 0.03, (
+            threshold
+        )
+    # ...and degrades clearly beyond it, which is why 1410 is "a good
+    # choice": the most CPU-saving coalescing that is still free.
+    assert results[2820] > 1.05 * reference
+    assert results[5640] > results[2820]
+    for threshold, total in results.items():
+        benchmark.extra_info[f"T={threshold}"] = round(total, 1)
+
+
+def test_coalescing_pays_for_itself(benchmark, setup):
+    _, model = setup
+    workload = UniformWorkload(
+        total_segments=model.geometry.total_segments, seed=5
+    )
+    origin, batch = workload.sample_batch_with_origin(BATCH, False)
+
+    coalesced = benchmark.pedantic(
+        LossScheduler(threshold=1410).schedule,
+        args=(model, origin, batch.tolist()),
+        rounds=1,
+        iterations=1,
+    )
+    coalesced_cpu = benchmark.stats.stats.mean
+
+    started = time.perf_counter()
+    raw = LossScheduler(threshold=None).schedule(
+        model, origin, batch.tolist()
+    )
+    raw_cpu = time.perf_counter() - started
+
+    # Big CPU saving, near-equal schedule quality.
+    assert coalesced_cpu < raw_cpu / 3
+    assert coalesced.estimated_seconds < 1.25 * raw.estimated_seconds
+    benchmark.extra_info["raw_cpu_s"] = round(raw_cpu, 3)

@@ -1,0 +1,44 @@
+"""Extension experiments as benchmarks: generations and optimality."""
+
+from conftest import run_once
+
+from repro.experiments import ExperimentConfig, drive_generations, optimality
+
+
+def test_drive_generations(benchmark):
+    result = run_once(
+        benchmark,
+        drive_generations.run,
+        ExperimentConfig(scale="quick"),
+    )
+    # Scheduling keeps paying on every generation, and faster hardware
+    # raises absolute throughput across the board.
+    for profile in result.profiles:
+        assert result.speedup(profile) > 1.5
+    assert (
+        result.points[("IBM3590", "LOSS")].per_hour
+        > result.points[("DLT7000", "LOSS")].per_hour
+        > result.points[("DLT4000", "LOSS")].per_hour
+    )
+    for profile in result.profiles:
+        benchmark.extra_info[f"{profile}_loss_per_hour"] = round(
+            result.points[(profile, "LOSS")].per_hour, 1
+        )
+
+
+def test_optimality_gaps(benchmark):
+    result = run_once(
+        benchmark,
+        optimality.run,
+        ExperimentConfig(scale="quick"),
+    )
+    # LOSS stays within a bounded factor of the lower bound at sizes
+    # far beyond OPT's reach; FIFO does not.
+    for length in (48, 96, 192):
+        loss = result.gaps[("LOSS", length)].mean
+        fifo = result.gaps[("FIFO", length)].mean
+        assert loss < 40.0
+        assert fifo > 2 * loss
+    benchmark.extra_info["loss_gap_pct_at_96"] = round(
+        result.gaps[("LOSS", 96)].mean, 1
+    )

@@ -1,0 +1,19 @@
+"""Figure 1 — the locate/rewind curve sweep from segment 0."""
+
+from conftest import run_once
+
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark):
+    result = run_once(benchmark, figure1.run, 1)
+    # Headline: sawtooth with ~5 s forward / ~25 s reverse dips.
+    assert 4.0 < result.forward_dip_drop < 8.0
+    assert 20.0 < result.reverse_dip_drop < 30.0
+    assert 700 < result.dip_segments.size < 1000
+    benchmark.extra_info["forward_dip_s"] = round(
+        result.forward_dip_drop, 2
+    )
+    benchmark.extra_info["reverse_dip_s"] = round(
+        result.reverse_dip_drop, 2
+    )

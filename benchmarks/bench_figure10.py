@@ -1,0 +1,30 @@
+"""Figure 10 — LOSS sensitivity to locate-model errors, OPT immunity."""
+
+from conftest import run_once
+
+from repro.experiments import ExperimentConfig, figure10
+
+
+def test_figure10(benchmark):
+    config = ExperimentConfig(
+        scale="quick", lengths=(2, 8, 12, 48, 128)
+    )
+    result = run_once(benchmark, figure10.run, config)
+
+    # E <= 2 s has little effect; E = 10 s degrades by ~1-2% in the
+    # middle of the range.
+    for length in (8, 48, 128):
+        assert abs(result.increase[(1.0, length)].mean) < 2.5
+        assert abs(result.increase[(2.0, length)].mean) < 3.0
+    mid_e10 = [
+        result.increase[(10.0, length)].mean for length in (8, 48, 128)
+    ]
+    assert max(mid_e10) > 0.5
+    assert max(mid_e10) < 6.0
+
+    # OPT is exactly immune (the even/odd error sums to a constant
+    # over any complete schedule).
+    for stats in result.opt_increase.values():
+        assert abs(stats.mean) < 1e-6
+
+    benchmark.extra_info["loss_e10_max_pct"] = round(max(mid_e10), 2)

@@ -1,0 +1,24 @@
+"""Figure 5 — mean time per locate, starting at the beginning of tape."""
+
+from conftest import run_once
+
+from repro.experiments import ExperimentConfig, figure5
+
+
+def test_figure5(benchmark):
+    config = ExperimentConfig(scale="quick", max_length=192)
+    result = run_once(benchmark, figure5.run, config)
+
+    # With the head freshly at BOT, the single-request cost is the
+    # BOT-to-random mean (~96.5 s), above Figure 4's ~72 s.
+    fifo1 = result.point("FIFO", 1).per_locate_mean
+    assert 88 < fifo1 < 105
+
+    # The orderings of Figure 4 persist.
+    loss = result.point("LOSS", 96).per_locate_mean
+    sltf = result.point("SLTF", 96).per_locate_mean
+    fifo = result.point("FIFO", 96).per_locate_mean
+    assert loss < sltf < fifo
+
+    benchmark.extra_info["fifo@1"] = round(fifo1, 1)
+    benchmark.extra_info["loss@96"] = round(loss, 1)

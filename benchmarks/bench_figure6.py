@@ -1,0 +1,30 @@
+"""Figure 6 — CPU seconds to generate a schedule.
+
+Absolute values are modern-hardware numbers; the reproduction target is
+the growth ordering: OPT exponential, LOSS clearly superlinear, the
+others cheap.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ExperimentConfig, figure6
+
+
+def test_figure6(benchmark):
+    config = ExperimentConfig(
+        scale="quick", lengths=(4, 8, 12, 64, 192)
+    )
+    result = run_once(benchmark, figure6.run, config)
+
+    # OPT's cost explodes with size while SORT stays flat.
+    opt8 = result.point("OPT", 8).cpu.mean
+    opt12 = result.point("OPT", 12).cpu.mean
+    assert opt12 > 4 * opt8
+
+    # LOSS at 192 costs more CPU than SORT at 192.
+    loss = result.point("LOSS", 192).cpu.mean
+    sort = result.point("SORT", 192).cpu.mean
+    assert loss > sort
+
+    benchmark.extra_info["opt@12_s"] = round(opt12, 5)
+    benchmark.extra_info["loss@192_s"] = round(loss, 5)

@@ -1,0 +1,28 @@
+"""Figure 7 — utilization curves per schedule length and transfer size."""
+
+from conftest import run_once
+
+from repro.experiments import ExperimentConfig, figure7
+
+
+def test_figure7(benchmark):
+    config = ExperimentConfig(
+        scale="quick", lengths=(1, 10, 96, 512, 1024)
+    )
+    result = run_once(benchmark, figure7.run, config)
+
+    # Paper Section 8 readings: solitary I/Os need 50-100 MB for good
+    # utilization; scheduling brings the requirement down to 10-25 MB.
+    solitary = result.megabytes[(0.5, 1)]
+    scheduled = result.megabytes[(0.5, 1024)]
+    assert 50 < solitary < 150
+    assert scheduled < 25
+
+    # A 10-request schedule at ~30 MB per request reaches a disk-like
+    # data rate (the paper's headline comparison).
+    batch10 = result.megabytes[(0.5, 10)]
+    assert 20 < batch10 < 80
+
+    benchmark.extra_info["mb@1_50pct"] = round(solitary, 1)
+    benchmark.extra_info["mb@10_50pct"] = round(batch10, 1)
+    benchmark.extra_info["mb@1024_50pct"] = round(scheduled, 1)

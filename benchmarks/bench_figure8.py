@@ -1,0 +1,21 @@
+"""Figure 8 — percent error of estimated LOSS schedule times."""
+
+from conftest import run_once
+
+from repro.experiments import ExperimentConfig, figure8
+
+
+def test_figure8(benchmark):
+    config = ExperimentConfig(scale="quick")
+    result = run_once(benchmark, figure8.run, config)
+    by_length = {p.length: p.mean for p in result.points}
+
+    # Published shape: well under 1-2% below 384 requests, growing to
+    # ~5% at the largest schedules.
+    assert abs(by_length[64]) < 2.0
+    assert abs(by_length[384]) < 3.5
+    assert 3.0 < abs(by_length[2048]) < 9.0
+    assert abs(by_length[2048]) > abs(by_length[64])
+
+    benchmark.extra_info["err@64_pct"] = round(by_length[64], 2)
+    benchmark.extra_info["err@2048_pct"] = round(by_length[2048], 2)

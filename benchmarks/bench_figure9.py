@@ -1,0 +1,26 @@
+"""Figure 9 — estimate error with the wrong tape's key points."""
+
+from conftest import run_once
+
+from repro.experiments import ExperimentConfig, figure8, figure9
+
+
+def test_figure9(benchmark):
+    config = ExperimentConfig(scale="quick", max_length=1024)
+    result = run_once(benchmark, figure9.run, config)
+    errors = {p.length: abs(p.mean) for p in result.points}
+
+    # "The consequence is disastrous, with the typical difference
+    # between estimated and measured time about 20%."
+    mid_range = [errors[n] for n in (96, 128, 192, 256)]
+    assert max(mid_range) > 15.0
+    assert min(mid_range) > 8.0
+
+    # And it dwarfs the right-key-points error of Figure 8.
+    right = figure8.run(ExperimentConfig(scale="quick", max_length=256))
+    right_errors = {p.length: abs(p.mean) for p in right.points}
+    assert errors[256] > 4 * right_errors[256]
+
+    benchmark.extra_info["typical_err_pct"] = round(
+        sum(mid_range) / len(mid_range), 1
+    )

@@ -1,0 +1,50 @@
+"""Micro-benchmarks of the hot substrate paths.
+
+Not figures from the paper — these track the cost of the primitives the
+simulation studies hammer: vectorized locate-time evaluation, distance
+matrix construction, and single-schedule generation per algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import generate_tape
+from repro.model import LocateTimeModel, schedule_distance_matrix
+from repro.scheduling import get_scheduler
+from repro.workload import UniformWorkload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tape = generate_tape(seed=1)
+    return tape, LocateTimeModel(tape)
+
+
+def test_vectorized_locate_sweep(benchmark, setup):
+    tape, model = setup
+    destinations = np.arange(tape.total_segments)
+    times = benchmark(model.locate_times, 0, destinations)
+    assert times.shape == (tape.total_segments,)
+
+
+def test_distance_matrix_256(benchmark, setup):
+    tape, model = setup
+    rng = np.random.default_rng(0)
+    segments = rng.choice(tape.total_segments, 256, replace=False)
+    matrix = benchmark(schedule_distance_matrix, model, 0, segments)
+    assert matrix.shape == (257, 256)
+
+
+@pytest.mark.parametrize(
+    "name", ["SORT", "SLTF", "SCAN", "WEAVE", "LOSS"]
+)
+def test_schedule_generation_512(benchmark, setup, name):
+    tape, model = setup
+    workload = UniformWorkload(total_segments=tape.total_segments,
+                               seed=17)
+    origin, batch = workload.sample_batch_with_origin(512, False)
+    scheduler = get_scheduler(name)
+    schedule = benchmark(
+        scheduler.schedule, model, origin, batch.tolist()
+    )
+    assert len(schedule) == 512

@@ -1,0 +1,19 @@
+"""Section 3 — locate-time aggregates vs the published measurements."""
+
+from conftest import run_once
+
+from repro.experiments import section3_stats
+
+
+def test_section3_aggregates(benchmark):
+    result = run_once(
+        benchmark, section3_stats.run, 1, 100_000
+    )
+    # Published anchors: 96.5 s from BOT, 72.4 s random-random,
+    # ~180 s max.
+    assert abs(result.mean_from_bot - 96.5) < 6.0
+    assert abs(result.mean_random - 72.4) < 5.0
+    assert 150.0 < result.max_locate < 195.0
+    benchmark.extra_info["mean_from_bot"] = round(result.mean_from_bot, 2)
+    benchmark.extra_info["mean_random"] = round(result.mean_random, 2)
+    benchmark.extra_info["max_locate"] = round(result.max_locate, 1)

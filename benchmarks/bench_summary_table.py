@@ -1,0 +1,33 @@
+"""Section 8 — the "results in a nutshell" operating points."""
+
+from conftest import run_once
+
+from repro.experiments import ExperimentConfig, summary_table
+
+
+def test_summary_table(benchmark):
+    result = run_once(
+        benchmark, summary_table.run, ExperimentConfig(scale="quick")
+    )
+
+    # Published: FIFO ~50/h, OPT@10 ~93/h, LOSS@96 ~124/h,
+    # LOSS@1024 ~285/h, READ@1536 ~391/h; 192 I/Os drop from 3.87 h to
+    # 1.37 h under LOSS.
+    assert abs(result.fifo_rate - 50) < 8
+    assert abs(result.opt_rate_at_10 - 93) < 12
+    assert abs(result.loss_rate_at_96 - 124) < 18
+    assert abs(result.loss_rate_at_1024 - 285) < 40
+    assert abs(result.read_rate_at_1536 - 391) < 25
+    assert abs(result.fifo_hours_192 - 3.87) < 0.5
+    assert abs(result.loss_hours_192 - 1.37) < 0.35
+
+    benchmark.extra_info["fifo_per_hour"] = round(result.fifo_rate, 1)
+    benchmark.extra_info["opt10_per_hour"] = round(
+        result.opt_rate_at_10, 1
+    )
+    benchmark.extra_info["loss96_per_hour"] = round(
+        result.loss_rate_at_96, 1
+    )
+    benchmark.extra_info["loss1024_per_hour"] = round(
+        result.loss_rate_at_1024, 1
+    )

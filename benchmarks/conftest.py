@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper at a
+reduced trial scale (the ``quick`` scale preserves every published
+ordering), runs it exactly once under pytest-benchmark's timer, and
+asserts the figure's headline finding as a guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def quick_config():
+    """Full grid at quick trial counts."""
+    return ExperimentConfig(scale="quick")
+
+
+@pytest.fixture(scope="session")
+def short_config():
+    """Truncated grid for the heavier sweeps."""
+    return ExperimentConfig(scale="quick", max_length=256)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a macro-experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

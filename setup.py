@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept so that ``pip install -e .`` works on minimal environments without
+the ``wheel`` package (pip falls back to the legacy develop install when
+invoked with ``--no-use-pep517``).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,116 @@
+"""repro — Random I/O scheduling for serpentine tertiary storage.
+
+A from-scratch reproduction of Hillyer & Silberschatz, *Random I/O
+Scheduling in Online Tertiary Storage Systems* (SIGMOD 1996): the
+DLT4000 locate-time model, the eight batch schedulers (READ, FIFO, OPT,
+SORT, SLTF, SCAN, WEAVE, LOSS), a simulated drive and robotic library,
+and the full experiment harness that regenerates every figure and table
+of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        generate_tape, LocateTimeModel, LossScheduler,
+        SimulatedDrive, execute_schedule,
+    )
+
+    tape = generate_tape(seed=7)
+    model = LocateTimeModel(tape)
+    batch = [123_456, 42, 599_999, 310_000]
+    schedule = LossScheduler().schedule(model, origin=0, requests=batch)
+    drive = SimulatedDrive(model)
+    result = execute_schedule(drive, schedule)
+    print(schedule.algorithm, result.total_seconds)
+"""
+
+from repro._version import __version__
+from repro.drive import (
+    SimulatedDrive,
+    ground_truth_drive,
+    ground_truth_model,
+)
+from repro.exceptions import (
+    BatchTooLarge,
+    DriveError,
+    EmptyBatchError,
+    GeometryError,
+    ReproError,
+    SchedulingError,
+    SegmentOutOfRange,
+)
+from repro.geometry import (
+    TapeGeometry,
+    calibrate_key_points,
+    generate_tape,
+    geometry_from_key_points,
+    make_tape_pair,
+    tiny_tape,
+)
+from repro.model import (
+    EvenOddPerturbation,
+    LocateCase,
+    LocateTimeModel,
+    ShortLocateDeviation,
+    classify,
+    rewind_time,
+)
+from repro.scheduling import (
+    AutoScheduler,
+    FifoScheduler,
+    LossScheduler,
+    OptScheduler,
+    ReadEntireTapeScheduler,
+    Request,
+    ScanScheduler,
+    Schedule,
+    Scheduler,
+    SltfScheduler,
+    SortScheduler,
+    WeaveScheduler,
+    estimate_schedule_seconds,
+    execute_schedule,
+    get_scheduler,
+    scheduler_names,
+)
+
+__all__ = [
+    "AutoScheduler",
+    "BatchTooLarge",
+    "DriveError",
+    "EmptyBatchError",
+    "EvenOddPerturbation",
+    "FifoScheduler",
+    "GeometryError",
+    "LocateCase",
+    "LocateTimeModel",
+    "LossScheduler",
+    "OptScheduler",
+    "ReadEntireTapeScheduler",
+    "ReproError",
+    "Request",
+    "ScanScheduler",
+    "Schedule",
+    "Scheduler",
+    "SchedulingError",
+    "SegmentOutOfRange",
+    "ShortLocateDeviation",
+    "SimulatedDrive",
+    "SltfScheduler",
+    "SortScheduler",
+    "TapeGeometry",
+    "WeaveScheduler",
+    "__version__",
+    "calibrate_key_points",
+    "classify",
+    "estimate_schedule_seconds",
+    "execute_schedule",
+    "generate_tape",
+    "geometry_from_key_points",
+    "get_scheduler",
+    "ground_truth_drive",
+    "ground_truth_model",
+    "make_tape_pair",
+    "rewind_time",
+    "scheduler_names",
+    "tiny_tape",
+]

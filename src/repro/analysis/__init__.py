@@ -1,0 +1,45 @@
+"""Analytical helpers: utilization curves and retrieval rates."""
+
+from repro.analysis.batching import (
+    PerLocateCurve,
+    estimated_response_seconds,
+    is_stable,
+    min_stable_batch,
+    recommend_batch,
+)
+from repro.analysis.bounds import (
+    in_edge_bound,
+    optimality_gap,
+    out_edge_bound,
+    schedule_lower_bound,
+)
+from repro.analysis.rates import (
+    PaperSummaryTargets,
+    hours_for_batch,
+    ios_per_hour,
+)
+from repro.analysis.utilization import (
+    FIGURE7_UTILIZATIONS,
+    transfer_size_for_utilization,
+    utilization_curve,
+    utilization_for_transfer_size,
+)
+
+__all__ = [
+    "FIGURE7_UTILIZATIONS",
+    "PaperSummaryTargets",
+    "PerLocateCurve",
+    "estimated_response_seconds",
+    "hours_for_batch",
+    "in_edge_bound",
+    "is_stable",
+    "min_stable_batch",
+    "recommend_batch",
+    "ios_per_hour",
+    "optimality_gap",
+    "out_edge_bound",
+    "schedule_lower_bound",
+    "transfer_size_for_utilization",
+    "utilization_curve",
+    "utilization_for_transfer_size",
+]

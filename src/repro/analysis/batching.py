@@ -1,0 +1,143 @@
+"""Batch-size planning for the online system.
+
+The paper quantifies how the per-request cost falls with batch size
+(Figures 4/5); an *online* system must pick an operating batch size.
+This module turns a measured per-locate curve into operating guidance:
+
+* **stability** — a drive keeps up with arrival rate λ only if the
+  service time of a batch of N is below the time N arrivals take to
+  accumulate, i.e. ``N * s(N) < N / λ`` where ``s(N)`` is seconds per
+  request at batch size N;
+* **minimum stable batch** — because ``s(N)`` decreases with N,
+  there is a smallest batch size that keeps up with a given λ;
+* **response-time estimate** — at a stable operating point a request
+  waits for its batch to fill (~``N / (2 λ)`` on average), then for the
+  batch service (~``N·s(N)/2`` on average when it completes mid-batch),
+  giving a planning estimate (not a queueing-theoretic exact value).
+
+The per-locate curve comes straight from the experiment runner, so the
+planner works for any drive profile or workload the harness can
+simulate.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PerLocateCurve:
+    """Monotone interpolation of seconds-per-request vs batch size."""
+
+    lengths: tuple[int, ...]
+    seconds_per_request: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lengths) != len(self.seconds_per_request):
+            raise ValueError("lengths and values must align")
+        if not self.lengths:
+            raise ValueError("curve needs at least one point")
+        if list(self.lengths) != sorted(set(self.lengths)):
+            raise ValueError("lengths must be strictly increasing")
+
+    @classmethod
+    def from_per_locate_result(
+        cls, result, algorithm: str
+    ) -> "PerLocateCurve":
+        """Build from a Figure 4/5 run for one algorithm."""
+        lengths = []
+        values = []
+        for length in result.lengths:
+            point = result.points.get((algorithm, length))
+            if point is None or point.total.count == 0:
+                continue
+            lengths.append(length)
+            values.append(point.per_locate_mean)
+        return cls(tuple(lengths), tuple(values))
+
+    def at(self, batch_size: int) -> float:
+        """Seconds per request at a batch size (log-linear interp)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        lengths = self.lengths
+        if batch_size <= lengths[0]:
+            return self.seconds_per_request[0]
+        if batch_size >= lengths[-1]:
+            return self.seconds_per_request[-1]
+        hi = bisect_left(lengths, batch_size)
+        lo = hi - 1
+        if lengths[hi] == batch_size:
+            return self.seconds_per_request[hi]
+        # Interpolate in log(batch size), matching the figures' x axis.
+        span = math.log(lengths[hi]) - math.log(lengths[lo])
+        frac = (math.log(batch_size) - math.log(lengths[lo])) / span
+        return (
+            self.seconds_per_request[lo] * (1 - frac)
+            + self.seconds_per_request[hi] * frac
+        )
+
+    def capacity_per_hour(self, batch_size: int) -> float:
+        """Sustained throughput ceiling at a batch size."""
+        return 3600.0 / self.at(batch_size)
+
+
+def is_stable(
+    curve: PerLocateCurve, batch_size: int, rate_per_hour: float
+) -> bool:
+    """Can the drive keep up with λ at this batch size?"""
+    if rate_per_hour <= 0:
+        raise ValueError("rate_per_hour must be positive")
+    return curve.capacity_per_hour(batch_size) > rate_per_hour
+
+
+def min_stable_batch(
+    curve: PerLocateCurve, rate_per_hour: float
+) -> int | None:
+    """Smallest batch size on the curve that keeps up with λ.
+
+    Returns None when even the largest measured batch cannot keep up —
+    the workload needs READ mode, striping, or more drives.
+    """
+    for length in curve.lengths:
+        if is_stable(curve, length, rate_per_hour):
+            return length
+    return None
+
+
+def estimated_response_seconds(
+    curve: PerLocateCurve, batch_size: int, rate_per_hour: float
+) -> float:
+    """Planning estimate of mean response time at an operating point.
+
+    Mean fill wait ``N/(2λ)`` plus mean in-service wait
+    ``N·s(N)/2``; valid for stable, moderately loaded points (it
+    ignores queueing between batches, which blows up near saturation).
+    """
+    if not is_stable(curve, batch_size, rate_per_hour):
+        return math.inf
+    rate_per_second = rate_per_hour / 3600.0
+    fill_wait = batch_size / (2.0 * rate_per_second)
+    service_wait = batch_size * curve.at(batch_size) / 2.0
+    return fill_wait + service_wait
+
+
+def recommend_batch(
+    curve: PerLocateCurve, rate_per_hour: float
+) -> tuple[int, float] | None:
+    """Batch size minimizing the response estimate at a rate.
+
+    Returns ``(batch_size, estimated response seconds)``, or None when
+    no measured batch size is stable.
+    """
+    best: tuple[int, float] | None = None
+    for length in curve.lengths:
+        estimate = estimated_response_seconds(
+            curve, length, rate_per_hour
+        )
+        if math.isinf(estimate):
+            continue
+        if best is None or estimate < best[1]:
+            best = (length, estimate)
+    return best

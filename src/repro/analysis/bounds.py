@@ -1,0 +1,84 @@
+"""Lower bounds on schedule execution time.
+
+OPT certifies optimality only up to ~12 requests (it is exponential).
+For larger batches we can still bound how far any heuristic is from
+optimal: every schedule must *enter* each request once, so the total
+locate time is at least the sum over requests of their cheapest
+feasible in-edge; symmetrically, every node except the last must be
+*left* once.  The larger of the two relaxations is a valid lower bound
+on the locate time of any schedule — the first step of the classic
+assignment-relaxation bound for the asymmetric TSP.
+
+This gives the evaluation the paper could not run: the measured
+optimality gap of LOSS/SLTF/etc. at batch sizes far beyond OPT's
+reach (see ``tests/analysis/test_bounds.py`` and the extension
+benchmarks).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.constants import SEGMENT_TRANSFER_SECONDS
+from repro.model.distance_matrix import schedule_distance_matrix
+from repro.scheduling.request import Request, as_requests, request_lengths
+
+
+def in_edge_bound(distance: np.ndarray) -> float:
+    """Sum of each request's cheapest in-edge."""
+    return float(np.min(distance, axis=0).sum())
+
+
+def out_edge_bound(distance: np.ndarray) -> float:
+    """Cheapest-out-edge relaxation.
+
+    Every node except the final one is left exactly once; we do not
+    know which request ends the schedule, so the bound drops the most
+    expensive inner-row minimum.  Row 0 (the origin) is always left.
+    """
+    row_minima = np.min(distance, axis=1)
+    origin_exit = row_minima[0]
+    inner = np.sort(row_minima[1:])[:-1] if distance.shape[0] > 1 else []
+    return float(origin_exit + np.sum(inner))
+
+
+def schedule_lower_bound(
+    model,
+    origin: int,
+    requests: Sequence[int | Request],
+    include_transfers: bool = True,
+) -> float:
+    """Valid lower bound on any schedule's execution time.
+
+    Parameters mirror :meth:`Scheduler.schedule`; the bound applies to
+    every ordering of exactly these requests from this origin.
+    """
+    batch = as_requests(requests)
+    segments = np.fromiter(
+        (r.segment for r in batch), dtype=np.int64, count=len(batch)
+    )
+    distance = schedule_distance_matrix(
+        model, origin, segments, lengths=request_lengths(batch)
+    )
+    bound = max(in_edge_bound(distance), out_edge_bound(distance))
+    if include_transfers:
+        bound += float(request_lengths(batch).sum()) * (
+            SEGMENT_TRANSFER_SECONDS
+        )
+    return bound
+
+
+def optimality_gap(model, schedule) -> float:
+    """Fractional gap of a schedule above the lower bound.
+
+    ``0.10`` means the schedule costs at most 10 % more than optimal
+    (the true gap to optimal is no larger than the gap to the bound).
+    """
+    bound = schedule_lower_bound(
+        model, schedule.origin, schedule.requests
+    )
+    if bound <= 0:
+        return 0.0
+    return schedule.estimated_seconds / bound - 1.0

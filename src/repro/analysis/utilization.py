@@ -1,0 +1,89 @@
+"""Drive-utilization algebra for Figure 7.
+
+Figure 7 of the paper plots, for target utilizations of 25 %, 33 %,
+50 %, 75 % and 90 % of the DLT4000's 1.5 MB/s sequential bandwidth, the
+per-request transfer size needed as a function of schedule length: long
+schedules drive the per-request locate cost down, so smaller transfers
+reach the same utilization.
+
+With ``L(n)`` the expected total positioning time of an ``n``-request
+schedule and ``S`` the per-request transfer size,
+
+    utilization u = (n * S / rate) / (n * S / rate + L(n))
+
+which solves to ``S(u, n) = u * L(n) * rate / (n * (1 - u))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import TRANSFER_RATE_BYTES_PER_SECOND
+
+#: The utilization levels plotted in Figure 7.
+FIGURE7_UTILIZATIONS = (0.25, 1.0 / 3.0, 0.50, 0.75, 0.90)
+
+
+def transfer_size_for_utilization(
+    utilization: float,
+    schedule_length: int,
+    total_locate_seconds: float,
+    rate_bytes_per_second: float = TRANSFER_RATE_BYTES_PER_SECOND,
+) -> float:
+    """Bytes per request needed to hit a target utilization.
+
+    Parameters
+    ----------
+    utilization:
+        Target fraction of sequential bandwidth, in (0, 1).
+    schedule_length:
+        Number of requests in the schedule.
+    total_locate_seconds:
+        Expected total positioning time of the schedule.
+    """
+    if not 0.0 < utilization < 1.0:
+        raise ValueError("utilization must be in (0, 1)")
+    if schedule_length < 1:
+        raise ValueError("schedule_length must be >= 1")
+    if total_locate_seconds < 0:
+        raise ValueError("total_locate_seconds must be >= 0")
+    return (
+        utilization
+        * total_locate_seconds
+        * rate_bytes_per_second
+        / (schedule_length * (1.0 - utilization))
+    )
+
+
+def utilization_for_transfer_size(
+    transfer_bytes: float,
+    schedule_length: int,
+    total_locate_seconds: float,
+    rate_bytes_per_second: float = TRANSFER_RATE_BYTES_PER_SECOND,
+) -> float:
+    """Inverse of :func:`transfer_size_for_utilization`."""
+    transfer_seconds = (
+        schedule_length * transfer_bytes / rate_bytes_per_second
+    )
+    denominator = transfer_seconds + total_locate_seconds
+    if denominator <= 0:
+        raise ValueError("no time spent at all")
+    return transfer_seconds / denominator
+
+
+def utilization_curve(
+    utilization: float,
+    schedule_lengths,
+    locate_seconds,
+    rate_bytes_per_second: float = TRANSFER_RATE_BYTES_PER_SECOND,
+) -> np.ndarray:
+    """Vectorized Figure 7 series: transfer megabytes per request."""
+    lengths = np.asarray(schedule_lengths, dtype=np.float64)
+    locates = np.asarray(locate_seconds, dtype=np.float64)
+    sizes = (
+        utilization
+        * locates
+        * rate_bytes_per_second
+        / (lengths * (1.0 - utilization))
+    )
+    return sizes / 1e6

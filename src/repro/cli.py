@@ -1,0 +1,150 @@
+"""Command-line interface: regenerate any figure or table of the paper.
+
+Examples::
+
+    python -m repro figure4 --scale quick
+    python -m repro figure8
+    python -m repro summary --scale full
+    python -m repro all --max-length 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import (
+    drive_generations,
+    figure1,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure7_empirical,
+    figure8,
+    figure9,
+    figure10,
+    optimality,
+    section3_stats,
+    seed_stability,
+    summary_table,
+)
+from repro.experiments.config import ExperimentConfig
+
+#: Experiments that take an :class:`ExperimentConfig`.
+_CONFIGURED = {
+    "figure4": figure4.main,
+    "figure5": figure5.main,
+    "figure6": figure6.main,
+    "figure7": figure7.main,
+    "figure8": figure8.main,
+    "figure9": figure9.main,
+    "figure10": figure10.main,
+    "figure7x": figure7_empirical.main,
+    "summary": summary_table.main,
+    "seeds": seed_stability.main,
+    "generations": drive_generations.main,
+    "gaps": optimality.main,
+}
+
+#: Experiments keyed only by the tape seed.
+_SEED_ONLY = {
+    "figure1": figure1.main,
+    "section3": section3_stats.main,
+}
+
+#: Execution order for ``all``.
+_ALL_ORDER = (
+    "figure1", "section3", "figure4", "figure5", "figure6", "figure7",
+    "figure7x", "figure8", "figure9", "figure10", "summary", "seeds",
+    "generations", "gaps",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tape",
+        description=(
+            "Regenerate the evaluation of Hillyer & Silberschatz, "
+            "'Random I/O Scheduling in Online Tertiary Storage "
+            "Systems' (SIGMOD 1996)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted({*_CONFIGURED, *_SEED_ONLY, "all"}),
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "full", "paper"),
+        default="quick",
+        help="trial-count scale (default: quick)",
+    )
+    parser.add_argument(
+        "--tape-seed", type=int, default=1,
+        help="seed of the synthetic cartridge (default: 1)",
+    )
+    parser.add_argument(
+        "--workload-seed", type=int, default=0,
+        help="srand48 seed for the workload (default: 0)",
+    )
+    parser.add_argument(
+        "--max-length", type=int, default=None,
+        help="truncate the schedule-length grid",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also render figures 4/5 as ASCII log-log charts",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also export the result to FILE (.csv or .json)",
+    )
+    return parser
+
+
+def run_experiment(
+    name: str,
+    config: ExperimentConfig,
+    chart: bool = False,
+    out: str | None = None,
+) -> None:
+    """Dispatch one experiment by name."""
+    if name in _SEED_ONLY:
+        _SEED_ONLY[name](tape_seed=config.tape_seed)
+        return
+    result = _CONFIGURED[name](config)
+    if chart and name in ("figure4", "figure5"):
+        from repro.experiments.ascii_plot import render_per_locate_result
+
+        print(render_per_locate_result(result))
+        print()
+    if out is not None:
+        from repro.experiments.export import write_result
+
+        written = write_result(result, out)
+        print(f"exported to {written}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    config = ExperimentConfig(
+        tape_seed=args.tape_seed,
+        workload_seed=args.workload_seed,
+        scale=args.scale,
+        max_length=args.max_length,
+    )
+    names = _ALL_ORDER if args.experiment == "all" else (args.experiment,)
+    if args.out is not None and len(names) > 1:
+        raise SystemExit("--out works with a single experiment")
+    for name in names:
+        run_experiment(name, config, chart=args.chart, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Physical constants of the Quantum DLT4000 as used throughout the paper.
+
+All timing constants live here so the locate-time model, the drive
+simulator, and the analytical formulas in :mod:`repro.analysis` agree by
+construction.  The values are taken from (or calibrated against) the
+numbers published in Hillyer & Silberschatz, SIGMOD 1996:
+
+* read speed 15.5 seconds per section, scan speed 10 seconds per section
+  (Section 3, "intuitive description of the model");
+* 64 tracks of 14 sections, 13 dips per track (Section 3);
+* sections of approximately 704 segments of 32 KB, with section 13
+  significantly shorter, first segment of a reverse track at
+  ``(t', 13, k)`` with ``k`` typically around 600 (Section 3);
+* sustained transfer rate 1.5 MB/s, 20 GB capacity (Section 2);
+* full-tape read plus rewind around 14,000 seconds (Section 4, READ);
+* simulated workloads draw segments from ``0 .. 622057`` (Section 5).
+
+The three small overhead constants (:data:`REPOSITION_SECONDS`,
+:data:`REVERSAL_SECONDS`, :data:`REWIND_OVERHEAD_SECONDS`) are not given
+in the paper; they are calibrated so the model reproduces the published
+aggregate anchors — maximum locate ≈ 180 s, expected locate from
+beginning-of-tape ≈ 96.5 s, expected locate between two random segments
+≈ 72.4 s.  The calibration is asserted by ``tests/model/test_anchors.py``.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Geometry
+# --------------------------------------------------------------------------
+
+#: Number of serpentine tracks (track groups) on a DLT4000 tape.
+TRACKS = 64
+
+#: Number of sections per track; section 0 is physically closest to the
+#: beginning of the tape.
+SECTIONS_PER_TRACK = 14
+
+#: Number of dips (interior key points) per track.
+DIPS_PER_TRACK = SECTIONS_PER_TRACK - 1
+
+#: Total number of sections on a tape (the paper's ``k < 896`` bound).
+TOTAL_SECTIONS = TRACKS * SECTIONS_PER_TRACK
+
+#: Nominal number of 32 KB segments in sections 0..12.
+NOMINAL_SECTION_SEGMENTS = 704
+
+#: Nominal number of segments in the short last section (section 13).
+NOMINAL_LAST_SECTION_SEGMENTS = 600
+
+#: Segment (logical block) size used for all measurements in the paper.
+SEGMENT_BYTES = 32 * 1024
+
+#: Default number of segments on a synthetic tape.  The paper's simulation
+#: draws segment numbers from 0..622057, i.e. 622,058 segments (the
+#: physical tape used to build the model held 622,102).
+DEFAULT_TOTAL_SEGMENTS = 622_058
+
+# --------------------------------------------------------------------------
+# Transport speeds
+# --------------------------------------------------------------------------
+
+#: Seconds to traverse one section at read (I/O transfer) speed.
+READ_SECONDS_PER_SECTION = 15.5
+
+#: Seconds to traverse one section at scan (high) speed, used for rewind
+#: and long-distance positioning.
+SCAN_SECONDS_PER_SECTION = 10.0
+
+#: Sustained sequential transfer rate of the DLT4000.
+TRANSFER_RATE_BYTES_PER_SECOND = 1.5e6
+
+#: Time to transfer a single 32 KB segment at the sustained rate.
+SEGMENT_TRANSFER_SECONDS = SEGMENT_BYTES / TRANSFER_RATE_BYTES_PER_SECOND
+
+# --------------------------------------------------------------------------
+# Calibrated overheads (see module docstring)
+# --------------------------------------------------------------------------
+
+#: Fixed cost of any locate that leaves the read-ahead window: head-group
+#: repositioning, speed change, command processing.
+REPOSITION_SECONDS = 2.0
+
+#: Additional cost when the scan direction differs from the subsequent
+#: read direction (one physical direction reversal).
+REVERSAL_SECONDS = 2.0
+
+#: Fixed component of a rewind operation.
+REWIND_OVERHEAD_SECONDS = 2.0
+
+# --------------------------------------------------------------------------
+# Published aggregate anchors (used by calibration tests and docs)
+# --------------------------------------------------------------------------
+
+#: Paper Section 3: maximum measured locate time, seconds.
+PAPER_MAX_LOCATE_SECONDS = 180.0
+
+#: Paper Section 3: expected locate from beginning of tape to a random
+#: segment, seconds.
+PAPER_MEAN_LOCATE_FROM_BOT_SECONDS = 96.5
+
+#: Paper Section 3: expected locate between two random segments, seconds.
+PAPER_MEAN_LOCATE_RANDOM_SECONDS = 72.4
+
+#: Paper Section 4: typical time to read an entire tape and rewind.
+PAPER_FULL_READ_SECONDS = 14_000.0
+
+#: Paper Section 7: typical adjacent-section locate-time discontinuity.
+PAPER_FORWARD_DIP_SECONDS = 5.0
+PAPER_REVERSE_DIP_SECONDS = 25.0
+
+#: Paper Section 4 (SLTF): recommended coalescing distance threshold, in
+#: segments (the size of two sections).
+DEFAULT_COALESCE_THRESHOLD = 1410
+
+#: Paper Section 5/8 policy limits: OPT is recommended up to 10 requests,
+#: LOSS up to 1536; beyond that, read the entire tape.
+OPT_POLICY_LIMIT = 10
+LOSS_POLICY_LIMIT = 1536

@@ -1,0 +1,34 @@
+"""Simulated DLT4000 drives.
+
+Public surface::
+
+    from repro.drive import (
+        SimulatedDrive, TapeDrive, DriveEvent, EventKind,
+        ground_truth_drive, ground_truth_model,
+    )
+"""
+
+from repro.drive.events import DriveEvent, EventKind
+from repro.drive.faults import FaultyModel
+from repro.drive.interface import TapeDrive
+from repro.drive.physical import ground_truth_drive, ground_truth_model
+from repro.drive.simulated import SimulatedDrive, TRACK_TURNAROUND_SECONDS
+from repro.drive.wear import (
+    DLT_RATED_PASSES,
+    EXABYTE_RATED_PASSES,
+    WearMeter,
+)
+
+__all__ = [
+    "DLT_RATED_PASSES",
+    "DriveEvent",
+    "EXABYTE_RATED_PASSES",
+    "EventKind",
+    "FaultyModel",
+    "SimulatedDrive",
+    "TRACK_TURNAROUND_SECONDS",
+    "TapeDrive",
+    "WearMeter",
+    "ground_truth_drive",
+    "ground_truth_model",
+]

@@ -1,0 +1,47 @@
+"""Event records emitted by the simulated drive."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventKind(enum.Enum):
+    """Categories of drive activity."""
+
+    LOCATE = "locate"
+    READ = "read"
+    REWIND = "rewind"
+    FULL_READ = "full_read"
+    MOUNT = "mount"
+    UNMOUNT = "unmount"
+
+
+@dataclass(frozen=True, slots=True)
+class DriveEvent:
+    """One timed drive operation.
+
+    Attributes
+    ----------
+    kind:
+        What the drive did.
+    start_seconds:
+        Drive clock when the operation began.
+    duration_seconds:
+        How long it took.
+    source, destination:
+        Head position before and after the operation (absolute segment
+        numbers; for reads the destination is the position just past the
+        data read).
+    """
+
+    kind: EventKind
+    start_seconds: float
+    duration_seconds: float
+    source: int
+    destination: int
+
+    @property
+    def end_seconds(self) -> float:
+        """Drive clock when the operation finished."""
+        return self.start_seconds + self.duration_seconds

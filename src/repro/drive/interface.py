@@ -1,0 +1,45 @@
+"""Protocol implemented by every tape drive in this package."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.geometry.tape import TapeGeometry
+
+
+@runtime_checkable
+class TapeDrive(Protocol):
+    """The operations schedulers and executors rely on.
+
+    A drive wraps one mounted cartridge.  ``position`` is the absolute
+    segment number the head is parked at (i.e. the next segment a
+    ``read`` would return); ``clock_seconds`` is the accumulated busy
+    time of the mechanism.
+    """
+
+    @property
+    def geometry(self) -> TapeGeometry:
+        """Geometry of the mounted cartridge."""
+        ...
+
+    @property
+    def position(self) -> int:
+        """Current head position (absolute segment number)."""
+        ...
+
+    @property
+    def clock_seconds(self) -> float:
+        """Accumulated elapsed mechanism time."""
+        ...
+
+    def locate(self, segment: int) -> float:
+        """Position the head to read ``segment``; return seconds taken."""
+        ...
+
+    def read(self, count: int = 1) -> float:
+        """Read ``count`` segments forward; return seconds taken."""
+        ...
+
+    def rewind(self) -> float:
+        """Rewind to the beginning of the tape; return seconds taken."""
+        ...

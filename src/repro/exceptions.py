@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common cases.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GeometryError(ReproError):
+    """A tape-geometry constraint was violated (bad track/section layout)."""
+
+
+class SegmentOutOfRange(GeometryError):
+    """An absolute segment number fell outside the tape."""
+
+    def __init__(self, segment: int, total_segments: int) -> None:
+        self.segment = segment
+        self.total_segments = total_segments
+        super().__init__(
+            f"segment {segment} out of range for tape with "
+            f"{total_segments} segments"
+        )
+
+
+class SchedulingError(ReproError):
+    """A scheduler received invalid input or failed to produce a schedule."""
+
+
+class EmptyBatchError(SchedulingError):
+    """A scheduler was asked to order an empty request batch."""
+
+
+class BatchTooLarge(SchedulingError):
+    """A request batch exceeds the algorithm's practical size limit."""
+
+    def __init__(self, size: int, limit: int, algorithm: str) -> None:
+        self.size = size
+        self.limit = limit
+        self.algorithm = algorithm
+        super().__init__(
+            f"{algorithm} limited to {limit} requests, got {size}"
+        )
+
+
+class DriveError(ReproError):
+    """Invalid operation on a (simulated) tape drive."""
+
+
+class NoTapeMounted(DriveError):
+    """An I/O operation was issued while no tape was mounted."""
+
+
+class LibraryError(ReproError):
+    """Invalid operation on the robotic tape library."""
+
+
+class UnknownTape(LibraryError):
+    """A mount request named a cartridge that is not in the library."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured inconsistently."""

@@ -1,0 +1,136 @@
+"""ASCII line plots for experiment figures.
+
+The experiment drivers print tables; this module renders the same
+series as terminal line charts so a run's *shape* — who wins, where
+curves cross — can be eyeballed against the paper's figures without a
+plotting stack.  Log-scale axes are supported because Figures 4–6 are
+log-log plots.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log-scale axes need positive values")
+        return math.log10(value)
+    return value
+
+
+def render_series(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float | None]],
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render named series over shared x values as an ASCII chart.
+
+    Parameters
+    ----------
+    x_values:
+        Shared x coordinates.
+    series:
+        Mapping of series name to y values (``None`` marks a missing
+        point, e.g. OPT beyond its size limit).
+    width, height:
+        Character-grid dimensions of the plotting area.
+    log_x, log_y:
+        Use log10 axes (the paper's figures are log-log).
+    title:
+        Optional heading line.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    points = []
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for "
+                f"{len(x_values)} x values"
+            )
+        for x, y in zip(x_values, ys):
+            if y is not None:
+                points.append((float(x), float(y)))
+    if not points:
+        raise ValueError("all series are empty")
+
+    xs = [_transform(x, log_x) for x, _ in points]
+    ys = [_transform(y, log_y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for x, y in zip(x_values, values):
+            if y is None:
+                continue
+            col = round(
+                (_transform(float(x), log_x) - x_lo) / x_span * (width - 1)
+            )
+            row = round(
+                (_transform(float(y), log_y) - y_lo) / y_span * (height - 1)
+            )
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = 10 ** y_hi if log_y else y_hi
+    y_bottom = 10 ** y_lo if log_y else y_lo
+    lines.append(f"{y_top:10.1f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_bottom:10.1f} +" + "-" * width + "+")
+    x_left = 10 ** x_lo if log_x else x_lo
+    x_right = 10 ** x_hi if log_x else x_hi
+    lines.append(
+        " " * 12
+        + f"{x_left:g}".ljust(width // 2)
+        + f"{x_right:g}".rjust(width - width // 2)
+    )
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def render_per_locate_result(result, width: int = 72,
+                             height: int = 20) -> str:
+    """Chart a Figure 4/5 result (log-log, like the paper)."""
+    series: dict[str, list[float | None]] = {}
+    for algorithm in result.algorithms:
+        values: list[float | None] = []
+        for length in result.lengths:
+            point = result.points.get((algorithm, length))
+            if point is None or point.total.count == 0:
+                values.append(None)
+            else:
+                values.append(point.per_locate_mean)
+        series[algorithm] = values
+    return render_series(
+        list(result.lengths),
+        series,
+        width=width,
+        height=height,
+        log_x=True,
+        log_y=True,
+        title=(
+            "seconds per locate vs schedule length "
+            f"({'BOT' if result.origin_at_start else 'random'} start)"
+        ),
+    )

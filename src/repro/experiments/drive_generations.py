@@ -1,0 +1,133 @@
+"""Scheduling value across drive generations (extension experiment).
+
+The paper characterizes the DLT4000 but names its faster siblings —
+the DLT7000 and the IBM 3590 (Section 2).  This experiment replays the
+central comparison (FIFO vs SLTF vs LOSS vs READ, per-locate seconds)
+on each generation's profile and asks: does the scheduling advantage
+survive faster hardware?
+
+The answer the simulation gives: yes, proportionally.  Faster transport
+shrinks *all* positioning times by roughly the speed ratio, so the
+relative gains of scheduling (2–10×) carry over, while the READ
+crossover point stays in the same region — it is set by the ratio of
+full-tape time to per-locate time, which the speedup leaves roughly
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.rates import ios_per_hour
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import print_table
+from repro.experiments.stats import RunningStats
+from repro.profiles import DLT4000, DLT7000, IBM3590, DriveProfile
+from repro.scheduling.base import get_scheduler
+from repro.workload.random_uniform import UniformWorkload
+
+#: Default algorithm set (READ handled through its whole-tape plan).
+DEFAULT_ALGORITHMS: tuple[str, ...] = ("FIFO", "SLTF", "LOSS", "READ")
+
+#: Batch size for the comparison (a LOSS sweet spot in Figure 4).
+DEFAULT_LENGTH = 96
+
+
+@dataclass(frozen=True)
+class GenerationPoint:
+    """One (profile, algorithm) cell."""
+
+    profile: str
+    algorithm: str
+    per_locate_seconds: float
+    per_hour: float
+
+
+@dataclass(frozen=True)
+class DriveGenerationsResult:
+    """Per-profile comparison table."""
+
+    length: int
+    points: dict[tuple[str, str], GenerationPoint]
+    profiles: tuple[str, ...]
+    algorithms: tuple[str, ...]
+
+    def rows(self) -> list[list]:
+        """Rows: profile, then I/Os-per-hour per algorithm."""
+        rows = []
+        for profile in self.profiles:
+            row: list = [profile]
+            for algorithm in self.algorithms:
+                row.append(self.points[(profile, algorithm)].per_hour)
+            rows.append(row)
+        return rows
+
+    def speedup(self, profile: str) -> float:
+        """LOSS-over-FIFO throughput gain on one profile."""
+        return (
+            self.points[(profile, "LOSS")].per_hour
+            / self.points[(profile, "FIFO")].per_hour
+        )
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    profiles: tuple[DriveProfile, ...] = (DLT4000, DLT7000, IBM3590),
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    length: int = DEFAULT_LENGTH,
+    trials: int = 8,
+) -> DriveGenerationsResult:
+    """Replay the batch-scheduling comparison on each drive profile."""
+    config = config or ExperimentConfig()
+    points: dict[tuple[str, str], GenerationPoint] = {}
+    for profile in profiles:
+        tape, model = profile.build_system(seed=config.tape_seed)
+        workload = UniformWorkload(
+            total_segments=tape.total_segments,
+            seed=config.workload_seed,
+        )
+        stats = {name: RunningStats() for name in algorithms}
+        for _ in range(trials):
+            origin, batch = workload.sample_batch_with_origin(
+                length, origin_at_start=False
+            )
+            for name in algorithms:
+                schedule = get_scheduler(name).schedule(
+                    model, origin, batch
+                )
+                stats[name].add(schedule.estimated_seconds)
+        for name in algorithms:
+            mean_total = stats[name].mean
+            points[(profile.name, name)] = GenerationPoint(
+                profile=profile.name,
+                algorithm=name,
+                per_locate_seconds=mean_total / length,
+                per_hour=ios_per_hour(mean_total, length),
+            )
+    return DriveGenerationsResult(
+        length=length,
+        points=points,
+        profiles=tuple(p.name for p in profiles),
+        algorithms=algorithms,
+    )
+
+
+def report(result: DriveGenerationsResult) -> None:
+    """Print the per-generation throughput table."""
+    print_table(
+        ["drive", *(f"{a} /h" for a in result.algorithms)],
+        result.rows(),
+        title=(
+            f"Scheduling across drive generations "
+            f"(batches of {result.length} random I/Os)"
+        ),
+    )
+
+
+def main(
+    config: ExperimentConfig | None = None,
+) -> DriveGenerationsResult:
+    """Run and report."""
+    result = run(config)
+    report(result)
+    return result

@@ -1,0 +1,104 @@
+"""Exporting experiment results to CSV and JSON.
+
+The drivers print paper-style tables; for plotting or regression
+tracking, the same results can be written to files.  Every exporter
+takes the result object the corresponding ``run()`` returned, so the
+CLI's ``--out`` flag (and any script) can persist whatever it just
+computed.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.experiments.runner import PerLocateResult
+from repro.experiments.validation import ValidationResult
+
+
+def per_locate_to_rows(result: PerLocateResult) -> list[dict]:
+    """Flatten a Figure 4/5 result into records."""
+    records = []
+    for (algorithm, length), point in sorted(result.points.items()):
+        if point.total.count == 0:
+            continue
+        records.append(
+            {
+                "algorithm": algorithm,
+                "length": length,
+                "trials": point.total.count,
+                "mean_total_seconds": point.total.mean,
+                "std_total_seconds": point.total.std,
+                "seconds_per_locate": point.per_locate_mean,
+                "cpu_seconds": (
+                    point.cpu.mean if point.cpu.count else None
+                ),
+            }
+        )
+    return records
+
+
+def validation_to_rows(result: ValidationResult) -> list[dict]:
+    """Flatten a Figure 8/9 result into records."""
+    return [
+        {
+            "label": result.label,
+            "length": point.length,
+            "trials": point.percent_error.count,
+            "mean_percent_error": point.mean,
+            "std_percent_error": point.percent_error.std,
+        }
+        for point in result.points
+    ]
+
+
+def result_to_rows(result) -> list[dict]:
+    """Flatten any known result type into records."""
+    if isinstance(result, PerLocateResult):
+        return per_locate_to_rows(result)
+    if isinstance(result, ValidationResult):
+        return validation_to_rows(result)
+    if hasattr(result, "rows"):
+        rows = result.rows()
+        return [
+            {f"col{i}": value for i, value in enumerate(row)}
+            for row in rows
+        ]
+    raise TypeError(
+        f"don't know how to export {type(result).__name__}"
+    )
+
+
+def write_csv(result, path: str | Path) -> Path:
+    """Write a result as CSV; returns the path written."""
+    path = Path(path)
+    records = result_to_rows(result)
+    if not records:
+        raise ValueError("nothing to export")
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(records[0]))
+        writer.writeheader()
+        writer.writerows(records)
+    return path
+
+
+def write_json(result, path: str | Path) -> Path:
+    """Write a result as JSON records; returns the path written."""
+    path = Path(path)
+    records = result_to_rows(result)
+    path.write_text(json.dumps(records, indent=1))
+    return path
+
+
+def write_result(result, path: str | Path) -> Path:
+    """Dispatch on the file extension (.csv or .json)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        return write_csv(result, path)
+    if path.suffix == ".json":
+        return write_json(result, path)
+    raise ValueError(
+        f"unsupported export extension {path.suffix!r} "
+        "(use .csv or .json)"
+    )

@@ -1,0 +1,51 @@
+"""Figure 4 — mean time per locate vs schedule length, random start.
+
+Reproduces the paper's central comparison: for every algorithm and
+every schedule length on the grid, the mean execution seconds per
+request, with the initial head position drawn uniformly (the repeated
+batch-scheduling scenario).  The published shape: FIFO flat at ~72 s;
+SORT poor for small batches, converging for dense ones; SLTF/WEAVE/
+SCAN in between; LOSS best among the heuristics; OPT best where
+feasible (N <= 12); READ constant 14,000 s total, so per-locate cost
+falls as 1/N and crosses LOSS near N = 1536.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import print_table
+from repro.experiments.runner import (
+    DEFAULT_ALGORITHMS,
+    PerLocateResult,
+    run_per_locate,
+)
+
+ORIGIN_AT_START = False
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+) -> PerLocateResult:
+    """Run the Figure 4 sweep (random initial head position)."""
+    return run_per_locate(
+        config or ExperimentConfig(),
+        origin_at_start=ORIGIN_AT_START,
+        algorithms=algorithms,
+    )
+
+
+def report(result: PerLocateResult) -> None:
+    """Print the figure as a table (seconds per locate)."""
+    print_table(
+        ["N", *result.algorithms],
+        result.rows(),
+        title="Figure 4: mean seconds per locate, random starting point",
+    )
+
+
+def main(config: ExperimentConfig | None = None) -> PerLocateResult:
+    """Run and report."""
+    result = run(config)
+    report(result)
+    return result

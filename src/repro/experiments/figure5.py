@@ -1,0 +1,48 @@
+"""Figure 5 — mean time per locate vs schedule length, BOT start.
+
+The same sweep as Figure 4, but every schedule starts with the head at
+segment 0 — the robotic-changer scenario in which a freshly mounted
+cartridge is always rewound (single-reel DLT cartridges rewind to
+eject).  Small batches are cheaper than in Figure 4 because the first
+locate never has to double back.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import print_table
+from repro.experiments.runner import (
+    DEFAULT_ALGORITHMS,
+    PerLocateResult,
+    run_per_locate,
+)
+
+ORIGIN_AT_START = True
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+) -> PerLocateResult:
+    """Run the Figure 5 sweep (head at beginning of tape)."""
+    return run_per_locate(
+        config or ExperimentConfig(),
+        origin_at_start=ORIGIN_AT_START,
+        algorithms=algorithms,
+    )
+
+
+def report(result: PerLocateResult) -> None:
+    """Print the figure as a table (seconds per locate)."""
+    print_table(
+        ["N", *result.algorithms],
+        result.rows(),
+        title="Figure 5: mean seconds per locate, start at beginning of tape",
+    )
+
+
+def main(config: ExperimentConfig | None = None) -> PerLocateResult:
+    """Run and report."""
+    result = run(config)
+    report(result)
+    return result

@@ -1,0 +1,93 @@
+"""Figure 7 — DLT4000 utilization curves per schedule length and size.
+
+For target utilizations of 25 %, 33 %, 50 %, 75 % and 90 % of the
+1.5 MB/s sequential bandwidth, the per-request transfer size (MB)
+needed as a function of schedule length, using the measured expected
+positioning cost of LOSS schedules.  The paper's headline readings: a
+solitary random I/O needs a 50–100 MB transfer for good utilization;
+with a 10-request schedule ~30 MB suffices; long schedules bring it
+down to a few MB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.utilization import (
+    FIGURE7_UTILIZATIONS,
+    transfer_size_for_utilization,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import print_table
+from repro.experiments.runner import run_per_locate
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """Transfer-size requirement per (utilization, schedule length)."""
+
+    lengths: tuple[int, ...]
+    utilizations: tuple[float, ...]
+    locate_seconds: dict[int, float]
+    megabytes: dict[tuple[float, int], float]
+
+    def rows(self) -> list[list]:
+        """Table rows: length, then MB per request per utilization."""
+        rows = []
+        for length in self.lengths:
+            row: list = [length, self.locate_seconds[length]]
+            for utilization in self.utilizations:
+                row.append(self.megabytes[(utilization, length)])
+            rows.append(row)
+        return rows
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    utilizations: tuple[float, ...] = FIGURE7_UTILIZATIONS,
+) -> Figure7Result:
+    """Measure LOSS positioning costs, derive the utilization curves."""
+    config = config or ExperimentConfig()
+    per_locate = run_per_locate(
+        config, origin_at_start=False, algorithms=("LOSS",)
+    )
+    locate_seconds: dict[int, float] = {}
+    megabytes: dict[tuple[float, int], float] = {}
+    for length in per_locate.lengths:
+        locate_total = per_locate.point("LOSS", length).locate_only_mean
+        locate_seconds[length] = locate_total
+        for utilization in utilizations:
+            megabytes[(utilization, length)] = (
+                transfer_size_for_utilization(
+                    utilization, length, locate_total
+                )
+                / 1e6
+            )
+    return Figure7Result(
+        lengths=per_locate.lengths,
+        utilizations=tuple(utilizations),
+        locate_seconds=locate_seconds,
+        megabytes=megabytes,
+    )
+
+
+def report(result: Figure7Result) -> None:
+    """Print the utilization table (MB per request)."""
+    headers = ["N", "locate s"] + [
+        f"{u:.0%}" for u in result.utilizations
+    ]
+    print_table(
+        headers,
+        result.rows(),
+        title=(
+            "Figure 7: transfer MB per request to reach target "
+            "utilization (LOSS schedules)"
+        ),
+    )
+
+
+def main(config: ExperimentConfig | None = None) -> Figure7Result:
+    """Run and report."""
+    result = run(config)
+    report(result)
+    return result

@@ -1,0 +1,51 @@
+"""Figure 9 — estimate error with the wrong tape's key points.
+
+The Figure 8 experiment repeated with the model parameterized by *tape
+B's* key points while the drive holds *tape A*: the answer to "is it
+really necessary to characterize each individual tape?".  The paper
+calls the consequence disastrous — typical errors around 20 % — because
+wrong key points misassign segments to sections, and adjacent sections
+differ by ~5 s (forward tracks) / ~25 s (reverse tracks) per locate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import print_table
+from repro.experiments.validation import (
+    ValidationResult,
+    run_validation,
+)
+from repro.geometry.generator import make_tape_pair
+from repro.model.locate import LocateTimeModel
+
+
+def run(config: ExperimentConfig | None = None) -> ValidationResult:
+    """Schedule with tape B's model, execute on tape A."""
+    config = config or ExperimentConfig()
+    tape_a, tape_b = make_tape_pair(seed=config.tape_seed)
+    return run_validation(
+        schedule_model=LocateTimeModel(tape_b),
+        true_geometry=tape_a,
+        config=config,
+        label="figure9",
+    )
+
+
+def report(result: ValidationResult) -> None:
+    """Print per-size percent errors."""
+    print_table(
+        ["N", "mean % error", "std %"],
+        result.rows(),
+        title=(
+            "Figure 9: percent error with wrong key points "
+            "(paper: ~20% typical)"
+        ),
+    )
+
+
+def main(config: ExperimentConfig | None = None) -> ValidationResult:
+    """Run and report."""
+    result = run(config)
+    report(result)
+    return result

@@ -1,0 +1,114 @@
+"""Optimality gaps of the heuristics (extension experiment).
+
+The paper can compare heuristics against OPT only up to 12 requests.
+Using the assignment-relaxation lower bound
+(:mod:`repro.analysis.bounds`) we can bound every heuristic's distance
+from optimal at any batch size: the gap to the bound is an upper bound
+on the gap to OPT.
+
+Caveat worth stating: the bound itself loosens as batches grow (it
+ignores the path structure entirely), so large-N gaps overstate the
+true distance from optimal; the *ordering* of algorithms at equal N is
+the robust signal.  At small N, where OPT is available, the table
+shows both (and the OPT row bounds how loose the bound is).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bounds import schedule_lower_bound
+from repro.experiments.config import ExperimentConfig, OPT_MAX_LENGTH
+from repro.experiments.report import print_table
+from repro.experiments.stats import RunningStats
+from repro.geometry.generator import generate_tape
+from repro.model.locate import LocateTimeModel
+from repro.scheduling.base import get_scheduler
+from repro.workload.random_uniform import UniformWorkload
+
+#: Heuristics ranked in the table.
+DEFAULT_ALGORITHMS: tuple[str, ...] = (
+    "OPT", "LOSS", "LOSS+oropt", "SLTF", "SCAN", "WEAVE", "SORT", "FIFO",
+)
+
+#: Batch sizes: spanning OPT's range and far beyond it.
+DEFAULT_LENGTHS: tuple[int, ...] = (8, 12, 48, 96, 192)
+
+
+@dataclass(frozen=True)
+class OptimalityResult:
+    """Mean percent gap above the lower bound per (algorithm, N)."""
+
+    algorithms: tuple[str, ...]
+    lengths: tuple[int, ...]
+    gaps: dict[tuple[str, int], RunningStats]
+
+    def rows(self) -> list[list]:
+        """Rows: N, then mean gap % per algorithm ('-' if not run)."""
+        rows = []
+        for length in self.lengths:
+            row: list = [length]
+            for algorithm in self.algorithms:
+                stats = self.gaps.get((algorithm, length))
+                row.append(
+                    None if stats is None or stats.count == 0
+                    else stats.mean
+                )
+            rows.append(row)
+        return rows
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    lengths: tuple[int, ...] = DEFAULT_LENGTHS,
+    trials: int = 6,
+) -> OptimalityResult:
+    """Measure per-algorithm gaps above the lower bound."""
+    config = config or ExperimentConfig()
+    tape = generate_tape(seed=config.tape_seed)
+    model = LocateTimeModel(tape)
+    workload = UniformWorkload(
+        total_segments=tape.total_segments, seed=config.workload_seed
+    )
+    schedulers = {name: get_scheduler(name) for name in algorithms}
+
+    gaps: dict[tuple[str, int], RunningStats] = {}
+    for length in lengths:
+        for _ in range(trials):
+            origin, batch = workload.sample_batch_with_origin(
+                length, origin_at_start=False
+            )
+            bound = schedule_lower_bound(model, origin, batch)
+            for name in algorithms:
+                if name.startswith("OPT") and length > OPT_MAX_LENGTH:
+                    continue
+                schedule = schedulers[name].schedule(
+                    model, origin, batch
+                )
+                gaps.setdefault((name, length), RunningStats()).add(
+                    100.0 * (schedule.estimated_seconds / bound - 1.0)
+                )
+    return OptimalityResult(
+        algorithms=algorithms, lengths=lengths, gaps=gaps
+    )
+
+
+def report(result: OptimalityResult) -> None:
+    """Print the gap table."""
+    print_table(
+        ["N", *result.algorithms],
+        result.rows(),
+        precision=1,
+        title=(
+            "Optimality gaps: % above the assignment-relaxation lower "
+            "bound (upper-bounds the distance from OPT)"
+        ),
+    )
+
+
+def main(config: ExperimentConfig | None = None) -> OptimalityResult:
+    """Run and report."""
+    result = run(config)
+    report(result)
+    return result

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment driver prints the same rows/series the paper's figure
+or table reports, in aligned monospace tables, so a run's output can be
+eyeballed against the published plots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_cell(value, width: int = 0, precision: int = 2) -> str:
+    """Render one table cell."""
+    if value is None:
+        text = "-"
+    elif isinstance(value, float):
+        text = f"{value:.{precision}f}"
+    else:
+        text = str(value)
+    return text.rjust(width) if width else text
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    cells = [
+        [format_cell(value, precision=precision) for value in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(text.rjust(w) for text, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    precision: int = 2,
+    title: str | None = None,
+) -> None:
+    """Print an aligned text table."""
+    print(format_table(headers, rows, precision=precision, title=title))
+    print()

@@ -1,0 +1,144 @@
+"""The model-driven simulation loop of Figure 3.
+
+For each schedule length ``N`` on the grid, the runner draws ``1 + N``
+distinct uniform segments with ``lrand48`` (the first being the initial
+head position, or 0 for the beginning-of-tape scenario), schedules the
+batch with every algorithm under test, estimates each schedule's
+execution time with the locate-time model, and accumulates mean and
+standard deviation of the total time and the time per locate — exactly
+the paper's experiment, with configurable trial counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.constants import SEGMENT_TRANSFER_SECONDS
+from repro.experiments.config import ExperimentConfig, OPT_MAX_LENGTH
+from repro.experiments.stats import RunningStats
+from repro.geometry.generator import generate_tape
+from repro.model.locate import LocateTimeModel
+from repro.scheduling.base import get_scheduler
+from repro.workload.random_uniform import UniformWorkload
+
+#: Algorithms plotted in Figures 4 and 5.
+DEFAULT_ALGORITHMS: tuple[str, ...] = (
+    "FIFO", "SORT", "SLTF", "SCAN", "WEAVE", "LOSS", "OPT", "READ",
+)
+
+
+@dataclass
+class SeriesPoint:
+    """Accumulated results for one (algorithm, schedule length) cell."""
+
+    algorithm: str
+    length: int
+    total: RunningStats = field(default_factory=RunningStats)
+    cpu: RunningStats = field(default_factory=RunningStats)
+
+    @property
+    def per_locate_mean(self) -> float:
+        """Mean execution seconds per request — the Figures 4/5 metric."""
+        return self.total.mean / self.length
+
+    @property
+    def per_locate_std(self) -> float:
+        """Standard deviation of the per-request time."""
+        return self.total.std / self.length
+
+    @property
+    def locate_only_mean(self) -> float:
+        """Mean positioning-only seconds (transfers removed)."""
+        return max(
+            0.0, self.total.mean - self.length * SEGMENT_TRANSFER_SECONDS
+        )
+
+
+@dataclass
+class PerLocateResult:
+    """Output of :func:`run_per_locate`: the Figure 4/5 data."""
+
+    origin_at_start: bool
+    algorithms: tuple[str, ...]
+    lengths: tuple[int, ...]
+    points: dict[tuple[str, int], SeriesPoint]
+
+    def point(self, algorithm: str, length: int) -> SeriesPoint:
+        """One cell of the figure."""
+        return self.points[(algorithm, length)]
+
+    def rows(self) -> list[list]:
+        """Figure-style rows: length column then one column per
+        algorithm (mean seconds per locate; '-' where not run)."""
+        rows = []
+        for length in self.lengths:
+            row: list = [length]
+            for algorithm in self.algorithms:
+                cell = self.points.get((algorithm, length))
+                row.append(
+                    None if cell is None or cell.total.count == 0
+                    else cell.per_locate_mean
+                )
+            rows.append(row)
+        return rows
+
+
+def run_per_locate(
+    config: ExperimentConfig,
+    origin_at_start: bool,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    measure_cpu: bool = False,
+) -> PerLocateResult:
+    """Run the Figure 4 (random start) / Figure 5 (BOT start) sweep.
+
+    Parameters
+    ----------
+    config:
+        Grid, seeds, and trial scale.
+    origin_at_start:
+        False for Figure 4 (random initial position), True for
+        Figure 5 (head at beginning of tape, the fresh-mount scenario).
+    algorithms:
+        Registered scheduler names.  OPT is automatically restricted to
+        the paper's range (N <= 12).
+    measure_cpu:
+        Also record scheduling CPU time per call (the Figure 6 data).
+    """
+    tape = generate_tape(seed=config.tape_seed)
+    model = LocateTimeModel(tape)
+    schedulers = {name: get_scheduler(name) for name in algorithms}
+    workload = UniformWorkload(
+        total_segments=tape.total_segments, seed=config.workload_seed
+    )
+
+    points: dict[tuple[str, int], SeriesPoint] = {}
+    for length in config.effective_lengths:
+        trials = config.trials(length)
+        opt_budget = min(trials, config.opt_trials(length))
+        for name in algorithms:
+            points[(name, length)] = SeriesPoint(name, length)
+        for trial in range(trials):
+            origin, batch = workload.sample_batch_with_origin(
+                length, origin_at_start
+            )
+            for name in algorithms:
+                if name.startswith("OPT") and (
+                    length > OPT_MAX_LENGTH or trial >= opt_budget
+                ):
+                    continue
+                started = time.perf_counter() if measure_cpu else 0.0
+                schedule = schedulers[name].schedule(model, origin, batch)
+                if measure_cpu:
+                    points[(name, length)].cpu.add(
+                        time.perf_counter() - started
+                    )
+                points[(name, length)].total.add(
+                    schedule.estimated_seconds
+                )
+    return PerLocateResult(
+        origin_at_start=origin_at_start,
+        algorithms=tuple(algorithms),
+        lengths=config.effective_lengths,
+        points=points,
+    )

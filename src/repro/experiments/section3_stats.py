@@ -1,0 +1,103 @@
+"""Section 3 measurement table — the locate-time aggregates.
+
+The paper's drive characterization reports: maximum locate ~180 s,
+expected locate from the beginning of tape to a random segment 96.5 s,
+expected locate between two random segments 72.4 s, and ~300
+destinations per source with an abrupt ~25 s drop.  This driver
+recomputes all of them from the model by Monte Carlo and prints them
+next to the published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    PAPER_MAX_LOCATE_SECONDS,
+    PAPER_MEAN_LOCATE_FROM_BOT_SECONDS,
+    PAPER_MEAN_LOCATE_RANDOM_SECONDS,
+)
+from repro.experiments.report import print_table
+from repro.geometry.generator import generate_tape
+from repro.model.locate import LocateTimeModel
+
+
+@dataclass(frozen=True)
+class Section3Result:
+    """Model aggregates vs the published measurements."""
+
+    mean_from_bot: float
+    mean_random: float
+    max_locate: float
+    big_drop_destinations: float
+
+    def rows(self) -> list[list]:
+        """Side-by-side rows (ours vs paper)."""
+        return [
+            ["mean locate BOT -> random (s)",
+             self.mean_from_bot, PAPER_MEAN_LOCATE_FROM_BOT_SECONDS],
+            ["mean locate random -> random (s)",
+             self.mean_random, PAPER_MEAN_LOCATE_RANDOM_SECONDS],
+            ["max locate (s)",
+             self.max_locate, PAPER_MAX_LOCATE_SECONDS],
+            ["~25 s drop destinations per source",
+             self.big_drop_destinations, 300.0],
+        ]
+
+
+def run(tape_seed: int = 1, samples: int = 200_000, seed: int = 0):
+    """Monte-Carlo the Section 3 aggregates."""
+    tape = generate_tape(seed=tape_seed)
+    model = LocateTimeModel(tape)
+    rng = np.random.default_rng(seed)
+
+    destinations = rng.integers(0, tape.total_segments, samples)
+    from_bot = model.locate_times(0, destinations)
+
+    sources = rng.integers(0, tape.total_segments, samples)
+    pair_destinations = rng.integers(0, tape.total_segments, samples)
+    random_random = model.times(sources, pair_destinations)
+
+    # Max locate: exhaustive over destinations for a worst-case source
+    # (the far end of a forward track) plus the sampled pairs.
+    worst_source_candidates = rng.integers(0, tape.total_segments, 64)
+    max_locate = float(random_random.max())
+    for source in worst_source_candidates.tolist():
+        curve = model.locate_times(
+            int(source), np.arange(tape.total_segments)
+        )
+        max_locate = max(max_locate, float(curve.max()))
+
+    # Count big (~25 s) abrupt drops for a handful of sources.
+    drop_counts = []
+    for source in rng.integers(0, tape.total_segments, 8).tolist():
+        curve = model.locate_times(
+            int(source), np.arange(tape.total_segments)
+        )
+        drops = -np.diff(curve)
+        drop_counts.append(int(((drops > 20.0) & (drops < 32.0)).sum()))
+
+    return Section3Result(
+        mean_from_bot=float(from_bot.mean()),
+        mean_random=float(random_random.mean()),
+        max_locate=max_locate,
+        big_drop_destinations=float(np.mean(drop_counts)),
+    )
+
+
+def report(result: Section3Result) -> None:
+    """Print the side-by-side table."""
+    print_table(
+        ["aggregate", "model", "paper"],
+        result.rows(),
+        title="Section 3: locate-time aggregates, model vs published",
+    )
+
+
+def main(tape_seed: int = 1) -> Section3Result:
+    """Run and report."""
+    result = run(tape_seed=tape_seed)
+    report(result)
+    return result

@@ -1,0 +1,66 @@
+"""Streaming statistics for Monte-Carlo experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunningStats:
+    """Welford's online mean/variance accumulator.
+
+    Numerically stable across the millions of samples the paper-scale
+    runs produce; supports merging partial accumulators.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+
+    def add(self, value: float) -> None:
+        """Fold one sample in."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    def extend(self, values) -> None:
+        """Fold many samples in."""
+        for value in values:
+            self.add(float(value))
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n - 1 denominator)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (Chan et al. parallel update)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        return self

@@ -1,0 +1,110 @@
+"""Shared machinery for the validation experiments (Figures 8 and 9).
+
+Both figures compare *estimated* schedule execution time (computed from
+a locate-time model) against *measured* execution (on the ground-truth
+drive standing in for the physical DLT4000), for LOSS schedules of
+increasing size, a few trials per size.  They differ only in which
+model the scheduler/estimator is given:
+
+* Figure 8 — the cartridge's own calibrated model (errors stay under a
+  few percent, growing with schedule density);
+* Figure 9 — the *wrong cartridge's* model (tape B's key points on
+  tape A), which the paper calls "disastrous" (~20 % typical error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.drive.physical import ground_truth_drive
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.stats import RunningStats
+from repro.geometry.tape import TapeGeometry
+from repro.scheduling.executor import execute_schedule
+from repro.scheduling.loss import LossScheduler
+from repro.workload.random_uniform import UniformWorkload
+
+#: Schedule sizes used for the validation runs (Figure 8's x axis).
+VALIDATION_LENGTHS: tuple[int, ...] = (
+    8, 16, 32, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048,
+)
+
+#: Trials per size (the paper uses 4).
+VALIDATION_TRIALS = 4
+
+
+@dataclass
+class ValidationPoint:
+    """Estimate-vs-measurement errors at one schedule size."""
+
+    length: int
+    percent_error: RunningStats
+
+    @property
+    def mean(self) -> float:
+        """Mean percent error, (estimate - measurement) / measurement."""
+        return self.percent_error.mean
+
+
+@dataclass
+class ValidationResult:
+    """Per-size percent errors."""
+
+    label: str
+    points: list[ValidationPoint]
+
+    def rows(self) -> list[list]:
+        """Table rows: N, mean %, std %."""
+        return [
+            [p.length, p.mean, p.percent_error.std]
+            for p in self.points
+        ]
+
+
+def run_validation(
+    schedule_model,
+    true_geometry: TapeGeometry,
+    config: ExperimentConfig | None = None,
+    lengths: tuple[int, ...] = VALIDATION_LENGTHS,
+    trials: int = VALIDATION_TRIALS,
+    label: str = "validation",
+    drive_seed: int = 0,
+) -> ValidationResult:
+    """Estimate-vs-measurement comparison for LOSS schedules.
+
+    Parameters
+    ----------
+    schedule_model:
+        The model given to the scheduler *and* the estimator (the
+        paper's "estimated" side).  For Figure 8 this is the true
+        cartridge's model; for Figure 9 it is the wrong cartridge's.
+    true_geometry:
+        The cartridge actually in the drive; measurements run on its
+        ground-truth drive.
+    """
+    config = config or ExperimentConfig()
+    scheduler = LossScheduler()
+    workload = UniformWorkload(
+        total_segments=true_geometry.total_segments,
+        seed=config.workload_seed,
+    )
+    lengths = tuple(
+        n for n in lengths
+        if config.max_length is None or n <= config.max_length
+    )
+    points = []
+    for length in lengths:
+        stats = RunningStats()
+        for _ in range(trials):
+            origin, batch = workload.sample_batch_with_origin(
+                length, origin_at_start=False
+            )
+            schedule = scheduler.schedule(schedule_model, origin, batch)
+            estimate = schedule.estimated_seconds
+            drive = ground_truth_drive(
+                true_geometry, seed=drive_seed, initial_position=origin
+            )
+            measured = execute_schedule(drive, schedule).total_seconds
+            stats.add(100.0 * (estimate - measured) / measured)
+        points.append(ValidationPoint(length=length, percent_error=stats))
+    return ValidationResult(label=label, points=points)

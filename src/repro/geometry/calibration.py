@@ -1,0 +1,261 @@
+"""Key-point calibration: recovering a tape's geometry from locate times.
+
+The locate-time model is parameterized by the *key points* of an
+individual cartridge (each track's first segment and its 13 dips).  The
+paper notes that "algorithms to determine the precise segment numbers of
+the key points are given in [HS96]; in essence, each dip is found by
+measuring locate times from the preceding dip", and Figure 1 shows the
+raw material: the locate-time curve from a fixed source exhibits an
+abrupt drop of ~5 s (forward tracks) or ~25 s (reverse tracks) exactly
+one segment past each peak.
+
+This module reproduces that procedure against any locate-time oracle
+(the ground-truth drive, or a model): sweep the locate curve from a fixed
+anchor, detect the abrupt drops, and read off the key points.  Because a
+fixed anchor cannot see the boundaries inside its own read-ahead window
+(the model's case 1 is smooth there), a second anchor at the far end of
+the tape covers the blind spot.
+
+One boundary per track is *not directly observable*: destinations in a
+track's first two ordinal sections both scan to the beginning of the
+track (the model's cases 4 and 7), so the locate curve is smooth across
+their shared boundary.  The calibrator interpolates it (midpoint split)
+and flags it.  The interpolated boundary still serves as the scan
+target for destinations in ordinal section 2, so its error perturbs
+those locates by (error x track density x scan/read rates) — a fraction
+of a second on a full-size cartridge.  Every *observable* key point is
+recovered exactly from a noiseless oracle (asserted by tests); a noisy
+oracle yields approximate key points, which feeds the sensitivity
+experiments of Section 7.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SECTIONS_PER_TRACK
+from repro.exceptions import GeometryError
+from repro.geometry.tape import TAPE_PHYS_LENGTH, TapeGeometry
+from repro.geometry.track import TrackLayout
+
+#: Signature of a locate-time oracle: ``oracle(source, destinations)``
+#: returns the locate time(s) in seconds.  ``destinations`` may be an
+#: integer array; the result has matching shape.
+LocateOracle = Callable[[int, np.ndarray], np.ndarray]
+
+#: Default drop threshold, safely between probe noise and the smallest
+#: genuine discontinuity (~5 s on forward tracks).
+DEFAULT_DROP_THRESHOLD = 2.5
+
+
+class CalibrationError(GeometryError):
+    """Key-point recovery failed (wrong count of detected drops)."""
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a key-point calibration run.
+
+    Attributes
+    ----------
+    key_points:
+        ``(tracks, 14)`` array of absolute segment numbers, row ``t``
+        holding track ``t``'s key points in segment order.
+    probes:
+        Number of locate-time measurements performed.
+    interpolated_column:
+        Column of ``key_points`` (always 1) whose boundaries are not
+        observable from locate times and were interpolated.
+    """
+
+    key_points: np.ndarray
+    probes: int
+    interpolated_column: int = 1
+
+    def max_error(self, reference: np.ndarray) -> int:
+        """Largest absolute deviation from reference key points."""
+        return int(np.abs(self.key_points - reference).max())
+
+    def max_observable_error(self, reference: np.ndarray) -> int:
+        """Largest deviation over the *observable* key points."""
+        mask = np.ones(self.key_points.shape[1], dtype=bool)
+        mask[self.interpolated_column] = False
+        return int(
+            np.abs(self.key_points[:, mask] - reference[:, mask]).max()
+        )
+
+
+def sweep_locate_curve(
+    oracle: LocateOracle, anchor: int, total_segments: int
+) -> np.ndarray:
+    """Measure ``locate_time(anchor, y)`` for every segment ``y``."""
+    destinations = np.arange(total_segments, dtype=np.int64)
+    return np.asarray(oracle(anchor, destinations), dtype=np.float64)
+
+
+def detect_drops(
+    curve: np.ndarray, threshold: float = DEFAULT_DROP_THRESHOLD
+) -> np.ndarray:
+    """Destinations where the locate curve drops abruptly.
+
+    Returns the segment numbers ``y`` with
+    ``curve[y] < curve[y - 1] - threshold`` — the paper's dips, each
+    "exactly one segment beyond a peak".
+    """
+    drops = np.flatnonzero(np.diff(curve) < -threshold) + 1
+    return drops.astype(np.int64)
+
+
+def calibrate_key_points(
+    oracle: LocateOracle,
+    total_segments: int,
+    num_tracks: int,
+    threshold: float = DEFAULT_DROP_THRESHOLD,
+) -> CalibrationResult:
+    """Recover every key point of a tape from locate-time measurements.
+
+    Parameters
+    ----------
+    oracle:
+        Locate-time oracle for the cartridge being characterized.
+    total_segments, num_tracks:
+        Size of the cartridge (known from writing it).
+    threshold:
+        Minimum abrupt drop treated as a key-point signature.
+
+    Raises
+    ------
+    CalibrationError
+        If the number of detected drops is inconsistent with
+        ``num_tracks`` tracks of 14 sections (e.g. because oracle noise
+        exceeded the threshold).
+    """
+    front_anchor = 0
+    back_anchor = total_segments - 1
+    front_curve = sweep_locate_curve(oracle, front_anchor, total_segments)
+    back_curve = sweep_locate_curve(oracle, back_anchor, total_segments)
+    probes = 2 * total_segments
+
+    detected = set(detect_drops(front_curve, threshold).tolist())
+    detected.update(detect_drops(back_curve, threshold).tolist())
+    # The anchors themselves produce a trivial zero-time "drop".
+    detected.discard(front_anchor)
+    detected.discard(back_anchor)
+    # Segment 0 is the first key point by definition.
+    detected.add(0)
+
+    key_points = assemble_key_points(detected, total_segments, num_tracks)
+    return CalibrationResult(key_points=key_points, probes=probes)
+
+
+def assemble_key_points(
+    detected: set[int], total_segments: int, num_tracks: int
+) -> np.ndarray:
+    """Turn a set of detected drop positions into the key-point table.
+
+    Validates the count (13 observable key points per track: the track
+    start and 12 dips — the boundary between the first two ordinal
+    sections is smooth because both scan to the beginning of the
+    track), then interpolates that unobservable boundary per track.
+    """
+    observable_per_track = SECTIONS_PER_TRACK - 1
+    expected = num_tracks * observable_per_track
+    observed = np.array(sorted(detected), dtype=np.int64)
+    if observed.size != expected:
+        raise CalibrationError(
+            f"detected {observed.size} key points, expected {expected}; "
+            "oracle noise may exceed the drop threshold"
+        )
+    observed = observed.reshape(num_tracks, observable_per_track)
+    # Interpolate the unobservable boundary between each track's first
+    # two ordinal sections.  The serpentine format tells us the split:
+    # on forward tracks both are normal-length sections (even split);
+    # on reverse tracks ordinal section 0 is the short physical
+    # section 13, so the span splits short:normal.  Both lengths are
+    # estimated from the observable sections of the sweep itself.
+    interior = np.diff(observed[:, 1:], axis=1)
+    normal_size = float(np.median(interior))
+    forward_rows = np.arange(num_tracks) % 2 == 0
+    track_ends = np.concatenate(
+        (observed[1:, 0], [total_segments])
+    )
+    last_ordinal_sizes = track_ends - observed[:, -1]
+    # Forward tracks end in the short physical section 13.
+    short_size = float(np.median(last_ordinal_sizes[forward_rows]))
+
+    span = observed[:, 1] - observed[:, 0]
+    even_split = span // 2
+    short_ratio = short_size / max(1.0, short_size + normal_size)
+    short_split = np.rint(span * short_ratio).astype(np.int64)
+    first_dip = observed[:, 0] + np.where(
+        forward_rows, even_split, short_split
+    )
+    return np.concatenate(
+        (observed[:, :1], first_dip[:, None], observed[:, 1:]), axis=1
+    )
+
+
+def noisy_oracle(
+    oracle: LocateOracle, sigma: float, seed: int = 0
+) -> LocateOracle:
+    """Wrap an oracle with i.i.d. Gaussian measurement noise."""
+    rng = np.random.default_rng(seed)
+
+    def measure(source: int, destinations: np.ndarray) -> np.ndarray:
+        clean = np.asarray(oracle(source, destinations), dtype=np.float64)
+        return clean + rng.normal(0.0, sigma, size=clean.shape)
+
+    return measure
+
+
+def geometry_from_key_points(
+    key_points: np.ndarray,
+    total_segments: int,
+    label: str = "calibrated",
+) -> TapeGeometry:
+    """Reconstruct a :class:`TapeGeometry` from calibrated key points.
+
+    The key points determine every section's segment count exactly; the
+    physical boundary positions are reconstructed proportionally (the
+    same convention the synthetic generator uses), so a calibration of a
+    synthetic tape reproduces its geometry bit-for-bit.
+    """
+    key_points = np.asarray(key_points, dtype=np.int64)
+    if key_points.ndim != 2 or key_points.shape[1] != SECTIONS_PER_TRACK:
+        raise GeometryError(
+            f"key_points must have shape (tracks, {SECTIONS_PER_TRACK})"
+        )
+    num_tracks = key_points.shape[0]
+    layouts = []
+    for track in range(num_tracks):
+        row = key_points[track]
+        next_first = (
+            int(key_points[track + 1, 0])
+            if track + 1 < num_tracks
+            else total_segments
+        )
+        ordered_sizes = np.diff(np.concatenate((row, [next_first])))
+        if (ordered_sizes <= 0).any():
+            raise GeometryError(
+                f"track {track}: key points are not strictly increasing"
+            )
+        if track % 2 == 0:
+            section_sizes = ordered_sizes
+        else:
+            section_sizes = ordered_sizes[::-1]
+        boundaries = np.concatenate(
+            ([0.0], np.cumsum(section_sizes, dtype=np.float64))
+        )
+        boundaries *= TAPE_PHYS_LENGTH / boundaries[-1]
+        layouts.append(
+            TrackLayout(
+                track=track,
+                first_segment=int(row[0]),
+                section_sizes=section_sizes.astype(np.int64),
+                phys_boundaries=boundaries,
+            )
+        )
+    return TapeGeometry(layouts, label=label)

@@ -1,0 +1,93 @@
+"""Coordinate types for serpentine tape.
+
+The paper defines a physical coordinate system ``(track, section, segment)``
+analogous to a disk's ``(cylinder, track, sector)``:
+
+* *section 0* within a track and *segment 0* within a section are the ones
+  physically closest to the beginning of the tape (BOT);
+* even-numbered tracks are **forward** tracks (tape motion from BOT toward
+  the end), odd-numbered tracks are **reverse** tracks;
+* in a reverse track, the absolute segment number therefore *decreases*
+  with physical position: the first segment written on a reverse track
+  ``t'`` is ``(t', 13, k)`` at the physical far end of the tape.
+
+Two distinct "section indexes" appear throughout the code base:
+
+``section``
+    the physical section number, 0 closest to BOT (as in the paper);
+
+``ordinal section`` (``soi`` in code)
+    the section's position in *segment order* within its track: 0 for the
+    section containing the track's first-written segment.  For forward
+    tracks ``soi == section``; for reverse tracks ``soi == 13 - section``.
+    The locate-time model's "key point two before the destination" is
+    naturally expressed in ordinal terms.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.constants import SECTIONS_PER_TRACK
+
+
+class TrackDirection(enum.IntEnum):
+    """Physical direction of tape motion while reading a track forward.
+
+    The integer values are chosen so the enum doubles as the sign of
+    ``d(physical position)/d(segment number)`` within the track.
+    """
+
+    FORWARD = 1
+    REVERSE = -1
+
+    @classmethod
+    def of_track(cls, track: int) -> "TrackDirection":
+        """Direction of track ``track`` (even tracks are forward)."""
+        return cls.FORWARD if track % 2 == 0 else cls.REVERSE
+
+
+def ordinal_section(track: int, section: int) -> int:
+    """Segment-order index of physical ``section`` within ``track``."""
+    if TrackDirection.of_track(track) is TrackDirection.FORWARD:
+        return section
+    return SECTIONS_PER_TRACK - 1 - section
+
+
+def physical_section(track: int, soi: int) -> int:
+    """Inverse of :func:`ordinal_section`."""
+    return ordinal_section(track, soi)
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentCoordinate:
+    """Physical coordinate of a segment: ``(track, section, offset)``.
+
+    ``offset`` counts segments from the physical start of the section
+    (the end closest to BOT), matching the paper's convention that
+    "segment 0 within a section" is the one closest to the beginning of
+    the tape.
+    """
+
+    track: int
+    section: int
+    offset: int
+
+    @property
+    def direction(self) -> TrackDirection:
+        """Direction of the coordinate's track."""
+        return TrackDirection.of_track(self.track)
+
+    @property
+    def ordinal_section(self) -> int:
+        """Segment-order section index of this coordinate."""
+        return ordinal_section(self.track, self.section)
+
+    def is_codirectional(self, other: "SegmentCoordinate") -> bool:
+        """True if both coordinates lie in tracks of the same direction."""
+        return self.direction is other.direction
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """Return ``(track, section, offset)``."""
+        return (self.track, self.section, self.offset)

@@ -1,0 +1,214 @@
+"""Seeded generation of synthetic tape geometries.
+
+The paper characterizes individual physical tapes: tracks have differing
+lengths (bad-spot losses), section boundaries sit at slightly different
+physical positions from track to track, sections hold roughly 704
+segments except the short section 13 (~600).  Two different cartridges
+("tape A" and "tape B" in Sections 6–7) have *different* key points, and
+using the wrong tape's key points wrecks the schedule estimates.
+
+This module generates tapes with exactly that structure from a seed:
+per-section segment counts are drawn with configurable jitter and then
+normalized to a requested total, so two seeds give cartridges whose key
+points drift apart by hundreds of segments — the property that drives the
+paper's Figure 9 experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_TOTAL_SEGMENTS,
+    NOMINAL_LAST_SECTION_SEGMENTS,
+    NOMINAL_SECTION_SEGMENTS,
+    SECTIONS_PER_TRACK,
+    TRACKS,
+)
+from repro.exceptions import GeometryError
+from repro.geometry.tape import TAPE_PHYS_LENGTH, TapeGeometry
+from repro.geometry.track import TrackLayout
+
+#: Default standard deviation of section sizes (segments).
+DEFAULT_SECTION_SIGMA = 8.0
+
+#: Default standard deviation of the short last section (segments).
+DEFAULT_LAST_SECTION_SIGMA = 20.0
+
+
+def generate_tape(
+    seed: int = 0,
+    total_segments: int = DEFAULT_TOTAL_SEGMENTS,
+    tracks: int = TRACKS,
+    label: str | None = None,
+    section_sigma: float = DEFAULT_SECTION_SIGMA,
+    last_section_sigma: float = DEFAULT_LAST_SECTION_SIGMA,
+    nominal_section: int | None = None,
+    nominal_last_section: int | None = None,
+) -> TapeGeometry:
+    """Generate a synthetic serpentine tape.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the geometry jitter.  The same seed always produces the
+        identical cartridge.
+    total_segments:
+        Exact number of segments on the tape (the per-section draws are
+        adjusted to hit this total, mirroring how a fixed-size file set
+        fills a real cartridge).
+    tracks:
+        Number of tracks; must be even so the serpentine pattern ends at
+        the physical beginning of the tape.
+    section_sigma, last_section_sigma:
+        Jitter of the per-section segment counts.  Larger values make two
+        cartridges' key points diverge faster.
+    nominal_section, nominal_last_section:
+        Override the nominal section sizes (used to build miniature tapes
+        for fast tests).
+
+    Returns
+    -------
+    TapeGeometry
+    """
+    if tracks < 2 or tracks % 2:
+        raise GeometryError("tracks must be an even number >= 2")
+    if nominal_section is None or nominal_last_section is None:
+        scale = total_segments / (
+            tracks
+            * (
+                (SECTIONS_PER_TRACK - 1) * NOMINAL_SECTION_SEGMENTS
+                + NOMINAL_LAST_SECTION_SEGMENTS
+            )
+        )
+        nominal_section = nominal_section or max(
+            2, round(NOMINAL_SECTION_SEGMENTS * scale)
+        )
+        nominal_last_section = nominal_last_section or max(
+            2, round(NOMINAL_LAST_SECTION_SEGMENTS * scale)
+        )
+
+    rng = np.random.default_rng(seed)
+    sizes = np.rint(
+        rng.normal(
+            loc=nominal_section,
+            scale=section_sigma,
+            size=(tracks, SECTIONS_PER_TRACK),
+        )
+    ).astype(np.int64)
+    sizes[:, -1] = np.rint(
+        rng.normal(
+            loc=nominal_last_section, scale=last_section_sigma, size=tracks
+        )
+    ).astype(np.int64)
+    floor = max(2, nominal_last_section // 4)
+    np.clip(sizes, floor, None, out=sizes)
+
+    _normalize_total(sizes, total_segments, floor, rng)
+
+    layouts = []
+    first_segment = 0
+    for track in range(tracks):
+        track_sizes = sizes[track]
+        boundaries = np.concatenate(
+            ([0.0], np.cumsum(track_sizes, dtype=np.float64))
+        )
+        boundaries *= TAPE_PHYS_LENGTH / boundaries[-1]
+        layouts.append(
+            TrackLayout(
+                track=track,
+                first_segment=first_segment,
+                section_sizes=track_sizes.copy(),
+                phys_boundaries=boundaries,
+            )
+        )
+        first_segment += int(track_sizes.sum())
+
+    return TapeGeometry(layouts, label=label or f"synthetic-{seed}")
+
+
+def _normalize_total(
+    sizes: np.ndarray, total: int, floor: int, rng: np.random.Generator
+) -> None:
+    """Adjust ``sizes`` in place so they sum to exactly ``total``."""
+    cells = sizes.size
+    diff = total - int(sizes.sum())
+    base, remainder = divmod(abs(diff), cells)
+    if diff == 0:
+        return
+    sign = 1 if diff > 0 else -1
+    sizes += sign * base
+    if remainder:
+        flat = sizes.reshape(-1)
+        chosen = rng.choice(cells, size=remainder, replace=False)
+        flat[chosen] += sign
+    if (sizes < max(2, floor // 2)).any():
+        raise GeometryError(
+            "requested total_segments too small for this tape shape"
+        )
+
+
+def tiny_tape(
+    seed: int = 0,
+    tracks: int = 4,
+    section_segments: int = 12,
+    last_section_segments: int = 8,
+    label: str | None = None,
+) -> TapeGeometry:
+    """A miniature tape for fast tests (hundreds of segments, not 622k).
+
+    Shares the full tape's serpentine structure — forward/reverse tracks,
+    14 sections, short last section, jittered sizes — so every code path
+    exercised on a real-size tape is also exercised here.
+    """
+    total = tracks * (
+        (SECTIONS_PER_TRACK - 1) * section_segments + last_section_segments
+    )
+    return generate_tape(
+        seed=seed,
+        total_segments=total,
+        tracks=tracks,
+        label=label or f"tiny-{seed}",
+        section_sigma=1.0,
+        last_section_sigma=1.0,
+        nominal_section=section_segments,
+        nominal_last_section=last_section_segments,
+    )
+
+
+#: Jitter used for cartridge *pairs*: large enough that two tapes' key
+#: points diverge by up to a few thousand segments (several sections at
+#: the far end), which is what makes using the wrong tape's key points
+#: "disastrous" (~20 % estimate error) in the paper's Figure 9.
+PAIR_SECTION_SIGMA = 60.0
+PAIR_LAST_SECTION_SIGMA = 120.0
+
+
+def make_tape_pair(
+    seed: int = 0,
+    section_sigma: float = PAIR_SECTION_SIGMA,
+    last_section_sigma: float = PAIR_LAST_SECTION_SIGMA,
+    **kwargs,
+) -> tuple[TapeGeometry, TapeGeometry]:
+    """Two cartridges with independent geometry jitter ("tape A"/"tape B").
+
+    Used by the Figure 9 experiment: schedules built with tape B's key
+    points and executed on tape A.  The default jitter is larger than
+    :func:`generate_tape`'s so the pair diverges the way two physical
+    cartridges with different bad-spot maps do.
+    """
+    tape_a = generate_tape(
+        seed=seed * 2 + 1,
+        label=f"tape-A-{seed}",
+        section_sigma=section_sigma,
+        last_section_sigma=last_section_sigma,
+        **kwargs,
+    )
+    tape_b = generate_tape(
+        seed=seed * 2 + 2,
+        label=f"tape-B-{seed}",
+        section_sigma=section_sigma,
+        last_section_sigma=last_section_sigma,
+        **kwargs,
+    )
+    return tape_a, tape_b

@@ -1,0 +1,48 @@
+"""Per-section layout record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SectionLayout:
+    """Layout of one physical section within one track.
+
+    Attributes
+    ----------
+    track, section:
+        Physical coordinates of the section.
+    size:
+        Number of 32 KB segments recorded in the section.
+    first_segment:
+        Absolute segment number of the *lowest-numbered* segment in the
+        section.  Because reverse tracks are written from the physical
+        far end, this is the segment at the physically-far edge of the
+        section for reverse tracks and at the near edge for forward
+        tracks.
+    phys_start, phys_length:
+        Physical extent of the section along the tape, in section units
+        (the tape spans ``[0, 14]``).  Boundaries differ slightly from
+        track to track, as the paper observes.
+    """
+
+    track: int
+    section: int
+    size: int
+    first_segment: int
+    phys_start: float
+    phys_length: float
+
+    @property
+    def last_segment(self) -> int:
+        """Absolute number of the highest-numbered segment in the section."""
+        return self.first_segment + self.size - 1
+
+    @property
+    def phys_end(self) -> float:
+        """Physical position of the far edge of the section."""
+        return self.phys_start + self.phys_length
+
+    def __contains__(self, segment: int) -> bool:
+        return self.first_segment <= segment <= self.last_segment

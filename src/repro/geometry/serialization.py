@@ -1,0 +1,87 @@
+"""Persisting tape geometries.
+
+Characterizing a cartridge costs a full locate-time sweep (Section 3 of
+the paper reports multi-hour measurement campaigns), so a production
+system stores each cartridge's key points alongside its label and
+reloads them at mount time.  The format is plain JSON: one object per
+cartridge with the section sizes and physical boundaries per track.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+from repro.geometry.tape import TapeGeometry
+from repro.geometry.track import TrackLayout
+
+#: Format identifier embedded in every file.
+FORMAT = "repro-tape-geometry"
+VERSION = 1
+
+
+def geometry_to_dict(geometry: TapeGeometry) -> dict:
+    """Serializable representation of a tape geometry."""
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "label": geometry.label,
+        "total_segments": geometry.total_segments,
+        "tracks": [
+            {
+                "track": layout.track,
+                "first_segment": layout.first_segment,
+                "section_sizes": layout.section_sizes.tolist(),
+                "phys_boundaries": layout.phys_boundaries.tolist(),
+            }
+            for layout in geometry.tracks
+        ],
+    }
+
+
+def geometry_from_dict(payload: dict) -> TapeGeometry:
+    """Inverse of :func:`geometry_to_dict`."""
+    if payload.get("format") != FORMAT:
+        raise GeometryError(
+            f"not a tape-geometry payload: format={payload.get('format')!r}"
+        )
+    if payload.get("version") != VERSION:
+        raise GeometryError(
+            f"unsupported geometry version {payload.get('version')!r}"
+        )
+    layouts = [
+        TrackLayout(
+            track=int(entry["track"]),
+            first_segment=int(entry["first_segment"]),
+            section_sizes=np.asarray(entry["section_sizes"],
+                                     dtype=np.int64),
+            phys_boundaries=np.asarray(entry["phys_boundaries"],
+                                       dtype=np.float64),
+        )
+        for entry in payload["tracks"]
+    ]
+    geometry = TapeGeometry(layouts, label=payload.get("label", "tape"))
+    if geometry.total_segments != int(payload["total_segments"]):
+        raise GeometryError(
+            "total_segments in payload disagrees with track layouts"
+        )
+    return geometry
+
+
+def save_geometry(geometry: TapeGeometry, path: str | Path) -> None:
+    """Write a geometry to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(geometry_to_dict(geometry), indent=1))
+
+
+def load_geometry(path: str | Path) -> TapeGeometry:
+    """Read a geometry from a JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise GeometryError(f"corrupt geometry file {path}: {error}")
+    return geometry_from_dict(payload)

@@ -1,0 +1,124 @@
+"""Per-track layout record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SECTIONS_PER_TRACK
+from repro.exceptions import GeometryError
+from repro.geometry.coordinates import TrackDirection
+from repro.geometry.section import SectionLayout
+
+
+@dataclass(frozen=True)
+class TrackLayout:
+    """Layout of one serpentine track.
+
+    Attributes
+    ----------
+    track:
+        Track number, 0..63.  Even tracks are forward, odd reverse.
+    first_segment:
+        Absolute segment number of the first segment *written* on the
+        track (the track's lowest segment number).
+    section_sizes:
+        ``int`` array of shape ``(14,)`` — segments per physical section.
+    phys_boundaries:
+        ``float`` array of shape ``(15,)`` — physical positions of the
+        section boundaries of this track, ``phys_boundaries[0] == 0.0``
+        and ``phys_boundaries[14] == 14.0`` (section units).
+    """
+
+    track: int
+    first_segment: int
+    section_sizes: np.ndarray
+    phys_boundaries: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.section_sizes.shape != (SECTIONS_PER_TRACK,):
+            raise GeometryError(
+                f"track {self.track}: expected {SECTIONS_PER_TRACK} section "
+                f"sizes, got shape {self.section_sizes.shape}"
+            )
+        if self.phys_boundaries.shape != (SECTIONS_PER_TRACK + 1,):
+            raise GeometryError(
+                f"track {self.track}: expected {SECTIONS_PER_TRACK + 1} "
+                f"physical boundaries"
+            )
+        if (self.section_sizes <= 0).any():
+            raise GeometryError(
+                f"track {self.track}: all sections must be non-empty"
+            )
+        if (np.diff(self.phys_boundaries) <= 0).any():
+            raise GeometryError(
+                f"track {self.track}: physical boundaries must increase"
+            )
+
+    @property
+    def direction(self) -> TrackDirection:
+        """Direction of this track."""
+        return TrackDirection.of_track(self.track)
+
+    @property
+    def size(self) -> int:
+        """Total segments on the track."""
+        return int(self.section_sizes.sum())
+
+    @property
+    def last_segment(self) -> int:
+        """Absolute number of the last segment written on the track."""
+        return self.first_segment + self.size - 1
+
+    def section_layout(self, section: int) -> SectionLayout:
+        """Full :class:`SectionLayout` for physical ``section``."""
+        sizes = self.section_sizes
+        if self.direction is TrackDirection.FORWARD:
+            first = self.first_segment + int(sizes[:section].sum())
+        else:
+            # Reverse track: segment numbers start at the far physical end,
+            # so the lowest segment number of physical section s follows
+            # all segments in physically-farther sections.
+            first = self.first_segment + int(sizes[section + 1:].sum())
+        return SectionLayout(
+            track=self.track,
+            section=section,
+            size=int(sizes[section]),
+            first_segment=first,
+            phys_start=float(self.phys_boundaries[section]),
+            phys_length=float(
+                self.phys_boundaries[section + 1]
+                - self.phys_boundaries[section]
+            ),
+        )
+
+    def key_point_segments(self) -> np.ndarray:
+        """Absolute segment numbers of the track's key points.
+
+        The key points, in *segment order*, are the track's first segment
+        followed by the 13 dips (the first segment of each subsequent
+        section in segment order).  Returns an ``int`` array of shape
+        ``(14,)``.
+        """
+        if self.direction is TrackDirection.FORWARD:
+            ordered_sizes = self.section_sizes
+        else:
+            ordered_sizes = self.section_sizes[::-1]
+        starts = np.concatenate(
+            ([0], np.cumsum(ordered_sizes[:-1]))
+        )
+        return self.first_segment + starts
+
+    def key_point_phys(self) -> np.ndarray:
+        """Physical positions of the key points, in segment order.
+
+        ``key_point_phys()[j]`` is the physical position of the ``j``-th
+        key point in segment order: for forward tracks these are the
+        boundaries ``0, b1, .., b13`` in increasing physical order; for
+        reverse tracks they run from the physical far end inward
+        (``14, b13, .., b1``).
+        """
+        if self.direction is TrackDirection.FORWARD:
+            return self.phys_boundaries[:-1].copy()
+        return self.phys_boundaries[:0:-1].copy()

@@ -1,0 +1,37 @@
+"""Locate-time modelling for the DLT4000.
+
+Public surface::
+
+    from repro.model import (
+        LocateTimeModel, LocateCase, classify,
+        rewind_time, max_rewind_time,
+        EvenOddPerturbation, ShortLocateDeviation,
+        schedule_distance_matrix, out_positions,
+    )
+"""
+
+from repro.model.cases import LocateCase, classify
+from repro.model.distance_matrix import (
+    out_positions,
+    schedule_distance_matrix,
+)
+from repro.model.locate import LocateTimeModel
+from repro.model.perturb import (
+    EvenOddPerturbation,
+    ModelWrapper,
+    ShortLocateDeviation,
+)
+from repro.model.rewind import max_rewind_time, rewind_time
+
+__all__ = [
+    "EvenOddPerturbation",
+    "LocateCase",
+    "LocateTimeModel",
+    "ModelWrapper",
+    "ShortLocateDeviation",
+    "classify",
+    "max_rewind_time",
+    "out_positions",
+    "rewind_time",
+    "schedule_distance_matrix",
+]

@@ -1,0 +1,91 @@
+"""Explicit classifier for the paper's seven locate-model cases.
+
+The production model (:mod:`repro.model.locate`) computes locate times
+from the scan-target geometry directly; the seven prose cases of the
+paper's Section 3 are descriptions of where that geometry lands.  This
+module implements the prose classification literally, which gives tests
+(and readers) an independent way to cross-check the model: for each case
+the scan direction and target predicted by the prose must match what the
+unified formula uses.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.geometry.tape import TapeGeometry
+
+
+class LocateCase(enum.Enum):
+    """The paper's Section 3 model cases."""
+
+    #: Same track, same section or one of the following two: read forward.
+    READ_THROUGH = 1
+    #: >2 sections forward same track / >1 section forward co-directional:
+    #: scan forward to the key point two before, read forward.
+    CO_SCAN_FORWARD = 2
+    #: Backwards (not to the first two sections) or forwards up to one
+    #: section, co-directional: scan backward to key point two before.
+    CO_SCAN_BACKWARD = 3
+    #: Backwards to the first or second section, co-directional: scan to
+    #: the beginning of the track, read forward.
+    CO_TRACK_START = 4
+    #: Anti-directional, >= 2 sections forward after switching: scan
+    #: forward to key point two before.
+    ANTI_SCAN_FORWARD = 5
+    #: Anti-directional, forwards 0-1 section or reversing (not to the
+    #: first two sections): scan backward to key point two before.
+    ANTI_SCAN_BACKWARD = 6
+    #: Anti-directional, reversing to the first or second section: scan
+    #: to the beginning of the track.
+    ANTI_TRACK_START = 7
+
+
+def classify(
+    geometry: TapeGeometry, source: int, destination: int
+) -> LocateCase:
+    """Classify a ``(source, destination)`` pair into the paper's cases.
+
+    The classification follows the prose of Section 3: "forward" is
+    always toward higher segment numbers relative to the *destination
+    track's* direction of travel, and distances are physical distances
+    measured in sections.
+    """
+    geometry.check_segment(source)
+    geometry.check_segment(destination)
+
+    src_track = int(geometry.track_of(source))
+    dst_track = int(geometry.track_of(destination))
+    src_phys = float(geometry.phys_of(source))
+    dst_phys = float(geometry.phys_of(destination))
+    src_soi = int(geometry.ordinal_section_of(source))
+    dst_soi = int(geometry.ordinal_section_of(destination))
+    dst_dir = int(geometry.direction_of(destination))
+    src_dir = int(geometry.direction_of(source))
+
+    same_track = src_track == dst_track
+    co_directional = src_dir == dst_dir
+
+    if same_track and destination >= source and dst_soi - src_soi <= 2:
+        return LocateCase.READ_THROUGH
+
+    # Sections the head would move *forward* (in the destination track's
+    # segment-order direction) after switching tracks at constant
+    # physical position.
+    forward_sections = (dst_phys - src_phys) * dst_dir
+
+    if co_directional:
+        if same_track and destination > source:
+            # dst_soi - src_soi > 2 here, by the case-1 test above.
+            return LocateCase.CO_SCAN_FORWARD
+        if not same_track and forward_sections > 1.0:
+            return LocateCase.CO_SCAN_FORWARD
+        if dst_soi <= 1:
+            return LocateCase.CO_TRACK_START
+        return LocateCase.CO_SCAN_BACKWARD
+
+    if forward_sections >= 2.0:
+        return LocateCase.ANTI_SCAN_FORWARD
+    if dst_soi <= 1:
+        return LocateCase.ANTI_TRACK_START
+    return LocateCase.ANTI_SCAN_BACKWARD

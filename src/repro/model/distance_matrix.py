@@ -1,0 +1,85 @@
+"""Asymmetric locate-time distance matrices for TSP-style schedulers.
+
+The OPT and LOSS algorithms view scheduling as an asymmetric traveling
+salesman path problem (Section 4 of the paper): each request ``x`` is a
+pair of cities ``x_in`` (head positioned to read ``x``) and ``x_out``
+(head just past ``x`` after reading it), a read edge joins them, and a
+locate edge of weight ``locate_time(x_i_out, x_j_in)`` joins every
+ordered pair of distinct requests.  Collapsing the read edges leaves the
+matrix built here: entry ``[i, j]`` is the locate time from the *end* of
+request ``i`` to the *start* of request ``j``, with an extra first row
+for the initial head position ``I``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.locate import LocateTimeModel
+
+#: Row-chunk size for matrix construction; bounds peak memory to a few
+#: ``chunk x n`` float arrays.
+DEFAULT_CHUNK_ROWS = 1024
+
+
+def out_positions(
+    in_segments: np.ndarray, lengths, total_segments: int
+) -> np.ndarray:
+    """Head position after reading each request.
+
+    Reading ``length`` segments starting at ``s`` parks the head at
+    ``s + length``; the position is clamped to the last segment for
+    requests that end at the physical end of data.
+    """
+    in_segments = np.asarray(in_segments, dtype=np.int64)
+    lengths = np.broadcast_to(
+        np.asarray(lengths, dtype=np.int64), in_segments.shape
+    )
+    return np.minimum(in_segments + lengths, total_segments - 1)
+
+
+def schedule_distance_matrix(
+    model: LocateTimeModel,
+    origin: int,
+    in_segments: np.ndarray,
+    lengths=1,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> np.ndarray:
+    """Build the ``(n + 1, n)`` locate-time matrix for a request batch.
+
+    Row 0 holds locate times from the initial position ``origin``; row
+    ``i + 1`` holds locate times from the out-position of request ``i``.
+    The self-edge ``[i + 1, i]`` is set to ``+inf`` (a request cannot
+    follow itself).
+
+    Parameters
+    ----------
+    model:
+        Locate-time model (or any wrapper with ``pairwise_times``).
+    origin:
+        Initial head position ``I`` (absolute segment number).
+    in_segments:
+        Requested segment numbers, one per request.
+    lengths:
+        Per-request read lengths in segments (scalar or array).
+    chunk_rows:
+        Number of source rows evaluated per vectorized call.
+    """
+    in_segments = np.asarray(in_segments, dtype=np.int64)
+    n = in_segments.size
+    total = model.geometry.total_segments
+    sources = np.concatenate(
+        (
+            np.asarray([origin], dtype=np.int64),
+            out_positions(in_segments, lengths, total),
+        )
+    )
+
+    matrix = np.empty((n + 1, n), dtype=np.float64)
+    for start in range(0, n + 1, chunk_rows):
+        stop = min(start + chunk_rows, n + 1)
+        matrix[start:stop] = model.pairwise_times(
+            sources[start:stop], in_segments
+        )
+    matrix[np.arange(1, n + 1), np.arange(n)] = np.inf
+    return matrix

@@ -1,0 +1,229 @@
+"""The DLT4000 locate-time model.
+
+This is a reconstruction of the model of Hillyer & Silberschatz [HS96],
+as described intuitively in Section 3 of the SIGMOD '96 paper.  The
+model has two transport speeds:
+
+* **read** — 15.5 seconds per section, used for I/O transfers and
+  short-distance motion;
+* **scan** — 10 seconds per section, used for rewind and long motions.
+
+and seven cases, all of which reduce to one of two behaviours:
+
+1. *Read-through* (the paper's case 1): the destination is in the same
+   track, at or ahead of the source, within the same section or the
+   following two — the drive simply keeps reading forward.  Time is the
+   physical distance at read speed.
+
+2. *Scan-and-read* (cases 2–7): the drive repositions, scans (forward or
+   backward) to the **key point two before the destination** in segment
+   order — which is the beginning of the track when the destination lies
+   in the first two ordinal sections (cases 4 and 7) — and then reads
+   forward to the destination.  Time is a fixed repositioning overhead,
+   plus the scan distance at scan speed, plus the read-in distance at
+   read speed, plus a reversal penalty when the scan direction opposes
+   the track's read direction.
+
+The case distinctions the paper spells out (same/co-directional/
+anti-directional track, forwards/backwards) all fall out of the segment
+geometry: given the scan target, the scan direction and distances are
+determined.  :mod:`repro.model.cases` implements the explicit 7-way
+classifier for testing and exposition.
+
+The published behavioural anchors this model reproduces (asserted in
+``tests/model/test_anchors.py``):
+
+========================================  =================
+maximum locate time                       ~180 s
+mean locate, BOT -> random                ~96.5 s
+mean locate, random -> random             ~72.4 s
+adjacent-section drop, forward tracks     ~5 s
+adjacent-section drop, reverse tracks     ~25 s
+dips per track                            13, one segment past each peak
+========================================  =================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import (
+    READ_SECONDS_PER_SECTION,
+    REPOSITION_SECONDS,
+    REVERSAL_SECONDS,
+    SCAN_SECONDS_PER_SECTION,
+)
+from repro.geometry.tape import TapeGeometry
+
+
+class LocateTimeModel:
+    """Locate-time model parameterized by one tape's geometry.
+
+    Parameters
+    ----------
+    geometry:
+        The cartridge's :class:`~repro.geometry.TapeGeometry` — in
+        practice, the key points measured by calibration
+        (:mod:`repro.geometry.calibration`).
+    reposition_seconds, reversal_seconds:
+        Overhead constants; defaults are the calibrated package-level
+        values.
+    """
+
+    def __init__(
+        self,
+        geometry: TapeGeometry,
+        reposition_seconds: float = REPOSITION_SECONDS,
+        reversal_seconds: float = REVERSAL_SECONDS,
+        read_seconds_per_section: float = READ_SECONDS_PER_SECTION,
+        scan_seconds_per_section: float = SCAN_SECONDS_PER_SECTION,
+        segment_transfer_seconds: float | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.reposition_seconds = float(reposition_seconds)
+        self.reversal_seconds = float(reversal_seconds)
+        self.read_seconds_per_section = float(read_seconds_per_section)
+        self.scan_seconds_per_section = float(scan_seconds_per_section)
+        if segment_transfer_seconds is None:
+            # Transfer time per segment is tied to the read transport
+            # speed: a nominal section passes in one read-section time.
+            from repro.constants import SEGMENT_TRANSFER_SECONDS
+
+            segment_transfer_seconds = SEGMENT_TRANSFER_SECONDS * (
+                read_seconds_per_section / READ_SECONDS_PER_SECTION
+            )
+        self.segment_transfer_seconds = float(segment_transfer_seconds)
+
+    # -- public API ---------------------------------------------------------
+
+    def locate_time(self, source: int, destination: int) -> float:
+        """Seconds to position the head from ``source`` to ``destination``.
+
+        Both arguments are absolute segment numbers; the head is assumed
+        to be parked at the start of ``source``, and ends positioned to
+        read ``destination``.
+        """
+        times = self.locate_times(
+            source, np.asarray([destination], dtype=np.int64)
+        )
+        return float(times[0])
+
+    def locate_times(self, source: int, destinations) -> np.ndarray:
+        """Vectorized :meth:`locate_time` for one source, many destinations."""
+        destinations = np.asarray(destinations, dtype=np.int64)
+        sources = np.asarray(source, dtype=np.int64)
+        return self._times(sources, destinations)
+
+    def times(self, sources, destinations) -> np.ndarray:
+        """Elementwise locate times for paired source/destination arrays.
+
+        ``sources[k] -> destinations[k]`` for each ``k``; used by the
+        schedule estimator to cost a whole schedule in one vectorized
+        call.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        destinations = np.asarray(destinations, dtype=np.int64)
+        return self._times(sources, destinations)
+
+    def pairwise_times(self, sources, destinations) -> np.ndarray:
+        """Locate-time matrix: entry ``[i, j]`` is source ``i`` to dest ``j``.
+
+        Uses broadcasting; for ``n`` sources and ``m`` destinations the
+        peak memory is a few ``n x m`` float arrays.  Callers with very
+        large problems should chunk over source rows.
+        """
+        sources = np.asarray(sources, dtype=np.int64).reshape(-1, 1)
+        destinations = np.asarray(destinations, dtype=np.int64).reshape(1, -1)
+        return self._times(sources, destinations)
+
+    def travel_sections(self, source: int, destinations) -> np.ndarray:
+        """Physical head travel of each locate, in section units.
+
+        For read-through locates this is the physical distance; for
+        scan-and-read locates it is scan distance plus read-in distance
+        (the head overshoots to the key point).  Feeds the wear
+        accounting of :mod:`repro.drive.wear` — tape lifetime is rated
+        in head passes (the paper's Section 2: 500,000 passes for DLT).
+        """
+        geo = self.geometry
+        sources = np.asarray(source, dtype=np.int64)
+        destinations = np.asarray(destinations, dtype=np.int64)
+        src_phys = geo.phys_of(sources)
+        dst_phys = geo.phys_of(destinations)
+        read_through = (
+            (geo.track_of(sources) == geo.track_of(destinations))
+            & (destinations >= sources)
+            & (
+                geo.ordinal_section_of(destinations)
+                - geo.ordinal_section_of(sources)
+                <= 2
+            )
+        )
+        direct = np.abs(dst_phys - src_phys)
+        target = geo.scan_target_phys(destinations)
+        via_target = np.abs(target - src_phys) + np.abs(dst_phys - target)
+        return np.where(read_through, direct, via_target)
+
+    def rewind_seconds(self, segment) -> np.ndarray:
+        """Rewind-to-BOT time from ``segment`` at this model's speeds."""
+        from repro.constants import REWIND_OVERHEAD_SECONDS
+
+        phys = self.geometry.phys_of(np.asarray(segment, dtype=np.int64))
+        return (
+            REWIND_OVERHEAD_SECONDS
+            + phys * self.scan_seconds_per_section
+        )
+
+    def oracle(self):
+        """Adapter with the :data:`~repro.geometry.calibration.LocateOracle`
+        signature, for the calibration procedure."""
+
+        def measure(source: int, destinations: np.ndarray) -> np.ndarray:
+            return self.locate_times(source, destinations)
+
+        return measure
+
+    # -- core ----------------------------------------------------------------
+
+    def _times(self, sources, destinations) -> np.ndarray:
+        """Broadcasted locate-time computation.
+
+        ``sources`` and ``destinations`` are int64 arrays (any mutually
+        broadcastable shapes).
+        """
+        geo = self.geometry
+        src_track = geo.track_of(sources)
+        dst_track = geo.track_of(destinations)
+        src_phys = geo.phys_of(sources)
+        dst_phys = geo.phys_of(destinations)
+        src_soi = geo.ordinal_section_of(sources)
+        dst_soi = geo.ordinal_section_of(destinations)
+
+        # Case 1: same track, destination at/ahead within the read-ahead
+        # window of two following sections -> read straight through.
+        read_through = (
+            (src_track == dst_track)
+            & (destinations >= sources)
+            & (dst_soi - src_soi <= 2)
+        )
+        read_through_time = (
+            np.abs(dst_phys - src_phys) * self.read_seconds_per_section
+        )
+
+        # Cases 2-7: scan to the key point two before the destination,
+        # then read forward to it.
+        target = geo.scan_target_phys(destinations)
+        scan_dist = np.abs(target - src_phys)
+        read_dist = np.abs(dst_phys - target)
+        read_dir = geo.direction_of(destinations).astype(np.float64)
+        reversal = (scan_dist > 1e-12) & (
+            np.sign(target - src_phys) != read_dir
+        )
+        scan_time = (
+            self.reposition_seconds
+            + scan_dist * self.scan_seconds_per_section
+            + read_dist * self.read_seconds_per_section
+            + np.where(reversal, self.reversal_seconds, 0.0)
+        )
+
+        return np.where(read_through, read_through_time, scan_time)

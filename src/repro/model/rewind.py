@@ -1,0 +1,42 @@
+"""Rewind-time model.
+
+Rewind moves the head from its current physical position back to the
+beginning of the tape at scan speed.  Figure 1 of the paper plots the
+rewind time (dotted curve) alongside the locate curve; it tracks the
+physical position of the destination segment — a sawtooth across tracks,
+rising within forward tracks and falling within reverse tracks.
+
+Single-reel cartridges (DLT, IBM 3590) must rewind before ejecting, so
+this model also feeds the robotic-library simulation in
+:mod:`repro.online`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import (
+    REWIND_OVERHEAD_SECONDS,
+    SCAN_SECONDS_PER_SECTION,
+)
+from repro.geometry.tape import TapeGeometry
+
+
+def rewind_time(geometry: TapeGeometry, segment) -> np.ndarray:
+    """Seconds to rewind to BOT from (the start of) ``segment``.
+
+    Accepts a scalar or an array of segment numbers; returns matching
+    shape.
+    """
+    phys = geometry.phys_of(np.asarray(segment, dtype=np.int64))
+    return REWIND_OVERHEAD_SECONDS + phys * SCAN_SECONDS_PER_SECTION
+
+
+def max_rewind_time(geometry: TapeGeometry) -> float:
+    """Worst-case rewind time (from the physical end of the tape)."""
+    from repro.geometry.tape import TAPE_PHYS_LENGTH
+
+    return (
+        REWIND_OVERHEAD_SECONDS
+        + TAPE_PHYS_LENGTH * SCAN_SECONDS_PER_SECTION
+    )

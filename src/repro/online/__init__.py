@@ -1,0 +1,29 @@
+"""Online tertiary storage: batching queue, robotic library, system."""
+
+from repro.online.batch_queue import BatchPolicy, BatchQueue
+from repro.online.library import (
+    Cartridge,
+    DEFAULT_EXCHANGE_SECONDS,
+    TapeLibrary,
+)
+from repro.online.metrics import ResponseStats
+from repro.online.striping import (
+    StripeMapping,
+    StripedBatchResult,
+    StripedTapeArray,
+)
+from repro.online.system import BatchRecord, TertiaryStorageSystem
+
+__all__ = [
+    "BatchPolicy",
+    "BatchQueue",
+    "BatchRecord",
+    "Cartridge",
+    "DEFAULT_EXCHANGE_SECONDS",
+    "ResponseStats",
+    "StripeMapping",
+    "StripedBatchResult",
+    "StripedTapeArray",
+    "TapeLibrary",
+    "TertiaryStorageSystem",
+]

@@ -1,0 +1,79 @@
+"""Request batching policies.
+
+The whole premise of the paper is that "significant speedups can be
+obtained by scheduling *batches* of random I/O's": individual requests
+are accumulated and scheduled together.  A batching policy decides when
+the accumulated batch is handed to the scheduler — when it reaches a
+target size, when the oldest request has waited too long, or whenever
+the drive goes idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workload.arrivals import TimedRequest
+
+
+@dataclass
+class BatchPolicy:
+    """When to flush the accumulation queue.
+
+    Attributes
+    ----------
+    max_batch:
+        Flush as soon as this many requests are queued.
+    max_wait_seconds:
+        Flush once the oldest queued request has waited this long
+        (``inf`` disables the deadline).
+    flush_when_idle:
+        Hand over whatever is queued whenever the drive is idle; when
+        False the drive waits for a full batch or a deadline.
+    """
+
+    max_batch: int = 96
+    max_wait_seconds: float = float("inf")
+    flush_when_idle: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_seconds <= 0:
+            raise ValueError("max_wait_seconds must be positive")
+
+
+@dataclass
+class BatchQueue:
+    """Accumulates timed requests and releases them per a policy."""
+
+    policy: BatchPolicy = field(default_factory=BatchPolicy)
+    _pending: list[TimedRequest] = field(default_factory=list)
+
+    def push(self, request: TimedRequest) -> None:
+        """Enqueue an arrived request."""
+        self._pending.append(request)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def oldest_arrival(self) -> float | None:
+        """Arrival time of the oldest queued request, if any."""
+        return self._pending[0].arrival_seconds if self._pending else None
+
+    def ready(self, now_seconds: float, drive_idle: bool) -> bool:
+        """Should the queue flush at time ``now_seconds``?"""
+        if not self._pending:
+            return False
+        if len(self._pending) >= self.policy.max_batch:
+            return True
+        oldest = self._pending[0].arrival_seconds
+        if now_seconds - oldest >= self.policy.max_wait_seconds:
+            return True
+        return drive_idle and self.policy.flush_when_idle
+
+    def flush(self) -> list[TimedRequest]:
+        """Release up to ``max_batch`` requests, oldest first."""
+        batch = self._pending[: self.policy.max_batch]
+        self._pending = self._pending[self.policy.max_batch:]
+        return batch

@@ -1,0 +1,52 @@
+"""Response-time and throughput accounting for the online system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ResponseStats:
+    """Accumulates per-request response times.
+
+    Response time = completion time − arrival time; the batching policy
+    trades it against throughput (bigger batches schedule better but
+    wait longer).
+    """
+
+    _samples: list[float] = field(default_factory=list)
+
+    def record(self, arrival_seconds: float, completion_seconds: float):
+        """Record one serviced request."""
+        if completion_seconds < arrival_seconds:
+            raise ValueError("completion precedes arrival")
+        self._samples.append(completion_seconds - arrival_seconds)
+
+    @property
+    def count(self) -> int:
+        """Requests recorded."""
+        return len(self._samples)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean response time."""
+        return float(np.mean(self._samples)) if self._samples else 0.0
+
+    @property
+    def max_seconds(self) -> float:
+        """Worst response time."""
+        return float(np.max(self._samples)) if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Response-time percentile, ``q`` in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, q))
+
+    def throughput_per_hour(self, horizon_seconds: float) -> float:
+        """Serviced requests per hour over a horizon."""
+        if horizon_seconds <= 0:
+            raise ValueError("horizon must be positive")
+        return 3600.0 * self.count / horizon_seconds

@@ -1,0 +1,129 @@
+"""The online tertiary storage system the paper motivates.
+
+Glues the pieces together into the service loop of an online store:
+requests arrive over time, accumulate in a batch queue, and whenever
+the drive is free the queued batch is handed to a scheduling algorithm
+and executed.  The simulation is event-stepped at batch granularity
+(the drive is busy for the whole batch, as a real DLT would be), which
+is exactly the paper's "a tape is scheduled repeatedly, executing
+retrievals in batches" scenario — the head starts each batch wherever
+the previous batch finished.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.drive.simulated import SimulatedDrive
+from repro.geometry.tape import TapeGeometry
+from repro.model.locate import LocateTimeModel
+from repro.online.batch_queue import BatchPolicy, BatchQueue
+from repro.online.metrics import ResponseStats
+from repro.scheduling.base import Scheduler
+from repro.scheduling.executor import execute_schedule
+from repro.scheduling.loss import LossScheduler
+from repro.scheduling.request import Request
+from repro.workload.arrivals import TimedRequest
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One executed batch, for reporting."""
+
+    start_seconds: float
+    size: int
+    algorithm: str
+    execution_seconds: float
+
+
+@dataclass
+class TertiaryStorageSystem:
+    """Single-cartridge online request service.
+
+    Parameters
+    ----------
+    geometry:
+        The mounted cartridge.
+    scheduler:
+        Batch scheduling algorithm (default: the paper's LOSS).
+    policy:
+        Batching policy.
+    """
+
+    geometry: TapeGeometry
+    scheduler: Scheduler = field(default_factory=LossScheduler)
+    policy: BatchPolicy = field(default_factory=BatchPolicy)
+
+    def __post_init__(self) -> None:
+        self.model = LocateTimeModel(self.geometry)
+        self.drive = SimulatedDrive(self.model)
+        self.queue = BatchQueue(policy=self.policy)
+        self.stats = ResponseStats()
+        self.batches: list[BatchRecord] = []
+        self._drive_free_at = 0.0
+
+    def run(self, requests: list[TimedRequest]) -> ResponseStats:
+        """Service a timed request stream to completion.
+
+        Requests must be in arrival order.  Returns the response-time
+        statistics (also kept on ``self.stats``).
+        """
+        pending = sorted(requests, key=lambda r: r.arrival_seconds)
+        index = 0
+        now = 0.0
+        while index < len(pending) or len(self.queue):
+            # Admit everything that has arrived by `now`.
+            while (
+                index < len(pending)
+                and pending[index].arrival_seconds <= now
+            ):
+                self.queue.push(pending[index])
+                index += 1
+
+            drive_idle = now >= self._drive_free_at
+            if self.queue.ready(now, drive_idle) and drive_idle:
+                self._run_batch(now)
+                now = self._drive_free_at
+                continue
+
+            # Advance time to the next interesting instant.
+            horizons = []
+            if index < len(pending):
+                horizons.append(pending[index].arrival_seconds)
+            if not drive_idle:
+                horizons.append(self._drive_free_at)
+            oldest = self.queue.oldest_arrival
+            if oldest is not None:
+                horizons.append(oldest + self.policy.max_wait_seconds)
+            if not horizons:
+                break
+            now = max(now, min(horizons))
+        return self.stats
+
+    def _run_batch(self, now: float) -> None:
+        batch = self.queue.flush()
+        requests = [Request(item.segment, item.length) for item in batch]
+        schedule = self.scheduler.schedule(
+            self.model, self.drive.position, requests
+        )
+        result = execute_schedule(self.drive, schedule)
+        self.batches.append(
+            BatchRecord(
+                start_seconds=now,
+                size=len(batch),
+                algorithm=schedule.algorithm,
+                execution_seconds=result.total_seconds,
+            )
+        )
+        # Completion time of each request = batch start + offset of its
+        # scheduled position.  Map scheduled order back to arrivals.
+        by_key: dict[tuple[int, int], list[TimedRequest]] = {}
+        for item in batch:
+            by_key.setdefault((item.segment, item.length), []).append(item)
+        for position, request in enumerate(schedule):
+            item = by_key[(request.segment, request.length)].pop(0)
+            self.stats.record(
+                item.arrival_seconds,
+                now + float(result.completion_seconds[position]),
+            )
+        self._drive_free_at = now + result.total_seconds

@@ -1,0 +1,177 @@
+"""Drive profiles: the tape generations of the paper's Section 2.
+
+The paper grounds its discussion in 1995/96 hardware: the DLT4000 it
+characterizes, the faster DLT7000, and the IBM 3590 (all serpentine),
+versus helical-scan drives it rules out on wear grounds.  A
+:class:`DriveProfile` bundles the parameters that distinguish the
+generations — capacity, transfer rate, transport speeds, rated head
+passes — and builds matching geometries and locate-time models, so the
+scheduling experiments can be replayed on a different drive generation
+(`repro.experiments.drive_generations`).
+
+The DLT4000 profile is exact (it *is* the package's calibrated default).
+The others keep the paper's published capacity/rate/price-class numbers
+and the DLT4000's serpentine structure (64 track groups × 14 sections);
+their transport-speed constants are derived from the published
+sequential rates, with the scan:read speed ratio and the overheads
+carried over.  They are stand-ins for studying how the scheduling
+results scale with drive speed — not characterizations of the physical
+products (which would each need their own [HS96]-style measurement
+campaign).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    DEFAULT_TOTAL_SEGMENTS,
+    READ_SECONDS_PER_SECTION,
+    REPOSITION_SECONDS,
+    REVERSAL_SECONDS,
+    SCAN_SECONDS_PER_SECTION,
+    SECTIONS_PER_TRACK,
+    SEGMENT_BYTES,
+    TRACKS,
+)
+from repro.drive.wear import DLT_RATED_PASSES
+from repro.geometry.generator import generate_tape
+from repro.geometry.tape import TapeGeometry
+from repro.model.locate import LocateTimeModel
+
+
+@dataclass(frozen=True)
+class DriveProfile:
+    """Parameters of one tape-drive generation.
+
+    Attributes
+    ----------
+    name:
+        Marketing name ("DLT4000", ...).
+    capacity_bytes:
+        Native cartridge capacity.
+    transfer_rate_bytes_per_second:
+        Sustained sequential rate.
+    read_seconds_per_section, scan_seconds_per_section:
+        Transport speeds in the model's section units.
+    reposition_seconds, reversal_seconds:
+        Locate overheads.
+    rated_passes:
+        Media life in full-length head passes.
+    tracks:
+        Serpentine track groups.
+    """
+
+    name: str
+    capacity_bytes: float
+    transfer_rate_bytes_per_second: float
+    read_seconds_per_section: float
+    scan_seconds_per_section: float
+    reposition_seconds: float = REPOSITION_SECONDS
+    reversal_seconds: float = REVERSAL_SECONDS
+    rated_passes: int = DLT_RATED_PASSES
+    tracks: int = TRACKS
+
+    @property
+    def total_segments(self) -> int:
+        """32 KB segments the cartridge holds."""
+        return int(self.capacity_bytes // SEGMENT_BYTES)
+
+    @property
+    def segment_transfer_seconds(self) -> float:
+        """Transfer time of one segment."""
+        return SEGMENT_BYTES / self.transfer_rate_bytes_per_second
+
+    @property
+    def full_read_seconds_estimate(self) -> float:
+        """Back-of-envelope whole-tape read time."""
+        return self.capacity_bytes / self.transfer_rate_bytes_per_second
+
+    def build_tape(self, seed: int = 1) -> TapeGeometry:
+        """A synthetic cartridge of this generation."""
+        return generate_tape(
+            seed=seed,
+            total_segments=self.total_segments,
+            tracks=self.tracks,
+            label=f"{self.name}-{seed}",
+        )
+
+    def build_model(self, geometry: TapeGeometry) -> LocateTimeModel:
+        """A locate-time model with this generation's speeds."""
+        return LocateTimeModel(
+            geometry,
+            reposition_seconds=self.reposition_seconds,
+            reversal_seconds=self.reversal_seconds,
+            read_seconds_per_section=self.read_seconds_per_section,
+            scan_seconds_per_section=self.scan_seconds_per_section,
+            segment_transfer_seconds=self.segment_transfer_seconds,
+        )
+
+    def build_system(
+        self, seed: int = 1
+    ) -> tuple[TapeGeometry, LocateTimeModel]:
+        """Cartridge plus matching model in one call."""
+        tape = self.build_tape(seed=seed)
+        return tape, self.build_model(tape)
+
+
+def _section_seconds(
+    capacity_bytes: float, rate: float, tracks: int
+) -> float:
+    """Read-transport time per section implied by capacity and rate."""
+    sections = tracks * SECTIONS_PER_TRACK
+    return capacity_bytes / rate / sections
+
+
+#: The characterized drive — exactly the package defaults.
+DLT4000 = DriveProfile(
+    name="DLT4000",
+    capacity_bytes=DEFAULT_TOTAL_SEGMENTS * SEGMENT_BYTES,
+    transfer_rate_bytes_per_second=1.5e6,
+    read_seconds_per_section=READ_SECONDS_PER_SECTION,
+    scan_seconds_per_section=SCAN_SECONDS_PER_SECTION,
+)
+
+#: Paper Section 2: "The DLT7000 is 5.2 MB/s and 35 GB."
+_DLT7000_CAPACITY = 35e9
+DLT7000 = DriveProfile(
+    name="DLT7000",
+    capacity_bytes=_DLT7000_CAPACITY,
+    transfer_rate_bytes_per_second=5.2e6,
+    read_seconds_per_section=_section_seconds(
+        _DLT7000_CAPACITY, 5.2e6, TRACKS
+    ),
+    scan_seconds_per_section=_section_seconds(
+        _DLT7000_CAPACITY, 5.2e6, TRACKS
+    )
+    * (SCAN_SECONDS_PER_SECTION / READ_SECONDS_PER_SECTION),
+)
+
+#: Paper Section 2: "The IBM 3590 is 9 MB/s and 10 GB."
+_IBM3590_CAPACITY = 10e9
+IBM3590 = DriveProfile(
+    name="IBM3590",
+    capacity_bytes=_IBM3590_CAPACITY,
+    transfer_rate_bytes_per_second=9e6,
+    read_seconds_per_section=_section_seconds(
+        _IBM3590_CAPACITY, 9e6, TRACKS
+    ),
+    scan_seconds_per_section=_section_seconds(
+        _IBM3590_CAPACITY, 9e6, TRACKS
+    )
+    * (SCAN_SECONDS_PER_SECTION / READ_SECONDS_PER_SECTION),
+)
+
+#: All profiles, keyed by name.
+PROFILES: dict[str, DriveProfile] = {
+    profile.name: profile for profile in (DLT4000, DLT7000, IBM3590)
+}
+
+
+def get_profile(name: str) -> DriveProfile:
+    """Look up a profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown profile {name!r}; known: {known}")

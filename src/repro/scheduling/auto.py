@@ -1,0 +1,55 @@
+"""The paper's recommended scheduling policy.
+
+Section 5's summary: "OPT is recommended for scheduling up to 10
+locates.  Then, use the LOSS algorithm for up to 1536 uniformly randomly
+distributed requests.  For more than 1536 requests just read the entire
+tape."  :class:`AutoScheduler` implements exactly that dispatch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.constants import LOSS_POLICY_LIMIT, OPT_POLICY_LIMIT
+from repro.scheduling.base import Scheduler, register
+from repro.scheduling.loss import LossScheduler
+from repro.scheduling.opt import OptScheduler
+from repro.scheduling.read_all import ReadEntireTapeScheduler
+from repro.scheduling.request import Request, as_requests, check_batch
+from repro.scheduling.schedule import Schedule
+
+
+@register
+class AutoScheduler(Scheduler):
+    """OPT for tiny batches, LOSS for medium, READ for huge."""
+
+    name = "AUTO"
+
+    def __init__(
+        self,
+        opt_limit: int = OPT_POLICY_LIMIT,
+        loss_limit: int = LOSS_POLICY_LIMIT,
+    ) -> None:
+        self.opt_limit = int(opt_limit)
+        self.loss_limit = int(loss_limit)
+        self._opt = OptScheduler()
+        self._loss = LossScheduler()
+        self._read = ReadEntireTapeScheduler()
+
+    def choose(self, batch_size: int) -> Scheduler:
+        """The scheduler the policy selects for a batch of this size."""
+        if batch_size <= self.opt_limit:
+            return self._opt
+        if batch_size <= self.loss_limit:
+            return self._loss
+        return self._read
+
+    def schedule(
+        self, model, origin: int, requests: Iterable[int | Request]
+    ) -> Schedule:
+        batch = as_requests(requests)
+        check_batch(batch)
+        return self.choose(len(batch)).schedule(model, origin, batch)
+
+    def _order(self, model, origin, requests):  # pragma: no cover
+        raise NotImplementedError("AutoScheduler delegates in schedule()")

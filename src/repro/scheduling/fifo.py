@@ -1,0 +1,26 @@
+"""FIFO: execute requests in arrival order.
+
+The paper's baseline for unscheduled access: "perform the locates and
+reads as they are presented, without reordering them".  On uniformly
+random batches its per-locate cost is the random-to-random expected
+locate time (~72 s), i.e. about 50 I/Os per hour.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.scheduling.base import Scheduler, register
+from repro.scheduling.request import Request
+
+
+@register
+class FifoScheduler(Scheduler):
+    """First in, first out — the do-nothing schedule."""
+
+    name = "FIFO"
+
+    def _order(
+        self, model, origin: int, requests: tuple[Request, ...]
+    ) -> Sequence[Request]:
+        return requests

@@ -1,0 +1,148 @@
+"""OPT: exact optimal scheduling.
+
+Scheduling a batch is an asymmetric traveling-salesman *path* problem
+with a fixed start (the head position ``I``) and a free end (Section 4
+of the paper).  The paper brute-forces all permutations, which is
+practical to about 12 requests (936 CPU-seconds on 1995 hardware).  We
+implement
+
+* :func:`held_karp_path` — the exact Held–Karp dynamic program,
+  O(2ⁿ·n²), which handles the paper's whole OPT range in milliseconds
+  and remains exact; and
+* :func:`brute_force_path` — literal permutation enumeration, kept as a
+  cross-check for the DP (used by the test suite, n ≤ 9).
+
+Both operate on the same distance matrix LOSS uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import BatchTooLarge
+from repro.model.distance_matrix import schedule_distance_matrix
+from repro.scheduling.base import Scheduler, register
+from repro.scheduling.request import Request, request_lengths
+
+#: Above this many requests the 2ⁿ table stops being a good idea.
+DEFAULT_OPT_LIMIT = 16
+
+
+def held_karp_path(distance: np.ndarray) -> list[int]:
+    """Exact minimum path from row 0 through all columns.
+
+    Parameters
+    ----------
+    distance:
+        ``(n + 1, n)`` matrix: row 0 is the start node, row ``i + 1`` is
+        "after request ``i``", column ``j`` is "to request ``j``".
+
+    Returns
+    -------
+    Visit order as a list of request indices ``0..n-1``.
+    """
+    n = distance.shape[1]
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+    size = 1 << n
+    infinity = float("inf")
+    # Plain Python lists: the DP is called hundreds of thousands of
+    # times on tiny batches, where per-mask numpy overhead dominates.
+    inner = [row.tolist() for row in distance[1:, :]]
+    cost = [[infinity] * n for _ in range(size)]
+    parent = [[-1] * n for _ in range(size)]
+    start_row = distance[0].tolist()
+    for j in range(n):
+        cost[1 << j][j] = start_row[j]
+
+    for mask in range(1, size):
+        row = cost[mask]
+        for j in range(n):
+            here = row[j]
+            if here == infinity or not (mask >> j) & 1:
+                continue
+            edges = inner[j]
+            for k in range(n):
+                if (mask >> k) & 1:
+                    continue
+                extended = here + edges[k]
+                nxt = mask | (1 << k)
+                if extended < cost[nxt][k]:
+                    cost[nxt][k] = extended
+                    parent[nxt][k] = j
+
+    full = size - 1
+    final = cost[full]
+    end = min(range(n), key=final.__getitem__)
+    order = [end]
+    mask = full
+    while parent[mask][order[-1]] != -1:
+        prev = parent[mask][order[-1]]
+        mask ^= 1 << order[-1]
+        order.append(prev)
+    return order[::-1]
+
+
+def brute_force_path(distance: np.ndarray) -> list[int]:
+    """Permutation enumeration (the paper's OPT implementation)."""
+    n = distance.shape[1]
+    best_cost = np.inf
+    best_order: tuple[int, ...] = tuple(range(n))
+    for perm in itertools.permutations(range(n)):
+        cost = distance[0, perm[0]]
+        for a, b in zip(perm, perm[1:]):
+            cost += distance[a + 1, b]
+            if cost >= best_cost:
+                break
+        else:
+            if cost < best_cost:
+                best_cost = cost
+                best_order = perm
+    return list(best_order)
+
+
+@register
+class OptScheduler(Scheduler):
+    """Exact optimal order via Held–Karp."""
+
+    name = "OPT"
+
+    def __init__(self, limit: int = DEFAULT_OPT_LIMIT) -> None:
+        self.limit = int(limit)
+
+    def _solve(self, distance: np.ndarray) -> list[int]:
+        return held_karp_path(distance)
+
+    def _order(
+        self, model, origin: int, requests: tuple[Request, ...]
+    ) -> Sequence[Request]:
+        if len(requests) > self.limit:
+            raise BatchTooLarge(len(requests), self.limit, self.name)
+        segments = np.fromiter(
+            (r.segment for r in requests),
+            dtype=np.int64,
+            count=len(requests),
+        )
+        distance = schedule_distance_matrix(
+            model, origin, segments, lengths=request_lengths(requests)
+        )
+        order = self._solve(distance)
+        return [requests[i] for i in order]
+
+
+@register
+class BruteForceOptScheduler(OptScheduler):
+    """OPT by literal permutation enumeration (cross-check, n <= 9)."""
+
+    name = "OPT-brute"
+
+    def __init__(self, limit: int = 9) -> None:
+        super().__init__(limit=limit)
+
+    def _solve(self, distance: np.ndarray) -> list[int]:
+        return brute_force_path(distance)

@@ -1,0 +1,31 @@
+"""READ: retrieve the batch by reading the entire tape.
+
+"Read the entire tape sequentially and then rewind.  This avoids the
+need to schedule the I/O's, and avoids using the locate operation."
+(Section 4.)  For a DLT4000 this costs about 14,000 seconds regardless
+of the batch, so it wins only for very dense batches — the paper's
+crossover with LOSS is around 1536 uniformly random requests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.scheduling.base import Scheduler, register
+from repro.scheduling.request import Request
+
+
+@register
+class ReadEntireTapeScheduler(Scheduler):
+    """Whole-tape sequential read; requests stream by in segment order."""
+
+    name = "READ"
+
+    def _order(
+        self, model, origin: int, requests: tuple[Request, ...]
+    ) -> Sequence[Request]:
+        # The order is informational: data arrives in segment order.
+        return sorted(requests, key=lambda r: (r.segment, r.length))
+
+    def _whole_tape(self) -> bool:
+        return True

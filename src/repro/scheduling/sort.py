@@ -1,0 +1,26 @@
+"""SORT: order requests by logical segment number.
+
+Optimal for helical-scan tape, where logical block numbers track the
+physical position directly.  On serpentine tape, SORT takes one long
+pass per track it visits — poor for small batches, but competitive once
+nearly every section contains a request (the paper's Section 4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.scheduling.base import Scheduler, register
+from repro.scheduling.request import Request
+
+
+@register
+class SortScheduler(Scheduler):
+    """Ascending segment-number order."""
+
+    name = "SORT"
+
+    def _order(
+        self, model, origin: int, requests: tuple[Request, ...]
+    ) -> Sequence[Request]:
+        return sorted(requests, key=lambda r: (r.segment, r.length))

@@ -1,0 +1,23 @@
+"""Workload generators: the paper's lrand48 uniform batches plus
+arrival processes and a skew extension."""
+
+from repro.workload.arrivals import PoissonArrivals, TimedRequest
+from repro.workload.lrand48 import LRand48
+from repro.workload.random_uniform import UniformWorkload
+from repro.workload.trace import (
+    load_trace,
+    save_trace,
+    trace_from_batch,
+)
+from repro.workload.zipf import ZipfWorkload
+
+__all__ = [
+    "LRand48",
+    "PoissonArrivals",
+    "TimedRequest",
+    "UniformWorkload",
+    "ZipfWorkload",
+    "load_trace",
+    "save_trace",
+    "trace_from_batch",
+]

@@ -1,0 +1,60 @@
+"""A faithful reimplementation of the POSIX 48-bit ``rand48`` family.
+
+The paper's simulation experiments are driven by the Solaris
+``lrand48()`` pseudo-random generator (Section 5, Figure 3).  This is
+the standard 48-bit linear congruential generator
+
+    X(n+1) = (a * X(n) + c) mod 2**48,
+    a = 0x5DEECE66D, c = 0xB,
+
+with ``lrand48()`` returning the high 31 bits and ``srand48(seed)``
+initializing the state to ``(seed << 16) | 0x330E``.  Reimplementing it
+(rather than substituting a modern generator) keeps the workload
+machinery bit-compatible with how the paper's batches were drawn.
+"""
+
+from __future__ import annotations
+
+_A = 0x5DEECE66D
+_C = 0xB
+_MASK = (1 << 48) - 1
+_SRAND48_PAD = 0x330E
+
+
+class LRand48:
+    """The POSIX ``lrand48`` generator as a small object.
+
+    >>> gen = LRand48(0)
+    >>> gen.lrand48() >= 0
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.srand48(seed)
+
+    def srand48(self, seed: int) -> None:
+        """Reseed exactly like POSIX ``srand48``."""
+        self._state = (((seed & 0xFFFFFFFF) << 16) | _SRAND48_PAD) & _MASK
+
+    def _step(self) -> int:
+        self._state = (_A * self._state + _C) & _MASK
+        return self._state
+
+    def lrand48(self) -> int:
+        """Next non-negative long: uniform over ``[0, 2**31)``."""
+        return self._step() >> 17
+
+    def drand48(self) -> float:
+        """Next double: uniform over ``[0.0, 1.0)``."""
+        return self._step() / float(1 << 48)
+
+    def mrand48(self) -> int:
+        """Next signed long: uniform over ``[-2**31, 2**31)``."""
+        value = self._step() >> 16
+        return value - (1 << 32) if value >= (1 << 31) else value
+
+    def below(self, bound: int) -> int:
+        """``lrand48() % bound`` — how the paper maps draws to segments."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.lrand48() % bound

@@ -1,0 +1,73 @@
+"""Uniform random batch generation — the paper's workload.
+
+The simulation experiments draw batches of *distinct* segment numbers
+("generate a set of 1 + N segment numbers") uniformly from the segment
+range of the characterized tape (0..622057), using ``lrand48``.  The
+first draw of each batch plays the role of the initial head position
+when the experiment uses random starting points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import DEFAULT_TOTAL_SEGMENTS
+from repro.workload.lrand48 import LRand48
+
+
+@dataclass
+class UniformWorkload:
+    """Distinct uniform segment batches, ``lrand48``-driven.
+
+    Parameters
+    ----------
+    total_segments:
+        Segment range to draw from (the paper uses 622,058).
+    seed:
+        ``srand48`` seed; the experiment series repeats with five
+        different seeds.
+    """
+
+    total_segments: int = DEFAULT_TOTAL_SEGMENTS
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._gen = LRand48(self.seed)
+
+    def sample_segment(self) -> int:
+        """One uniform segment number."""
+        return self._gen.below(self.total_segments)
+
+    def sample_batch(self, size: int) -> np.ndarray:
+        """``size`` distinct uniform segment numbers (a set, like the
+        paper's), in draw order."""
+        if size > self.total_segments:
+            raise ValueError(
+                f"cannot draw {size} distinct segments from "
+                f"{self.total_segments}"
+            )
+        seen: set[int] = set()
+        out = np.empty(size, dtype=np.int64)
+        count = 0
+        while count < size:
+            segment = self._gen.below(self.total_segments)
+            if segment not in seen:
+                seen.add(segment)
+                out[count] = segment
+                count += 1
+        return out
+
+    def sample_batch_with_origin(
+        self, size: int, origin_at_start: bool
+    ) -> tuple[int, np.ndarray]:
+        """One experiment trial's inputs: ``(origin, batch)``.
+
+        Draws ``1 + size`` distinct segments as in Figure 3 of the
+        paper; the first is the initial head position for random-start
+        experiments, or is replaced by 0 when ``origin_at_start``.
+        """
+        draws = self.sample_batch(size + 1)
+        origin = 0 if origin_at_start else int(draws[0])
+        return origin, draws[1:]

@@ -1,0 +1,108 @@
+"""Batch-size planning."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    PerLocateCurve,
+    estimated_response_seconds,
+    is_stable,
+    min_stable_batch,
+    recommend_batch,
+)
+
+#: A Figure 4-shaped curve (LOSS, seconds per request).
+CURVE = PerLocateCurve(
+    lengths=(1, 10, 96, 1024),
+    seconds_per_request=(73.0, 42.5, 27.5, 12.3),
+)
+
+
+class TestCurve:
+    def test_exact_points(self):
+        assert CURVE.at(10) == pytest.approx(42.5)
+        assert CURVE.at(1024) == pytest.approx(12.3)
+
+    def test_clamped_ends(self):
+        assert CURVE.at(1) == pytest.approx(73.0)
+        assert CURVE.at(5000) == pytest.approx(12.3)
+
+    def test_interpolation_monotone(self):
+        previous = CURVE.at(1)
+        for size in (2, 5, 20, 50, 200, 800):
+            value = CURVE.at(size)
+            assert value <= previous
+            previous = value
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerLocateCurve((1, 2), (3.0,))
+        with pytest.raises(ValueError):
+            PerLocateCurve((), ())
+        with pytest.raises(ValueError):
+            PerLocateCurve((5, 2), (1.0, 2.0))
+        with pytest.raises(ValueError):
+            CURVE.at(0)
+
+    def test_capacity(self):
+        assert CURVE.capacity_per_hour(96) == pytest.approx(3600 / 27.5)
+
+    def test_from_runner_result(self):
+        from repro.experiments import ExperimentConfig, run_per_locate
+
+        result = run_per_locate(
+            ExperimentConfig(lengths=(4, 16), scale="quick"),
+            origin_at_start=False,
+            algorithms=("LOSS",),
+        )
+        curve = PerLocateCurve.from_per_locate_result(result, "LOSS")
+        assert curve.lengths == (4, 16)
+        assert curve.at(4) > curve.at(16)
+
+
+class TestStability:
+    def test_unscheduled_rate_limit(self):
+        # At batch 1 the drive does ~49 I/Os per hour.
+        assert is_stable(CURVE, 1, 40.0)
+        assert not is_stable(CURVE, 1, 60.0)
+
+    def test_bigger_batches_raise_the_ceiling(self):
+        assert not is_stable(CURVE, 1, 100.0)
+        assert is_stable(CURVE, 96, 100.0)
+
+    def test_min_stable_batch(self):
+        assert min_stable_batch(CURVE, 40.0) == 1
+        assert min_stable_batch(CURVE, 100.0) == 96
+        # Beyond even the 1024-batch ceiling (~293/hour).
+        assert min_stable_batch(CURVE, 400.0) is None
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            is_stable(CURVE, 1, 0.0)
+
+
+class TestResponsePlanning:
+    def test_unstable_is_infinite(self):
+        assert math.isinf(
+            estimated_response_seconds(CURVE, 1, 200.0)
+        )
+
+    def test_finite_at_stable_point(self):
+        estimate = estimated_response_seconds(CURVE, 96, 100.0)
+        # Fill wait 96/(2*rate) = 1728 s; service wait 96*27.5/2 = 1320.
+        assert estimate == pytest.approx(1728.0 + 1320.0)
+
+    def test_recommend_balances_fill_and_service(self):
+        recommendation = recommend_batch(CURVE, 100.0)
+        assert recommendation is not None
+        batch, estimate = recommendation
+        assert batch == 96
+        assert estimate < estimated_response_seconds(CURVE, 1024, 100.0)
+
+    def test_recommend_none_when_overloaded(self):
+        assert recommend_batch(CURVE, 500.0) is None
+
+    def test_low_rate_prefers_small_batches(self):
+        batch, _ = recommend_batch(CURVE, 20.0)
+        assert batch <= 10

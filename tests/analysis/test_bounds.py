@@ -1,0 +1,86 @@
+"""Schedule lower bounds and optimality gaps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import optimality_gap, schedule_lower_bound
+from repro.analysis.bounds import in_edge_bound, out_edge_bound
+from repro.scheduling import (
+    FifoScheduler,
+    LossScheduler,
+    OptScheduler,
+    get_scheduler,
+)
+
+
+class TestMatrixBounds:
+    def test_in_edge_bound_simple(self):
+        distance = np.asarray([[1.0, 5.0], [9.0, 2.0], [7.0, 8.0]])
+        assert in_edge_bound(distance) == pytest.approx(1.0 + 2.0)
+
+    def test_out_edge_bound_drops_final_row(self):
+        distance = np.asarray([[1.0, 5.0], [9.0, 2.0], [7.0, 8.0]])
+        # Origin row min 1; inner row mins 2 and 7; drop the larger.
+        assert out_edge_bound(distance) == pytest.approx(1.0 + 2.0)
+
+
+class TestScheduleBound:
+    def test_bound_never_exceeds_opt(self, tiny_model, rng):
+        for _ in range(8):
+            batch = rng.choice(
+                tiny_model.geometry.total_segments, 8, replace=False
+            ).tolist()
+            opt = OptScheduler().schedule(tiny_model, 0, batch)
+            bound = schedule_lower_bound(tiny_model, 0, batch)
+            assert bound <= opt.estimated_seconds + 1e-9
+
+    def test_bound_below_every_heuristic(self, full_model, rng):
+        batch = rng.choice(
+            full_model.geometry.total_segments, 64, replace=False
+        ).tolist()
+        bound = schedule_lower_bound(full_model, 0, batch)
+        for name in ("FIFO", "SORT", "SLTF", "SCAN", "WEAVE", "LOSS"):
+            schedule = get_scheduler(name).schedule(full_model, 0, batch)
+            assert bound <= schedule.estimated_seconds + 1e-9, name
+
+    def test_transfers_flag(self, tiny_model, rng):
+        batch = rng.choice(
+            tiny_model.geometry.total_segments, 6, replace=False
+        ).tolist()
+        with_transfers = schedule_lower_bound(tiny_model, 0, batch)
+        without = schedule_lower_bound(
+            tiny_model, 0, batch, include_transfers=False
+        )
+        assert with_transfers > without
+
+
+class TestOptimalityGap:
+    def test_loss_gap_is_modest(self, full_model, rng):
+        # The evaluation the paper could not run: LOSS sits within a
+        # bounded factor of optimal at sizes far past OPT's reach.
+        gaps = []
+        for _ in range(4):
+            batch = rng.choice(
+                full_model.geometry.total_segments, 96, replace=False
+            ).tolist()
+            schedule = LossScheduler().schedule(full_model, 0, batch)
+            gaps.append(optimality_gap(full_model, schedule))
+        mean_gap = float(np.mean(gaps))
+        assert 0.0 <= mean_gap < 0.8
+
+    def test_fifo_gap_is_large(self, full_model, rng):
+        batch = rng.choice(
+            full_model.geometry.total_segments, 96, replace=False
+        ).tolist()
+        fifo = FifoScheduler().schedule(full_model, 0, batch)
+        loss = LossScheduler().schedule(full_model, 0, batch)
+        assert optimality_gap(full_model, fifo) > 2 * optimality_gap(
+            full_model, loss
+        )
+
+    def test_opt_gap_nonnegative(self, tiny_model, rng):
+        batch = rng.choice(
+            tiny_model.geometry.total_segments, 7, replace=False
+        ).tolist()
+        opt = OptScheduler().schedule(tiny_model, 0, batch)
+        assert optimality_gap(tiny_model, opt) >= 0.0

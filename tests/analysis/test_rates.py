@@ -1,0 +1,30 @@
+"""Retrieval-rate arithmetic."""
+
+import pytest
+
+from repro.analysis import PaperSummaryTargets, hours_for_batch, ios_per_hour
+
+
+class TestRates:
+    def test_basic(self):
+        assert ios_per_hour(3600.0, 50) == pytest.approx(50.0)
+        assert ios_per_hour(1800.0, 50) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ios_per_hour(0.0, 5)
+        with pytest.raises(ValueError):
+            ios_per_hour(10.0, 0)
+
+    def test_hours(self):
+        assert hours_for_batch(7200.0) == pytest.approx(2.0)
+
+    def test_paper_targets_are_self_consistent(self):
+        targets = PaperSummaryTargets()
+        # 192 I/Os at the unscheduled rate of ~50/hour is ~3.87 hours.
+        assert 192 / targets.fifo_rate == pytest.approx(
+            targets.fifo_hours_192, rel=0.02
+        )
+        # READ at 1536: 14,000 s for the whole tape.
+        implied_read_seconds = 3600.0 * 1536 / targets.read_rate_at_1536
+        assert implied_read_seconds == pytest.approx(14_000, rel=0.02)

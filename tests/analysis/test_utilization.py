@@ -1,0 +1,78 @@
+"""Utilization algebra (Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FIGURE7_UTILIZATIONS,
+    transfer_size_for_utilization,
+    utilization_curve,
+    utilization_for_transfer_size,
+)
+
+
+class TestFormula:
+    def test_round_trip(self):
+        for utilization in FIGURE7_UTILIZATIONS:
+            size = transfer_size_for_utilization(
+                utilization, schedule_length=10,
+                total_locate_seconds=400.0,
+            )
+            back = utilization_for_transfer_size(
+                size, schedule_length=10, total_locate_seconds=400.0
+            )
+            assert back == pytest.approx(utilization)
+
+    def test_higher_utilization_needs_bigger_transfers(self):
+        sizes = [
+            transfer_size_for_utilization(u, 10, 400.0)
+            for u in (0.25, 0.5, 0.9)
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_longer_schedules_need_smaller_transfers(self):
+        # Locate cost per request falls faster than 1/n stays constant;
+        # with a fixed per-request locate cost the size is constant, so
+        # feed decreasing per-request costs as in reality.
+        small = transfer_size_for_utilization(0.5, 10, 10 * 40.0)
+        large = transfer_size_for_utilization(0.5, 1000, 1000 * 12.0)
+        assert large < small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transfer_size_for_utilization(0.0, 10, 100.0)
+        with pytest.raises(ValueError):
+            transfer_size_for_utilization(1.0, 10, 100.0)
+        with pytest.raises(ValueError):
+            transfer_size_for_utilization(0.5, 0, 100.0)
+        with pytest.raises(ValueError):
+            transfer_size_for_utilization(0.5, 10, -1.0)
+        with pytest.raises(ValueError):
+            utilization_for_transfer_size(0.0, 1, 0.0)
+
+    def test_curve_vectorized(self):
+        lengths = np.asarray([1, 10, 100])
+        locates = np.asarray([70.0, 400.0, 2700.0])
+        curve = utilization_curve(0.5, lengths, locates)
+        assert curve.shape == (3,)
+        expected = [
+            transfer_size_for_utilization(0.5, int(n), float(ell)) / 1e6
+            for n, ell in zip(lengths, locates)
+        ]
+        np.testing.assert_allclose(curve, expected)
+
+
+class TestPaperReadings:
+    def test_solitary_io_needs_50_to_100_mb(self):
+        # Paper Section 8: "solitary I/Os need to transfer contiguous
+        # chunks of at least 50-100 MB to get good device utilization."
+        # One random locate costs ~72 s on average.
+        size = transfer_size_for_utilization(0.5, 1, 72.4)
+        assert 50e6 < size < 150e6
+
+    def test_scheduled_batches_need_10_to_25_mb(self):
+        # "Scheduling ... giving acceptable utilization with transfer
+        # sizes in the range 10-25 MB" -- e.g. ~28 s per locate at
+        # batch size 96 and 50% utilization.
+        size = transfer_size_for_utilization(0.5, 96, 96 * 28.0)
+        assert 10e6 < size < 50e6

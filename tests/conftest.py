@@ -1,0 +1,43 @@
+"""Shared fixtures.
+
+Expensive objects (full-size tapes, their models) are session-scoped;
+everything built from them in tests must treat them as immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import generate_tape, tiny_tape
+from repro.model import LocateTimeModel
+
+
+@pytest.fixture(scope="session")
+def tiny():
+    """A miniature tape: 4 tracks, a few hundred segments."""
+    return tiny_tape(seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny):
+    """Locate model for the miniature tape."""
+    return LocateTimeModel(tiny)
+
+
+@pytest.fixture(scope="session")
+def full_tape():
+    """A full-size (622,058 segment) synthetic cartridge."""
+    return generate_tape(seed=1)
+
+
+@pytest.fixture(scope="session")
+def full_model(full_tape):
+    """Locate model for the full-size cartridge."""
+    return LocateTimeModel(full_tape)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,100 @@
+"""Fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.drive import FaultyModel, SimulatedDrive
+from repro.scheduling import (
+    FifoScheduler,
+    LossScheduler,
+    execute_schedule,
+)
+
+
+class TestFaultyModel:
+    def test_validation(self, tiny_model):
+        with pytest.raises(ValueError):
+            FaultyModel(tiny_model, retry_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultyModel(tiny_model, backup_sections=-1.0)
+
+    def test_zero_rate_is_transparent(self, tiny_model, rng):
+        faulty = FaultyModel(tiny_model, retry_probability=0.0)
+        destinations = rng.integers(0, 100, 50)
+        np.testing.assert_array_equal(
+            faulty.locate_times(0, destinations),
+            tiny_model.locate_times(0, destinations),
+        )
+
+    def test_faults_only_add_time(self, tiny_model, rng):
+        faulty = FaultyModel(tiny_model, retry_probability=0.3, seed=1)
+        destinations = rng.integers(0, 100, 200)
+        base = tiny_model.locate_times(0, destinations)
+        measured = faulty.locate_times(0, destinations)
+        assert (measured >= base).all()
+        assert (measured > base).any()
+
+    def test_fault_rate_approximately_respected(self, full_model, rng):
+        faulty = FaultyModel(full_model, retry_probability=0.05, seed=2)
+        sources = rng.integers(0, full_model.geometry.total_segments,
+                               20_000)
+        destinations = rng.integers(
+            0, full_model.geometry.total_segments, 20_000
+        )
+        base = full_model.times(sources, destinations)
+        measured = faulty.times(sources, destinations)
+        rate = float((measured > base).mean())
+        assert 0.03 < rate < 0.07
+
+    def test_deterministic_per_pair(self, tiny_model, rng):
+        faulty = FaultyModel(tiny_model, retry_probability=0.2, seed=3)
+        destinations = rng.integers(0, 100, 100)
+        first = faulty.locate_times(7, destinations)
+        second = faulty.locate_times(7, destinations)
+        np.testing.assert_array_equal(first, second)
+
+    def test_retry_penalty_positive(self, tiny_model):
+        faulty = FaultyModel(tiny_model, backup_sections=0.5)
+        assert faulty.retry_penalty_seconds() == pytest.approx(
+            0.5 * (10.0 + 15.5)
+        )
+
+
+class TestRobustnessUnderFaults:
+    def test_schedules_complete_and_loss_still_wins(self, full_model,
+                                                    rng):
+        faulty = FaultyModel(full_model, retry_probability=0.05, seed=4)
+        batch = rng.choice(
+            full_model.geometry.total_segments, 48, replace=False
+        ).tolist()
+
+        loss_schedule = LossScheduler().schedule(full_model, 0, batch)
+        fifo_schedule = FifoScheduler().schedule(full_model, 0, batch)
+
+        loss_time = execute_schedule(
+            SimulatedDrive(faulty), loss_schedule
+        ).total_seconds
+        fifo_time = execute_schedule(
+            SimulatedDrive(faulty), fifo_schedule
+        ).total_seconds
+        assert loss_time < 0.7 * fifo_time
+
+    def test_estimate_error_scales_with_fault_rate(self, full_model,
+                                                   rng):
+        batch = rng.choice(
+            full_model.geometry.total_segments, 64, replace=False
+        ).tolist()
+        schedule = LossScheduler().schedule(full_model, 0, batch)
+        errors = []
+        for probability in (0.01, 0.10):
+            faulty = FaultyModel(
+                full_model, retry_probability=probability, seed=5
+            )
+            measured = execute_schedule(
+                SimulatedDrive(faulty), schedule
+            ).total_seconds
+            errors.append(
+                abs(schedule.estimated_seconds - measured) / measured
+            )
+        assert errors[0] < errors[1]
+        assert errors[1] < 0.25

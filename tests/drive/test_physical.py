@@ -1,0 +1,60 @@
+"""Ground-truth drive: deviations from the idealized model."""
+
+import numpy as np
+import pytest
+
+from repro.drive import (
+    SimulatedDrive,
+    TapeDrive,
+    ground_truth_drive,
+    ground_truth_model,
+)
+
+
+class TestGroundTruthModel:
+    def test_deviates_from_ideal(self, full_tape, full_model, rng):
+        truth = ground_truth_model(full_tape)
+        destinations = rng.integers(0, full_tape.total_segments, 1000)
+        ideal = full_model.locate_times(0, destinations)
+        measured = truth.locate_times(0, destinations)
+        assert not np.allclose(ideal, measured)
+        # ...but only slightly: the paper's model was good to ~2 s on
+        # nearly every locate.
+        assert float(np.abs(ideal - measured).max()) < 2.0
+
+    def test_short_locates_biased_long(self, full_tape, full_model, rng):
+        truth = ground_truth_model(full_tape)
+        destinations = rng.integers(0, full_tape.total_segments, 5000)
+        ideal = full_model.locate_times(0, destinations)
+        measured = truth.locate_times(0, destinations)
+        short = ideal < 30.0
+        long = ~short
+        assert (measured[short] - ideal[short]).mean() > 0.2
+        assert abs(float((measured[long] - ideal[long]).mean())) < 0.1
+
+    def test_reproducible_measurements(self, full_tape, rng):
+        destinations = rng.integers(0, full_tape.total_segments, 100)
+        a = ground_truth_model(full_tape, seed=5).locate_times(
+            0, destinations
+        )
+        b = ground_truth_model(full_tape, seed=5).locate_times(
+            0, destinations
+        )
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGroundTruthDrive:
+    def test_factory_wiring(self, tiny):
+        drive = ground_truth_drive(tiny, initial_position=9)
+        assert isinstance(drive, SimulatedDrive)
+        assert isinstance(drive, TapeDrive)
+        assert drive.position == 9
+        assert drive.geometry is tiny
+
+    def test_drive_uses_deviating_model(self, tiny, tiny_model):
+        truth = ground_truth_drive(tiny)
+        ideal = SimulatedDrive(tiny_model)
+        destination = tiny.total_segments // 2
+        assert truth.locate(destination) != pytest.approx(
+            ideal.locate(destination), abs=1e-9
+        )

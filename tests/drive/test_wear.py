@@ -1,0 +1,101 @@
+"""Tape-wear accounting."""
+
+import pytest
+
+from repro.drive import (
+    DLT_RATED_PASSES,
+    EXABYTE_RATED_PASSES,
+    SimulatedDrive,
+    WearMeter,
+)
+from repro.geometry.tape import TAPE_PHYS_LENGTH
+
+
+class TestWearMeter:
+    def test_passes_from_travel(self):
+        meter = WearMeter()
+        meter.add_travel(3 * TAPE_PHYS_LENGTH)
+        assert meter.passes == pytest.approx(3.0)
+        assert meter.life_used_fraction == pytest.approx(
+            3.0 / DLT_RATED_PASSES
+        )
+        assert meter.passes_remaining == pytest.approx(
+            DLT_RATED_PASSES - 3.0
+        )
+
+    def test_rejects_negative_travel(self):
+        with pytest.raises(ValueError):
+            WearMeter().add_travel(-1.0)
+
+    def test_ratings_contrast(self):
+        # Section 2: helical scan wears out orders of magnitude sooner.
+        assert DLT_RATED_PASSES > 100 * EXABYTE_RATED_PASSES
+
+    def test_report_text(self):
+        meter = WearMeter()
+        meter.add_travel(TAPE_PHYS_LENGTH)
+        assert "passes" in meter.report()
+
+
+class TestDriveIntegration:
+    def test_full_tape_read_is_one_pass_per_track(self, tiny_model, tiny):
+        meter = WearMeter()
+        drive = SimulatedDrive(tiny_model, wear_meter=meter)
+        drive.read_entire_tape()
+        # One end-to-end traversal per track plus the (tiny) rewind.
+        assert meter.passes == pytest.approx(tiny.num_tracks, abs=0.2)
+
+    def test_locate_overshoot_counted(self, tiny_model, tiny):
+        meter = WearMeter()
+        drive = SimulatedDrive(tiny_model, wear_meter=meter)
+        destination = tiny.total_segments // 2
+        drive.locate(destination)
+        direct = abs(
+            float(tiny.phys_of(destination)) - float(tiny.phys_of(0))
+        )
+        # Travel is at least the direct distance (scan target overshoot
+        # can add more).
+        assert meter.travel_sections >= direct - 1e-9
+
+    def test_reads_and_rewinds_accumulate(self, tiny_model):
+        meter = WearMeter()
+        drive = SimulatedDrive(tiny_model, wear_meter=meter)
+        drive.locate(50)
+        after_locate = meter.travel_sections
+        drive.read(10)
+        after_read = meter.travel_sections
+        drive.rewind()
+        after_rewind = meter.travel_sections
+        assert after_locate > 0
+        assert after_read > after_locate
+        assert after_rewind > after_read
+
+    def test_no_meter_by_default(self, tiny_model):
+        drive = SimulatedDrive(tiny_model)
+        drive.locate(10)
+        assert drive.wear_meter is None
+
+    def test_scheduling_reduces_wear(self, full_model, rng):
+        # Scheduling does not just save time -- it saves tape life.
+        from repro.scheduling import (
+            FifoScheduler,
+            LossScheduler,
+            execute_schedule,
+        )
+
+        batch = rng.choice(
+            full_model.geometry.total_segments, 48, replace=False
+        ).tolist()
+
+        fifo_meter = WearMeter()
+        drive = SimulatedDrive(full_model, wear_meter=fifo_meter)
+        execute_schedule(
+            drive, FifoScheduler().schedule(full_model, 0, batch)
+        )
+
+        loss_meter = WearMeter()
+        drive = SimulatedDrive(full_model, wear_meter=loss_meter)
+        execute_schedule(
+            drive, LossScheduler().schedule(full_model, 0, batch)
+        )
+        assert loss_meter.passes < 0.6 * fifo_meter.passes

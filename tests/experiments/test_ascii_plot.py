@@ -1,0 +1,83 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.ascii_plot import (
+    render_per_locate_result,
+    render_series,
+)
+
+
+class TestRenderSeries:
+    def test_basic_structure(self):
+        chart = render_series(
+            [1, 10, 100],
+            {"a": [10.0, 5.0, 1.0], "b": [20.0, 10.0, 2.0]},
+            width=40,
+            height=10,
+            title="demo",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        # Frame: top rule + 10 rows + bottom rule.
+        assert sum(1 for line in lines if "|" in line) == 10
+        assert "a" in lines[-1] and "b" in lines[-1]
+
+    def test_log_axes(self):
+        chart = render_series(
+            [1, 10, 100],
+            {"s": [100.0, 10.0, 1.0]},
+            log_x=True,
+            log_y=True,
+            width=30,
+            height=8,
+        )
+        # A log-log straight line: glyphs on the anti-diagonal.
+        rows = [line for line in chart.splitlines() if "|" in line]
+        cols = [row.index("o") for row in rows if "o" in row]
+        assert cols == sorted(cols)
+
+    def test_none_points_skipped(self):
+        chart = render_series(
+            [1, 2, 3],
+            {"s": [1.0, None, 3.0]},
+            width=20,
+            height=5,
+        )
+        plotted = "".join(
+            line for line in chart.splitlines() if "|" in line
+        )
+        assert plotted.count("o") == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_series([1], {}, width=10, height=5)
+        with pytest.raises(ValueError):
+            render_series([1, 2], {"s": [1.0]}, width=10, height=5)
+        with pytest.raises(ValueError):
+            render_series([1], {"s": [None]}, width=10, height=5)
+        with pytest.raises(ValueError):
+            render_series([0], {"s": [1.0]}, log_x=True)
+
+    def test_distinct_glyphs(self):
+        chart = render_series(
+            [1, 2],
+            {"one": [1.0, 2.0], "two": [2.0, 4.0], "three": [3.0, 6.0]},
+            width=20,
+            height=6,
+        )
+        for glyph in "ox+":
+            assert glyph in chart
+
+
+class TestRenderPerLocate:
+    def test_from_runner_result(self):
+        from repro.experiments import ExperimentConfig, run_per_locate
+
+        config = ExperimentConfig(lengths=(2, 16), scale="quick")
+        result = run_per_locate(
+            config, origin_at_start=False, algorithms=("FIFO", "LOSS")
+        )
+        chart = render_per_locate_result(result, width=40, height=10)
+        assert "FIFO" in chart and "LOSS" in chart
+        assert "random start" in chart

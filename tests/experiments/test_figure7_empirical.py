@@ -1,0 +1,57 @@
+"""Empirical Figure 7 cross-check."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, figure7_empirical
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure7_empirical.run(
+        ExperimentConfig(scale="quick"),
+        lengths=(10, 96),
+        transfer_mb=(1.0, 30.0),
+        trials=2,
+    )
+
+
+class TestFigure7Empirical:
+    def test_algebra_accurate_in_figure7_regime(self, result):
+        # While total transfer is small against the cartridge, the
+        # analytic prediction is within ~3 utilization points.
+        for key, measured in result.measured.items():
+            predicted = result.predicted[key]
+            assert abs(measured - predicted) < 0.05, key
+
+    def test_utilization_monotone_in_transfer_size(self, result):
+        for length in result.lengths:
+            assert (
+                result.measured[(length, 1.0)]
+                < result.measured[(length, 30.0)]
+            )
+
+    def test_longer_schedules_use_the_drive_better(self, result):
+        for megabytes in result.transfer_mb:
+            assert (
+                result.measured[(10, megabytes)]
+                < result.measured[(96, megabytes)]
+            )
+
+    def test_rows_and_report(self, result, capsys):
+        rows = result.rows()
+        assert len(rows) == 4
+        figure7_empirical.report(result)
+        assert "cross-check" in capsys.readouterr().out
+
+    def test_overlap_regime_breaks_the_algebra(self):
+        # When the batch's data approaches the cartridge capacity the
+        # prediction over-shoots badly -- the documented breakdown.
+        result = figure7_empirical.run(
+            ExperimentConfig(scale="quick"),
+            lengths=(512,),
+            transfer_mb=(100.0,),
+            trials=1,
+        )
+        measured = result.measured[(512, 100.0)]
+        predicted = result.predicted[(512, 100.0)]
+        assert predicted - measured > 0.10

@@ -1,0 +1,54 @@
+"""Optimality-gap experiment."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, optimality
+
+
+@pytest.fixture(scope="module")
+def result():
+    return optimality.run(
+        ExperimentConfig(scale="quick"),
+        algorithms=("OPT", "LOSS", "SLTF", "FIFO"),
+        lengths=(8, 48),
+        trials=4,
+    )
+
+
+class TestOptimalityExperiment:
+    def test_gaps_nonnegative(self, result):
+        for stats in result.gaps.values():
+            assert stats.mean >= 0.0
+
+    def test_algorithm_ranking(self, result):
+        # Scheduled algorithms sit far below FIFO everywhere; LOSS
+        # beats SLTF at the batch sizes it is recommended for (tiny
+        # batches at few trials can go either way between greedy
+        # heuristics).
+        for length in result.lengths:
+            loss = result.gaps[("LOSS", length)].mean
+            fifo = result.gaps[("FIFO", length)].mean
+            assert loss < fifo / 2
+        assert (
+            result.gaps[("LOSS", 48)].mean
+            < result.gaps[("SLTF", 48)].mean
+        )
+
+    def test_opt_bounds_the_bound(self, result):
+        # At small N, OPT's own gap measures how loose the relaxation
+        # is; every heuristic's *true* distance from optimal is its
+        # gap minus roughly that.
+        opt_gap = result.gaps[("OPT", 8)].mean
+        loss_gap = result.gaps[("LOSS", 8)].mean
+        assert opt_gap <= loss_gap + 1e-9
+        assert opt_gap < 60.0
+
+    def test_opt_skipped_beyond_range(self, result):
+        assert ("OPT", 48) not in result.gaps
+
+    def test_rows_and_report(self, result, capsys):
+        rows = result.rows()
+        assert len(rows) == 2
+        assert rows[1][1] is None  # OPT cell at 48
+        optimality.report(result)
+        assert "lower bound" in capsys.readouterr().out

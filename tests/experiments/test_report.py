@@ -1,0 +1,39 @@
+"""Text-table rendering."""
+
+from repro.experiments.report import format_cell, format_table
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_float_precision(self):
+        assert format_cell(3.14159, precision=2) == "3.14"
+        assert format_cell(3.14159, precision=4) == "3.1416"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_width_pads(self):
+        assert format_cell(7, width=4) == "   7"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["N", "value"], [[1, 2.5], [100, 33.25]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows share a width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title_and_rule(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_none_cells(self):
+        text = format_table(["a", "b"], [[1, None]])
+        assert "-" in text.splitlines()[-1]

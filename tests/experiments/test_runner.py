@@ -1,0 +1,92 @@
+"""The Figure 3 simulation loop."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_per_locate
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    config = ExperimentConfig(lengths=(2, 8, 12, 16), scale="quick")
+    return run_per_locate(
+        config,
+        origin_at_start=False,
+        algorithms=("FIFO", "LOSS", "OPT"),
+    )
+
+
+class TestRunner:
+    def test_points_populated(self, small_result):
+        for algorithm in ("FIFO", "LOSS"):
+            for length in (2, 8, 12, 16):
+                point = small_result.point(algorithm, length)
+                assert point.total.count > 0
+
+    def test_opt_respects_paper_range(self, small_result):
+        assert small_result.point("OPT", 12).total.count > 0
+        assert small_result.point("OPT", 16).total.count == 0
+
+    def test_opt_never_worse_than_loss(self, small_result):
+        # Same seeded batches feed both algorithms within a trial, and
+        # OPT is exact, so its mean can exceed LOSS's only through its
+        # smaller trial budget; at length 2 budgets coincide.
+        opt = small_result.point("OPT", 2)
+        loss = small_result.point("LOSS", 2)
+        assert opt.per_locate_mean <= loss.per_locate_mean + 1e-9
+
+    def test_rows_layout(self, small_result):
+        rows = small_result.rows()
+        assert len(rows) == 4
+        assert rows[0][0] == 2
+        assert rows[-1][1:][0] is not None  # FIFO cell at length 16
+        assert rows[-1][3] is None  # OPT cell at length 16
+
+    def test_per_locate_metrics(self, small_result):
+        point = small_result.point("FIFO", 8)
+        assert point.per_locate_mean == pytest.approx(
+            point.total.mean / 8
+        )
+        assert point.locate_only_mean < point.total.mean
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        config = ExperimentConfig(lengths=(4,), scale="quick")
+        first = run_per_locate(
+            config, origin_at_start=True, algorithms=("LOSS",)
+        )
+        second = run_per_locate(
+            config, origin_at_start=True, algorithms=("LOSS",)
+        )
+        assert first.point("LOSS", 4).total.mean == pytest.approx(
+            second.point("LOSS", 4).total.mean
+        )
+
+    def test_workload_seed_changes_results(self):
+        base = ExperimentConfig(lengths=(4,), scale="quick")
+        other = ExperimentConfig(
+            lengths=(4,), scale="quick", workload_seed=99
+        )
+        first = run_per_locate(
+            base, origin_at_start=True, algorithms=("LOSS",)
+        )
+        second = run_per_locate(
+            other, origin_at_start=True, algorithms=("LOSS",)
+        )
+        assert first.point("LOSS", 4).total.mean != pytest.approx(
+            second.point("LOSS", 4).total.mean
+        )
+
+
+class TestCpuMeasurement:
+    def test_cpu_recorded_when_asked(self):
+        config = ExperimentConfig(lengths=(4,), scale="quick")
+        result = run_per_locate(
+            config,
+            origin_at_start=False,
+            algorithms=("SORT",),
+            measure_cpu=True,
+        )
+        point = result.point("SORT", 4)
+        assert point.cpu.count == point.total.count
+        assert point.cpu.mean >= 0.0

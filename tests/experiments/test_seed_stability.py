@@ -1,0 +1,45 @@
+"""Seed-stability replication (Section 5)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, seed_stability
+
+
+@pytest.fixture(scope="module")
+def result():
+    return seed_stability.run(
+        ExperimentConfig(scale="quick"), seeds=(0, 1, 2)
+    )
+
+
+class TestSeedStability:
+    def test_all_cells_populated(self, result):
+        for algorithm in result.algorithms:
+            for length in result.lengths:
+                assert result.means[(algorithm, length)].shape == (3,)
+
+    def test_spread_well_below_algorithm_separation(self, result):
+        # The paper's point: the reported differences between
+        # algorithms are not seed artifacts.  FIFO vs LOSS differ by
+        # >100%; seed spread at quick scale stays below 10%.
+        for length in result.lengths:
+            fifo = result.means[("FIFO", length)].mean()
+            loss = result.means[("LOSS", length)].mean()
+            gap = (fifo - loss) / loss
+            for algorithm in result.algorithms:
+                assert result.relative_spread(algorithm, length) < gap
+
+    def test_spreads_are_small(self, result):
+        for algorithm in result.algorithms:
+            for length in result.lengths:
+                assert result.relative_spread(algorithm, length) < 0.10
+
+    def test_rows_and_report(self, result, capsys):
+        rows = result.rows()
+        assert len(rows) == len(result.lengths)
+        seed_stability.report(result)
+        assert "spread" in capsys.readouterr().out
+
+    def test_separation_metric(self, result):
+        for length in result.lengths:
+            assert result.separation(length) >= 0.0

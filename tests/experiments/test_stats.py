@@ -1,0 +1,57 @@
+"""Streaming statistics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import RunningStats
+
+
+class TestRunningStats:
+    def test_matches_numpy(self, rng):
+        values = rng.normal(50.0, 12.0, 500)
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.count == 500
+        assert stats.mean == pytest.approx(float(values.mean()))
+        assert stats.std == pytest.approx(
+            float(values.std(ddof=1)), rel=1e-9
+        )
+
+    def test_small_counts(self):
+        stats = RunningStats()
+        assert stats.variance == 0.0
+        assert stats.stderr == 0.0
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+
+    def test_stderr(self, rng):
+        values = rng.normal(0.0, 1.0, 100)
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.stderr == pytest.approx(stats.std / 10.0)
+
+    def test_merge_matches_pooled(self, rng):
+        left_values = rng.normal(10.0, 2.0, 120)
+        right_values = rng.normal(30.0, 5.0, 80)
+        left = RunningStats()
+        left.extend(left_values)
+        right = RunningStats()
+        right.extend(right_values)
+        left.merge(right)
+
+        pooled = np.concatenate((left_values, right_values))
+        assert left.count == 200
+        assert left.mean == pytest.approx(float(pooled.mean()))
+        assert left.std == pytest.approx(
+            float(pooled.std(ddof=1)), rel=1e-9
+        )
+
+    def test_merge_with_empty(self):
+        stats = RunningStats()
+        stats.add(4.0)
+        stats.merge(RunningStats())
+        assert stats.count == 1
+        empty = RunningStats()
+        empty.merge(stats)
+        assert empty.mean == 4.0

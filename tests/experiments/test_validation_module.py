@@ -1,0 +1,68 @@
+"""The shared validation machinery (Figures 8/9 substrate)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.validation import (
+    ValidationResult,
+    run_validation,
+)
+from repro.geometry import generate_tape
+from repro.model import LocateTimeModel
+
+
+@pytest.fixture(scope="module")
+def tape():
+    return generate_tape(seed=41)
+
+
+class TestRunValidation:
+    def test_structure(self, tape):
+        result = run_validation(
+            schedule_model=LocateTimeModel(tape),
+            true_geometry=tape,
+            config=ExperimentConfig(scale="quick"),
+            lengths=(8, 32),
+            trials=2,
+            label="unit",
+        )
+        assert isinstance(result, ValidationResult)
+        assert result.label == "unit"
+        assert [p.length for p in result.points] == [8, 32]
+        for point in result.points:
+            assert point.percent_error.count == 2
+
+    def test_max_length_filters(self, tape):
+        result = run_validation(
+            schedule_model=LocateTimeModel(tape),
+            true_geometry=tape,
+            config=ExperimentConfig(scale="quick", max_length=16),
+            lengths=(8, 16, 32),
+            trials=1,
+        )
+        assert [p.length for p in result.points] == [8, 16]
+
+    def test_identical_models_zero_error_without_deviation(self, tape):
+        # When the ground-truth deviations are disabled the estimate
+        # must equal the measurement exactly.
+        result = run_validation(
+            schedule_model=LocateTimeModel(tape),
+            true_geometry=tape,
+            config=ExperimentConfig(scale="quick"),
+            lengths=(16,),
+            trials=1,
+        )
+        # The default ground-truth drive deviates slightly; errors are
+        # small but nonzero.
+        assert 0.0 < abs(result.points[0].mean) < 3.0
+
+    def test_rows(self, tape):
+        result = run_validation(
+            schedule_model=LocateTimeModel(tape),
+            true_geometry=tape,
+            lengths=(8,),
+            trials=2,
+        )
+        rows = result.rows()
+        assert len(rows) == 1
+        assert rows[0][0] == 8

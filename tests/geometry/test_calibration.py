@@ -1,0 +1,139 @@
+"""Key-point calibration against the locate-time oracle."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import tiny_tape
+from repro.geometry.calibration import (
+    CalibrationError,
+    calibrate_key_points,
+    detect_drops,
+    geometry_from_key_points,
+    noisy_oracle,
+    sweep_locate_curve,
+)
+from repro.model import LocateTimeModel
+
+
+@pytest.fixture(scope="module")
+def tape():
+    return tiny_tape(seed=7, tracks=6)
+
+
+@pytest.fixture(scope="module")
+def model(tape):
+    return LocateTimeModel(tape)
+
+
+class TestDetectDrops:
+    def test_finds_synthetic_drop(self):
+        curve = np.asarray([1.0, 2.0, 3.0, 0.2, 1.2])
+        assert detect_drops(curve, threshold=2.5).tolist() == [3]
+
+    def test_threshold_respected(self):
+        curve = np.asarray([5.0, 3.0, 1.0])
+        assert detect_drops(curve, threshold=2.5).size == 0
+        assert detect_drops(curve, threshold=1.5).tolist() == [1, 2]
+
+    def test_sweep_shape(self, model, tape):
+        curve = sweep_locate_curve(
+            model.oracle(), 0, tape.total_segments
+        )
+        assert curve.shape == (tape.total_segments,)
+        assert float(curve[0]) == 0.0
+
+
+class TestCalibration:
+    def test_observable_key_points_exact(self, model, tape):
+        result = calibrate_key_points(
+            model.oracle(), tape.total_segments, tape.num_tracks
+        )
+        assert result.key_points.shape == (tape.num_tracks, 14)
+        assert result.max_observable_error(tape.all_key_points()) == 0
+
+    def test_rebuilt_model_matches_within_interpolation_bound(
+        self, model, tape
+    ):
+        # Only the interpolated first-dip boundary may perturb locate
+        # times (it is the scan target of ordinal section 2); the
+        # perturbation is bounded by the interpolation error times the
+        # track's physical density times the scan+read rates.
+        result = calibrate_key_points(
+            model.oracle(), tape.total_segments, tape.num_tracks
+        )
+        rebuilt = geometry_from_key_points(
+            result.key_points, tape.total_segments
+        )
+        rebuilt_model = LocateTimeModel(rebuilt)
+        rng = np.random.default_rng(0)
+        destinations = rng.integers(0, tape.total_segments, 500)
+        original = model.locate_times(0, destinations)
+        recovered = rebuilt_model.locate_times(0, destinations)
+
+        kp_error = result.max_error(tape.all_key_points())
+        min_track = min(layout.size for layout in tape.tracks)
+        bound = (kp_error + 1) * (14.0 / min_track) * 26.0
+        np.testing.assert_allclose(recovered, original, atol=bound)
+
+    def test_full_size_rebuild_is_subsecond(self, full_tape, full_model):
+        # On a real-size cartridge the interpolation error is a handful
+        # of segments against ~704-segment sections: locate times from
+        # the rebuilt geometry agree to well under a second.
+        result = calibrate_key_points(
+            full_model.oracle(),
+            full_tape.total_segments,
+            full_tape.num_tracks,
+        )
+        assert result.max_observable_error(full_tape.all_key_points()) == 0
+        rebuilt = geometry_from_key_points(
+            result.key_points, full_tape.total_segments
+        )
+        rebuilt_model = LocateTimeModel(rebuilt)
+        rng = np.random.default_rng(0)
+        destinations = rng.integers(0, full_tape.total_segments, 2000)
+        original = full_model.locate_times(0, destinations)
+        recovered = rebuilt_model.locate_times(0, destinations)
+        assert float(np.abs(recovered - original).max()) < 1.0
+
+    def test_probe_count_reported(self, model, tape):
+        result = calibrate_key_points(
+            model.oracle(), tape.total_segments, tape.num_tracks
+        )
+        assert result.probes == 2 * tape.total_segments
+
+    def test_mild_noise_survives(self, model, tape):
+        oracle = noisy_oracle(model.oracle(), sigma=0.3, seed=1)
+        result = calibrate_key_points(
+            oracle, tape.total_segments, tape.num_tracks
+        )
+        assert result.max_observable_error(tape.all_key_points()) <= 2
+
+    def test_heavy_noise_raises(self, model, tape):
+        oracle = noisy_oracle(model.oracle(), sigma=8.0, seed=1)
+        with pytest.raises(CalibrationError):
+            calibrate_key_points(
+                oracle, tape.total_segments, tape.num_tracks
+            )
+
+
+class TestGeometryFromKeyPoints:
+    def test_round_trip_section_sizes(self, tape):
+        rebuilt = geometry_from_key_points(
+            tape.all_key_points(), tape.total_segments
+        )
+        for original, recovered in zip(tape.tracks, rebuilt.tracks):
+            assert np.array_equal(
+                original.section_sizes, recovered.section_sizes
+            )
+
+    def test_rejects_bad_shape(self, tape):
+        with pytest.raises(Exception):
+            geometry_from_key_points(
+                tape.all_key_points()[:, :5], tape.total_segments
+            )
+
+    def test_rejects_non_increasing(self, tape):
+        points = tape.all_key_points()
+        points[0, 3] = points[0, 2]
+        with pytest.raises(Exception):
+            geometry_from_key_points(points, tape.total_segments)

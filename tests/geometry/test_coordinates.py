@@ -1,0 +1,66 @@
+"""Coordinate conventions: directions and section index mappings."""
+
+import pytest
+
+from repro.geometry.coordinates import (
+    SegmentCoordinate,
+    TrackDirection,
+    ordinal_section,
+    physical_section,
+)
+
+
+class TestTrackDirection:
+    def test_even_tracks_are_forward(self):
+        assert TrackDirection.of_track(0) is TrackDirection.FORWARD
+        assert TrackDirection.of_track(62) is TrackDirection.FORWARD
+
+    def test_odd_tracks_are_reverse(self):
+        assert TrackDirection.of_track(1) is TrackDirection.REVERSE
+        assert TrackDirection.of_track(63) is TrackDirection.REVERSE
+
+    def test_value_is_physical_sign(self):
+        assert int(TrackDirection.FORWARD) == 1
+        assert int(TrackDirection.REVERSE) == -1
+
+
+class TestOrdinalSection:
+    def test_forward_track_identity(self):
+        for section in range(14):
+            assert ordinal_section(0, section) == section
+
+    def test_reverse_track_flips(self):
+        assert ordinal_section(1, 13) == 0
+        assert ordinal_section(1, 0) == 13
+        assert ordinal_section(1, 6) == 7
+
+    def test_physical_section_is_inverse(self):
+        for track in (0, 1, 2, 63):
+            for section in range(14):
+                soi = ordinal_section(track, section)
+                assert physical_section(track, soi) == section
+
+    def test_reverse_first_written_section_is_13(self):
+        # Paper: the first segment written on a reverse track t' is
+        # (t', 13, k) -- ordinal section 0 is physical section 13.
+        assert physical_section(1, 0) == 13
+
+
+class TestSegmentCoordinate:
+    def test_properties(self):
+        coord = SegmentCoordinate(track=3, section=13, offset=600)
+        assert coord.direction is TrackDirection.REVERSE
+        assert coord.ordinal_section == 0
+        assert coord.as_tuple() == (3, 13, 600)
+
+    def test_codirectional(self):
+        forward_a = SegmentCoordinate(0, 2, 5)
+        forward_b = SegmentCoordinate(2, 9, 1)
+        reverse = SegmentCoordinate(1, 2, 5)
+        assert forward_a.is_codirectional(forward_b)
+        assert not forward_a.is_codirectional(reverse)
+
+    def test_frozen(self):
+        coord = SegmentCoordinate(0, 0, 0)
+        with pytest.raises(AttributeError):
+            coord.track = 1

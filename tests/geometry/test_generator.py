@@ -1,0 +1,78 @@
+"""Synthetic tape generation: determinism, totals, divergence."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_TOTAL_SEGMENTS
+from repro.exceptions import GeometryError
+from repro.geometry import generate_tape, make_tape_pair, tiny_tape
+
+
+class TestGenerateTape:
+    def test_exact_total(self):
+        tape = generate_tape(seed=9)
+        assert tape.total_segments == DEFAULT_TOTAL_SEGMENTS
+
+    def test_custom_total(self):
+        tape = generate_tape(seed=9, total_segments=500_000)
+        assert tape.total_segments == 500_000
+
+    def test_deterministic(self):
+        a = generate_tape(seed=5)
+        b = generate_tape(seed=5)
+        assert np.array_equal(a.all_key_points(), b.all_key_points())
+
+    def test_seeds_differ(self):
+        a = generate_tape(seed=5)
+        b = generate_tape(seed=6)
+        assert not np.array_equal(a.all_key_points(), b.all_key_points())
+
+    def test_odd_track_count_rejected(self):
+        with pytest.raises(GeometryError):
+            generate_tape(tracks=7)
+
+    def test_tiny_track_count_rejected(self):
+        with pytest.raises(GeometryError):
+            generate_tape(tracks=0)
+
+    def test_last_section_is_short(self):
+        tape = generate_tape(seed=2)
+        sizes = np.stack(
+            [layout.section_sizes for layout in tape.tracks]
+        )
+        # Paper: ~704 per section, section 13 significantly shorter
+        # (~600).
+        assert abs(float(sizes[:, :13].mean()) - 704) < 30
+        assert float(sizes[:, 13].mean()) < float(sizes[:, :13].mean()) - 50
+
+    def test_track_lengths_differ(self):
+        tape = generate_tape(seed=2)
+        lengths = {layout.size for layout in tape.tracks}
+        assert len(lengths) > 1
+
+
+class TestTinyTape:
+    def test_deterministic(self):
+        a = tiny_tape(seed=1)
+        b = tiny_tape(seed=1)
+        assert np.array_equal(a.all_key_points(), b.all_key_points())
+
+    def test_label(self):
+        assert tiny_tape(seed=4).label == "tiny-4"
+
+
+class TestTapePair:
+    def test_labels_and_divergence(self):
+        tape_a, tape_b = make_tape_pair(seed=0)
+        assert tape_a.label.startswith("tape-A")
+        assert tape_b.label.startswith("tape-B")
+        divergence = np.abs(
+            tape_a.all_key_points() - tape_b.all_key_points()
+        )
+        # The pair must diverge enough for Figure 9's "disastrous"
+        # wrong-key-point errors: hundreds of segments at least.
+        assert divergence.max() > 500
+
+    def test_same_total(self):
+        tape_a, tape_b = make_tape_pair(seed=1)
+        assert tape_a.total_segments == tape_b.total_segments

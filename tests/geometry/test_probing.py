@@ -1,0 +1,68 @@
+"""The adaptive probing calibrator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import tiny_tape
+from repro.geometry.calibration import (
+    CalibrationError,
+    calibrate_key_points,
+    noisy_oracle,
+)
+from repro.geometry.probing import probing_calibrate
+from repro.model import LocateTimeModel
+
+
+@pytest.fixture(scope="module")
+def tape():
+    return tiny_tape(seed=13, tracks=6, section_segments=20)
+
+
+@pytest.fixture(scope="module")
+def model(tape):
+    return LocateTimeModel(tape)
+
+
+class TestProbingCalibration:
+    def test_matches_dense_calibration(self, tape, model):
+        dense = calibrate_key_points(
+            model.oracle(), tape.total_segments, tape.num_tracks
+        )
+        sparse = probing_calibrate(
+            model.oracle(), tape.total_segments, tape.num_tracks
+        )
+        assert np.array_equal(sparse.key_points, dense.key_points)
+
+    def test_observable_recovery_is_exact(self, tape, model):
+        result = probing_calibrate(
+            model.oracle(), tape.total_segments, tape.num_tracks
+        )
+        assert result.max_observable_error(tape.all_key_points()) == 0
+
+    def test_orders_of_magnitude_fewer_probes(self, tape, model):
+        dense = calibrate_key_points(
+            model.oracle(), tape.total_segments, tape.num_tracks
+        )
+        sparse = probing_calibrate(
+            model.oracle(), tape.total_segments, tape.num_tracks
+        )
+        assert sparse.probes < dense.probes / 2
+        # Roughly log(section size) probes per key point, not one per
+        # segment.
+        assert sparse.probes < 40 * tape.num_tracks * 14
+
+    def test_full_size_tape(self, full_tape, full_model):
+        result = probing_calibrate(
+            full_model.oracle(),
+            full_tape.total_segments,
+            full_tape.num_tracks,
+        )
+        assert result.max_observable_error(full_tape.all_key_points()) == 0
+        assert result.probes < 60_000
+
+    def test_heavy_noise_raises(self, tape, model):
+        oracle = noisy_oracle(model.oracle(), sigma=8.0, seed=2)
+        with pytest.raises(CalibrationError):
+            probing_calibrate(
+                oracle, tape.total_segments, tape.num_tracks
+            )

@@ -1,0 +1,76 @@
+"""Geometry persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry import (
+    geometry_from_dict,
+    geometry_to_dict,
+    load_geometry,
+    save_geometry,
+    tiny_tape,
+)
+from repro.model import LocateTimeModel
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, tiny):
+        rebuilt = geometry_from_dict(geometry_to_dict(tiny))
+        assert rebuilt.label == tiny.label
+        assert rebuilt.total_segments == tiny.total_segments
+        assert np.array_equal(
+            rebuilt.all_key_points(), tiny.all_key_points()
+        )
+
+    def test_file_round_trip(self, tiny, tmp_path):
+        path = tmp_path / "cartridge.json"
+        save_geometry(tiny, path)
+        rebuilt = load_geometry(path)
+        assert np.array_equal(
+            rebuilt.all_key_points(), tiny.all_key_points()
+        )
+
+    def test_locate_times_survive(self, tiny, tmp_path, rng):
+        path = tmp_path / "cartridge.json"
+        save_geometry(tiny, path)
+        rebuilt = load_geometry(path)
+        destinations = rng.integers(0, tiny.total_segments, 200)
+        original = LocateTimeModel(tiny).locate_times(0, destinations)
+        recovered = LocateTimeModel(rebuilt).locate_times(0, destinations)
+        np.testing.assert_allclose(recovered, original)
+
+    def test_payload_is_json(self, tiny):
+        text = json.dumps(geometry_to_dict(tiny))
+        assert "repro-tape-geometry" in text
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(GeometryError):
+            geometry_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, tiny):
+        payload = geometry_to_dict(tiny)
+        payload["version"] = 99
+        with pytest.raises(GeometryError):
+            geometry_from_dict(payload)
+
+    def test_inconsistent_total_rejected(self, tiny):
+        payload = geometry_to_dict(tiny)
+        payload["total_segments"] += 1
+        with pytest.raises(GeometryError):
+            geometry_from_dict(payload)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(GeometryError):
+            load_geometry(path)
+
+    def test_distinct_tapes_serialize_differently(self):
+        a = geometry_to_dict(tiny_tape(seed=1))
+        b = geometry_to_dict(tiny_tape(seed=2))
+        assert a != b

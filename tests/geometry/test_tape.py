@@ -1,0 +1,166 @@
+"""TapeGeometry: mappings, key points, and validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError, SegmentOutOfRange
+from repro.geometry import TapeGeometry, TrackDirection, tiny_tape
+from repro.geometry.track import TrackLayout
+
+
+class TestConstruction:
+    def test_needs_tracks(self):
+        with pytest.raises(GeometryError):
+            TapeGeometry([])
+
+    def test_rejects_gap_in_segments(self, tiny):
+        layouts = list(tiny.tracks)
+        bad = TrackLayout(
+            track=1,
+            first_segment=layouts[1].first_segment + 5,
+            section_sizes=layouts[1].section_sizes,
+            phys_boundaries=layouts[1].phys_boundaries,
+        )
+        layouts[1] = bad
+        with pytest.raises(GeometryError):
+            TapeGeometry(layouts)
+
+    def test_rejects_out_of_order_tracks(self, tiny):
+        layouts = list(tiny.tracks)
+        layouts[0], layouts[1] = layouts[1], layouts[0]
+        with pytest.raises(GeometryError):
+            TapeGeometry(layouts)
+
+
+class TestRoundTrip:
+    def test_every_segment_round_trips(self, tiny):
+        for segment in range(tiny.total_segments):
+            coord = tiny.coordinate_of(segment)
+            back = tiny.segment_at(coord.track, coord.section, coord.offset)
+            assert back == segment
+
+    def test_section_ranges_are_contiguous(self, tiny):
+        for layout in tiny.iter_sections():
+            segments = np.arange(
+                layout.first_segment, layout.last_segment + 1
+            )
+            tracks = tiny.track_of(segments)
+            assert (tracks == layout.track).all()
+            sections = np.asarray(tiny.section_of(segments))
+            assert (sections == layout.section).all()
+
+    def test_segment_at_validates(self, tiny):
+        with pytest.raises(GeometryError):
+            tiny.segment_at(tiny.num_tracks, 0, 0)
+        with pytest.raises(GeometryError):
+            tiny.segment_at(0, 14, 0)
+        with pytest.raises(GeometryError):
+            tiny.segment_at(0, 0, 10_000)
+
+
+class TestPhysicalPositions:
+    def test_bounds(self, tiny):
+        phys = tiny.phys_of(np.arange(tiny.total_segments))
+        assert float(phys.min()) >= 0.0
+        assert float(phys.max()) <= 14.0
+
+    def test_forward_tracks_increase(self, tiny):
+        layout = tiny.track_layout(0)
+        segments = np.arange(layout.first_segment, layout.last_segment + 1)
+        assert np.all(np.diff(tiny.phys_of(segments)) > 0)
+
+    def test_reverse_tracks_decrease(self, tiny):
+        layout = tiny.track_layout(1)
+        segments = np.arange(layout.first_segment, layout.last_segment + 1)
+        assert np.all(np.diff(tiny.phys_of(segments)) < 0)
+
+    def test_serpentine_adjacency(self, tiny):
+        # The last segment of track 0 and the first of track 1 sit at
+        # nearly the same physical position (head reversal point).
+        end_of_0 = tiny.track_layout(0).last_segment
+        start_of_1 = tiny.track_layout(1).first_segment
+        gap = abs(
+            float(tiny.phys_of(end_of_0)) - float(tiny.phys_of(start_of_1))
+        )
+        assert gap < 0.5
+
+
+class TestSectionIndexes:
+    def test_ordinal_vs_physical(self, tiny):
+        segments = np.arange(tiny.total_segments)
+        soi = tiny.ordinal_section_of(segments)
+        section = np.asarray(tiny.section_of(segments))
+        direction = tiny.direction_of(segments)
+        forward = direction > 0
+        assert (soi[forward] == section[forward]).all()
+        assert (soi[~forward] == 13 - section[~forward]).all()
+
+    def test_global_section_distinct_per_section(self, tiny):
+        ids = set()
+        for layout in tiny.iter_sections():
+            gid = int(tiny.global_section_of(layout.first_segment))
+            assert gid not in ids
+            ids.add(gid)
+        assert len(ids) == tiny.num_tracks * 14
+
+
+class TestKeyPoints:
+    def test_key_point_shape_and_start(self, tiny):
+        kp = tiny.all_key_points()
+        assert kp.shape == (tiny.num_tracks, 14)
+        assert kp[0, 0] == 0
+        # Key points increase in segment order within every track.
+        assert (np.diff(kp, axis=1) > 0).all()
+
+    def test_scan_target_is_key_point_two_before(self, tiny):
+        # For a destination in ordinal section i >= 2 the scan target is
+        # the physical position of key point i - 1.
+        for track in range(tiny.num_tracks):
+            kp_segments = tiny.key_points(track)
+            kp_phys = tiny.key_point_phys(track)
+            for soi in range(2, 14):
+                destination = int(kp_segments[soi])
+                assert float(
+                    tiny.scan_target_phys(destination)
+                ) == pytest.approx(float(kp_phys[soi - 1]))
+
+    def test_scan_target_first_sections_is_track_start(self, tiny):
+        for track in (0, 1):
+            kp_segments = tiny.key_points(track)
+            start_phys = float(tiny.key_point_phys(track)[0])
+            for soi in (0, 1):
+                destination = int(kp_segments[soi])
+                assert float(
+                    tiny.scan_target_phys(destination)
+                ) == pytest.approx(start_phys)
+
+
+class TestValidationHelpers:
+    def test_check_segment(self, tiny):
+        tiny.check_segment(0)
+        tiny.check_segment(tiny.total_segments - 1)
+        with pytest.raises(SegmentOutOfRange):
+            tiny.check_segment(-1)
+        with pytest.raises(SegmentOutOfRange):
+            tiny.check_segment(tiny.total_segments)
+
+    def test_check_segments_array(self, tiny):
+        tiny.check_segments(np.asarray([0, 1, 2]))
+        tiny.check_segments(np.asarray([], dtype=np.int64))
+        with pytest.raises(SegmentOutOfRange) as info:
+            tiny.check_segments(np.asarray([1, tiny.total_segments, 2]))
+        assert info.value.segment == tiny.total_segments
+
+    def test_direction_of(self, tiny):
+        assert int(tiny.direction_of(0)) == int(TrackDirection.FORWARD)
+        start_of_1 = tiny.track_layout(1).first_segment
+        assert int(tiny.direction_of(start_of_1)) == int(
+            TrackDirection.REVERSE
+        )
+
+
+class TestTinyFactory:
+    def test_structure(self):
+        tape = tiny_tape(seed=0, tracks=6)
+        assert tape.num_tracks == 6
+        assert tape.total_segments == 6 * (13 * 12 + 8)

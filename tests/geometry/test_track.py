@@ -1,0 +1,92 @@
+"""TrackLayout invariants and key-point derivations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.track import TrackLayout
+
+
+def make_track(track=0, first=0, sizes=None):
+    sizes = np.asarray(sizes if sizes is not None else [10] * 13 + [6])
+    bounds = np.concatenate(([0.0], np.cumsum(sizes, dtype=float)))
+    bounds *= 14.0 / bounds[-1]
+    return TrackLayout(
+        track=track,
+        first_segment=first,
+        section_sizes=sizes,
+        phys_boundaries=bounds,
+    )
+
+
+class TestValidation:
+    def test_wrong_section_count_rejected(self):
+        with pytest.raises(GeometryError):
+            TrackLayout(0, 0, np.asarray([10] * 5), np.linspace(0, 14, 6))
+
+    def test_empty_section_rejected(self):
+        sizes = [10] * 13 + [0]
+        with pytest.raises(GeometryError):
+            make_track(sizes=sizes)
+
+    def test_nonincreasing_boundaries_rejected(self):
+        sizes = np.asarray([10] * 14)
+        bounds = np.linspace(0, 14, 15)
+        bounds[5] = bounds[4]
+        with pytest.raises(GeometryError):
+            TrackLayout(0, 0, sizes, bounds)
+
+    def test_boundary_count_rejected(self):
+        with pytest.raises(GeometryError):
+            TrackLayout(
+                0, 0, np.asarray([10] * 14), np.linspace(0, 14, 14)
+            )
+
+
+class TestDerived:
+    def test_size_and_last_segment(self):
+        track = make_track(first=100)
+        assert track.size == 13 * 10 + 6
+        assert track.last_segment == 100 + track.size - 1
+
+    def test_forward_section_first_segment(self):
+        track = make_track(track=0, first=0)
+        layout = track.section_layout(3)
+        assert layout.first_segment == 30
+        assert layout.size == 10
+        assert 30 in layout and 39 in layout and 40 not in layout
+
+    def test_reverse_section_first_segment(self):
+        # Reverse track: physical section 13 is written first, so its
+        # lowest segment number is the track's first segment.
+        track = make_track(track=1, first=200)
+        last_section = track.section_layout(13)
+        assert last_section.first_segment == 200
+        # Physical section 0 is written last.
+        first_section = track.section_layout(0)
+        assert first_section.last_segment == track.last_segment
+
+    def test_forward_key_points_are_section_starts(self):
+        track = make_track(track=0, first=50)
+        kp = track.key_point_segments()
+        assert kp.shape == (14,)
+        assert kp[0] == 50
+        assert kp[1] == 60
+        assert kp[13] == 50 + 130
+
+    def test_reverse_key_points_follow_segment_order(self):
+        sizes = [10] * 13 + [6]
+        track = make_track(track=1, first=0, sizes=sizes)
+        kp = track.key_point_segments()
+        assert kp[0] == 0
+        # First dip: after consuming physical section 13 (6 segments).
+        assert kp[1] == 6
+        assert kp[2] == 16
+
+    def test_key_point_phys_direction(self):
+        forward = make_track(track=0)
+        reverse = make_track(track=1)
+        assert np.all(np.diff(forward.key_point_phys()) > 0)
+        assert np.all(np.diff(reverse.key_point_phys()) < 0)
+        assert forward.key_point_phys()[0] == 0.0
+        assert reverse.key_point_phys()[0] == 14.0

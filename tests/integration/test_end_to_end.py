@@ -1,0 +1,115 @@
+"""End-to-end pipelines across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LocateTimeModel,
+    calibrate_key_points,
+    estimate_schedule_seconds,
+    execute_schedule,
+    generate_tape,
+    geometry_from_key_points,
+    ground_truth_drive,
+    ground_truth_model,
+)
+from repro.scheduling import AutoScheduler, LossScheduler
+
+
+class TestCharacterizeScheduleValidate:
+    """The full lifecycle the paper describes: characterize the
+    cartridge, schedule with its model, validate against the drive."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        tape = generate_tape(seed=31)
+        truth = ground_truth_model(tape, seed=2)
+        calibration = calibrate_key_points(
+            truth.oracle(), tape.total_segments, tape.num_tracks,
+            threshold=2.0,
+        )
+        calibrated = geometry_from_key_points(
+            calibration.key_points, tape.total_segments
+        )
+        return tape, LocateTimeModel(calibrated)
+
+    def test_calibration_recovers_geometry_through_deviations(
+        self, pipeline
+    ):
+        tape, model = pipeline
+        # The ground-truth drive adds noise/bias, yet every observable
+        # key point still comes out within a couple of segments.
+        assert (
+            np.abs(
+                model.geometry.all_key_points()[:, 2:]
+                - tape.all_key_points()[:, 2:]
+            ).max()
+            <= 2
+        )
+
+    def test_estimates_track_measurements(self, pipeline):
+        tape, model = pipeline
+        rng = np.random.default_rng(0)
+        scheduler = LossScheduler()
+        for size in (16, 96):
+            batch = rng.choice(
+                tape.total_segments, size, replace=False
+            ).tolist()
+            schedule = scheduler.schedule(model, 0, batch)
+            drive = ground_truth_drive(tape, seed=2)
+            measured = execute_schedule(drive, schedule).total_seconds
+            error = abs(
+                schedule.estimated_seconds - measured
+            ) / measured
+            assert error < 0.03
+
+    def test_scheduling_beats_fifo_on_real_drive(self, pipeline):
+        tape, model = pipeline
+        rng = np.random.default_rng(1)
+        batch = rng.choice(tape.total_segments, 64, replace=False).tolist()
+
+        loss_schedule = LossScheduler().schedule(model, 0, batch)
+        loss_time = execute_schedule(
+            ground_truth_drive(tape, seed=2), loss_schedule
+        ).total_seconds
+
+        from repro.scheduling import FifoScheduler
+
+        fifo_schedule = FifoScheduler().schedule(model, 0, batch)
+        fifo_time = execute_schedule(
+            ground_truth_drive(tape, seed=2), fifo_schedule
+        ).total_seconds
+        assert loss_time < 0.6 * fifo_time
+
+
+class TestAutoPolicyAcrossScales:
+    def test_policy_picks_sensible_plans(self, full_model, rng):
+        auto = AutoScheduler()
+        total = full_model.geometry.total_segments
+        small = rng.choice(total, 6, replace=False).tolist()
+        medium = rng.choice(total, 60, replace=False).tolist()
+
+        small_schedule = auto.schedule(full_model, 0, small)
+        medium_schedule = auto.schedule(full_model, 0, medium)
+        assert small_schedule.algorithm == "OPT"
+        assert medium_schedule.algorithm == "LOSS"
+
+        # The chosen plan is at least as good as the other policy arm.
+        loss_small = LossScheduler().schedule(full_model, 0, small)
+        assert (
+            small_schedule.estimated_seconds
+            <= loss_small.estimated_seconds + 1e-6
+        )
+
+    def test_estimator_is_consistent_across_models(self, full_tape,
+                                                   full_model, rng):
+        # Estimating the same schedule under the ground-truth model
+        # differs from the ideal estimate only by the deviation scale.
+        truth = ground_truth_model(full_tape)
+        batch = rng.choice(
+            full_tape.total_segments, 32, replace=False
+        ).tolist()
+        schedule = LossScheduler().schedule(full_model, 0, batch)
+        ideal = schedule.estimated_seconds
+        measured = estimate_schedule_seconds(truth, schedule)
+        assert abs(ideal - measured) / measured < 0.05

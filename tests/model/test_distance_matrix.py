@@ -1,0 +1,75 @@
+"""Distance-matrix construction for the TSP-style schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.model.distance_matrix import (
+    out_positions,
+    schedule_distance_matrix,
+)
+
+
+class TestOutPositions:
+    def test_single_segment_reads(self, tiny):
+        segments = np.asarray([0, 5, 10])
+        out = out_positions(segments, 1, tiny.total_segments)
+        np.testing.assert_array_equal(out, [1, 6, 11])
+
+    def test_multi_segment_reads(self, tiny):
+        segments = np.asarray([0, 5])
+        out = out_positions(segments, np.asarray([3, 7]),
+                            tiny.total_segments)
+        np.testing.assert_array_equal(out, [3, 12])
+
+    def test_clamped_at_end_of_data(self, tiny):
+        last = tiny.total_segments - 1
+        out = out_positions(np.asarray([last]), 1, tiny.total_segments)
+        assert int(out[0]) == last
+
+
+class TestScheduleDistanceMatrix:
+    def test_shape_and_diagonal(self, tiny_model, rng):
+        segments = rng.choice(
+            tiny_model.geometry.total_segments, 8, replace=False
+        )
+        matrix = schedule_distance_matrix(tiny_model, 0, segments)
+        assert matrix.shape == (9, 8)
+        diag = matrix[np.arange(1, 9), np.arange(8)]
+        assert np.isinf(diag).all()
+
+    def test_row_zero_is_from_origin(self, tiny_model, rng):
+        segments = rng.choice(
+            tiny_model.geometry.total_segments, 6, replace=False
+        )
+        origin = 17
+        matrix = schedule_distance_matrix(tiny_model, origin, segments)
+        expected = tiny_model.locate_times(origin, segments)
+        np.testing.assert_allclose(matrix[0], expected)
+
+    def test_inner_rows_are_from_out_positions(self, tiny_model, rng):
+        segments = rng.choice(
+            tiny_model.geometry.total_segments, 6, replace=False
+        )
+        matrix = schedule_distance_matrix(tiny_model, 0, segments)
+        for i, segment in enumerate(segments):
+            expected = tiny_model.locate_times(int(segment) + 1, segments)
+            expected[i] = np.inf
+            np.testing.assert_allclose(matrix[i + 1], expected)
+
+    def test_chunking_is_equivalent(self, tiny_model, rng):
+        segments = rng.choice(
+            tiny_model.geometry.total_segments, 20, replace=False
+        )
+        whole = schedule_distance_matrix(tiny_model, 0, segments)
+        chunked = schedule_distance_matrix(
+            tiny_model, 0, segments, chunk_rows=3
+        )
+        np.testing.assert_array_equal(whole, chunked)
+
+    def test_lengths_shift_out_positions(self, tiny_model):
+        segments = np.asarray([10, 50])
+        matrix = schedule_distance_matrix(
+            tiny_model, 0, segments, lengths=np.asarray([5, 1])
+        )
+        expected = tiny_model.locate_time(15, 50)
+        assert matrix[1, 1] == pytest.approx(expected)

@@ -1,0 +1,48 @@
+"""Rewind-time model."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    REWIND_OVERHEAD_SECONDS,
+    SCAN_SECONDS_PER_SECTION,
+)
+from repro.model import max_rewind_time, rewind_time
+
+
+class TestRewind:
+    def test_from_bot_is_just_overhead(self, tiny):
+        assert float(rewind_time(tiny, 0)) == pytest.approx(
+            REWIND_OVERHEAD_SECONDS, abs=0.5
+        )
+
+    def test_tracks_physical_position(self, tiny):
+        segments = np.arange(tiny.total_segments)
+        times = np.asarray(rewind_time(tiny, segments))
+        expected = (
+            REWIND_OVERHEAD_SECONDS
+            + tiny.phys_of(segments) * SCAN_SECONDS_PER_SECTION
+        )
+        np.testing.assert_allclose(times, expected)
+
+    def test_sawtooth_across_tracks(self, tiny):
+        # Rewind rises along forward tracks and falls along reverse
+        # tracks (Figure 1's dotted curve).
+        forward = tiny.track_layout(0)
+        segments = np.arange(
+            forward.first_segment, forward.last_segment + 1
+        )
+        assert np.all(np.diff(rewind_time(tiny, segments)) > 0)
+        reverse = tiny.track_layout(1)
+        segments = np.arange(
+            reverse.first_segment, reverse.last_segment + 1
+        )
+        assert np.all(np.diff(rewind_time(tiny, segments)) < 0)
+
+    def test_max(self, tiny):
+        bound = max_rewind_time(tiny)
+        times = rewind_time(tiny, np.arange(tiny.total_segments))
+        assert float(np.max(times)) <= bound
+        assert bound == pytest.approx(
+            REWIND_OVERHEAD_SECONDS + 14 * SCAN_SECONDS_PER_SECTION
+        )

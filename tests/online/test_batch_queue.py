@@ -1,0 +1,71 @@
+"""Batching queue and policy."""
+
+import pytest
+
+from repro.online import BatchPolicy, BatchQueue
+from repro.workload import TimedRequest
+
+
+def push_n(queue, count, start=0.0):
+    for i in range(count):
+        queue.push(TimedRequest(start + i, segment=i))
+
+
+class TestPolicyValidation:
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch=0)
+
+    def test_bad_deadline(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_seconds=0)
+
+
+class TestReady:
+    def test_empty_never_ready(self):
+        queue = BatchQueue()
+        assert not queue.ready(1e9, drive_idle=True)
+
+    def test_full_batch_triggers(self):
+        queue = BatchQueue(
+            BatchPolicy(max_batch=3, flush_when_idle=False)
+        )
+        push_n(queue, 2)
+        assert not queue.ready(10.0, drive_idle=True)
+        push_n(queue, 1, start=5.0)
+        assert queue.ready(10.0, drive_idle=False)
+
+    def test_deadline_triggers(self):
+        queue = BatchQueue(
+            BatchPolicy(
+                max_batch=100, max_wait_seconds=60.0,
+                flush_when_idle=False,
+            )
+        )
+        queue.push(TimedRequest(0.0, 1))
+        assert not queue.ready(59.0, drive_idle=True)
+        assert queue.ready(60.0, drive_idle=False)
+
+    def test_idle_flush(self):
+        eager = BatchQueue(BatchPolicy(max_batch=100,
+                                       flush_when_idle=True))
+        eager.push(TimedRequest(0.0, 1))
+        assert eager.ready(0.0, drive_idle=True)
+        assert not eager.ready(0.0, drive_idle=False)
+
+
+class TestFlush:
+    def test_oldest_first_and_capped(self):
+        queue = BatchQueue(BatchPolicy(max_batch=3))
+        push_n(queue, 5)
+        batch = queue.flush()
+        assert [r.segment for r in batch] == [0, 1, 2]
+        assert len(queue) == 2
+        assert queue.oldest_arrival == 3.0
+
+    def test_flush_empties(self):
+        queue = BatchQueue(BatchPolicy(max_batch=10))
+        push_n(queue, 4)
+        queue.flush()
+        assert len(queue) == 0
+        assert queue.oldest_arrival is None

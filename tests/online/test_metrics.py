@@ -1,0 +1,41 @@
+"""Response-time statistics."""
+
+import pytest
+
+from repro.online import ResponseStats
+
+
+class TestResponseStats:
+    def test_mean_and_max(self):
+        stats = ResponseStats()
+        stats.record(0.0, 10.0)
+        stats.record(5.0, 25.0)
+        assert stats.count == 2
+        assert stats.mean_seconds == pytest.approx(15.0)
+        assert stats.max_seconds == pytest.approx(20.0)
+
+    def test_percentile(self):
+        stats = ResponseStats()
+        for wait in range(1, 101):
+            stats.record(0.0, float(wait))
+        assert stats.percentile(50) == pytest.approx(50.5)
+        assert stats.percentile(95) == pytest.approx(95.05)
+
+    def test_rejects_time_travel(self):
+        stats = ResponseStats()
+        with pytest.raises(ValueError):
+            stats.record(10.0, 5.0)
+
+    def test_empty_is_zero(self):
+        stats = ResponseStats()
+        assert stats.mean_seconds == 0.0
+        assert stats.max_seconds == 0.0
+        assert stats.percentile(99) == 0.0
+
+    def test_throughput(self):
+        stats = ResponseStats()
+        for _ in range(50):
+            stats.record(0.0, 1.0)
+        assert stats.throughput_per_hour(3600.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            stats.throughput_per_hour(0.0)

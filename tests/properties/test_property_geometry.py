@@ -1,0 +1,93 @@
+"""Property-based tests of the tape geometry."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import tiny_tape
+
+#: A small pool of distinct tiny tapes, indexed by a drawn seed.
+_TAPES = {seed: tiny_tape(seed=seed, tracks=4) for seed in range(4)}
+
+tape_seeds = st.integers(min_value=0, max_value=3)
+
+
+@given(seed=tape_seeds, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_coordinate_round_trip(seed, data):
+    tape = _TAPES[seed]
+    segment = data.draw(
+        st.integers(min_value=0, max_value=tape.total_segments - 1)
+    )
+    coord = tape.coordinate_of(segment)
+    assert tape.segment_at(coord.track, coord.section, coord.offset) == (
+        segment
+    )
+    assert 0 <= coord.track < tape.num_tracks
+    assert 0 <= coord.section < 14
+
+
+@given(seed=tape_seeds, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_ordinal_physical_consistency(seed, data):
+    tape = _TAPES[seed]
+    segment = data.draw(
+        st.integers(min_value=0, max_value=tape.total_segments - 1)
+    )
+    soi = int(tape.ordinal_section_of(segment))
+    section = int(tape.section_of(segment))
+    if int(tape.direction_of(segment)) > 0:
+        assert soi == section
+    else:
+        assert soi == 13 - section
+
+
+@given(seed=tape_seeds, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_segment_order_follows_physical_order_within_track(seed, data):
+    tape = _TAPES[seed]
+    track = data.draw(
+        st.integers(min_value=0, max_value=tape.num_tracks - 1)
+    )
+    layout = tape.track_layout(track)
+    a, b = sorted(
+        data.draw(
+            st.lists(
+                st.integers(layout.first_segment, layout.last_segment),
+                min_size=2,
+                max_size=2,
+                unique=True,
+            )
+        )
+    )
+    phys_a = float(tape.phys_of(a))
+    phys_b = float(tape.phys_of(b))
+    if track % 2 == 0:
+        assert phys_a < phys_b
+    else:
+        assert phys_a > phys_b
+
+
+@given(seed=tape_seeds, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_scan_target_is_behind_destination(seed, data):
+    # The scan target (key point two before) never lies past the
+    # destination in segment order.
+    tape = _TAPES[seed]
+    segment = data.draw(
+        st.integers(min_value=0, max_value=tape.total_segments - 1)
+    )
+    target_phys = float(tape.scan_target_phys(segment))
+    dest_phys = float(tape.phys_of(segment))
+    direction = int(tape.direction_of(segment))
+    assert (dest_phys - target_phys) * direction >= 0.0
+
+
+@given(seed=tape_seeds)
+@settings(max_examples=4, deadline=None)
+def test_key_points_partition_the_tape(seed):
+    tape = _TAPES[seed]
+    points = tape.all_key_points()
+    flat = points.ravel()
+    assert flat[0] == 0
+    assert np.all(np.diff(flat) > 0)
+    assert flat[-1] < tape.total_segments

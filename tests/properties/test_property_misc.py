@@ -1,0 +1,87 @@
+"""Property-based tests: coalescing, workloads, statistics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments import RunningStats
+from repro.scheduling import (
+    Request,
+    coalesce_by_threshold,
+    expand_groups,
+)
+from repro.workload import LRand48
+
+
+@given(
+    segments=st.lists(
+        st.integers(min_value=0, max_value=100_000),
+        min_size=1, max_size=60,
+    ),
+    threshold=st.integers(min_value=1, max_value=5000),
+)
+@settings(max_examples=120, deadline=None)
+def test_coalescing_partitions_and_respects_threshold(segments, threshold):
+    batch = [Request(s) for s in segments]
+    groups = coalesce_by_threshold(batch, threshold)
+    # Partition: expanding returns the same multiset.
+    assert sorted(expand_groups(groups)) == sorted(batch)
+    # Within a group, consecutive gaps stay below the threshold.
+    for group in groups:
+        ordered = [r.segment for r in group.requests]
+        assert ordered == sorted(ordered)
+        for a, b in zip(ordered, ordered[1:]):
+            assert b - a < threshold
+    # Between consecutive groups, the gap reaches the threshold.
+    for left, right in zip(groups, groups[1:]):
+        assert (
+            right.first_segment - left.requests[-1].segment >= threshold
+        )
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       bound=st.integers(min_value=1, max_value=2**30))
+@settings(max_examples=100, deadline=None)
+def test_lrand48_below_in_range_and_deterministic(seed, bound):
+    a = LRand48(seed)
+    b = LRand48(seed)
+    for _ in range(5):
+        value = a.below(bound)
+        assert 0 <= value < bound
+        assert value == b.below(bound)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6),
+        min_size=2, max_size=200,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_running_stats_matches_numpy(values):
+    stats = RunningStats()
+    stats.extend(values)
+    array = np.asarray(values)
+    assert np.isclose(stats.mean, array.mean(), rtol=1e-9, atol=1e-6)
+    assert np.isclose(
+        stats.std, array.std(ddof=1), rtol=1e-7, atol=1e-6
+    )
+
+
+@given(
+    left=st.lists(st.floats(min_value=-1e4, max_value=1e4),
+                  min_size=1, max_size=50),
+    right=st.lists(st.floats(min_value=-1e4, max_value=1e4),
+                   min_size=1, max_size=50),
+)
+@settings(max_examples=80, deadline=None)
+def test_running_stats_merge_equals_pooled(left, right):
+    merged = RunningStats()
+    merged.extend(left)
+    other = RunningStats()
+    other.extend(right)
+    merged.merge(other)
+
+    pooled = RunningStats()
+    pooled.extend(left + right)
+    assert np.isclose(merged.mean, pooled.mean, rtol=1e-9, atol=1e-6)
+    assert np.isclose(merged.std, pooled.std, rtol=1e-7, atol=1e-6)

@@ -1,0 +1,83 @@
+"""Property-based tests of the locate-time model."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import (
+    READ_SECONDS_PER_SECTION,
+    SCAN_SECONDS_PER_SECTION,
+)
+from repro.geometry import tiny_tape
+from repro.model import EvenOddPerturbation, LocateTimeModel
+
+_TAPE = tiny_tape(seed=11, tracks=4)
+_MODEL = LocateTimeModel(_TAPE)
+
+segments = st.integers(min_value=0, max_value=_TAPE.total_segments - 1)
+
+
+@given(source=segments, destination=segments)
+@settings(max_examples=150, deadline=None)
+def test_nonnegative_and_bounded(source, destination):
+    time = _MODEL.locate_time(source, destination)
+    assert time >= 0.0
+    # Worst conceivable: reposition + full-length scan + two-plus
+    # sections of read + reversal.
+    ceiling = (
+        14 * SCAN_SECONDS_PER_SECTION
+        + 3 * READ_SECONDS_PER_SECTION
+        + 10.0
+    )
+    assert time <= ceiling
+
+
+@given(source=segments)
+@settings(max_examples=50, deadline=None)
+def test_self_locate_free(source):
+    assert _MODEL.locate_time(source, source) == 0.0
+
+
+@given(source=segments, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_vectorized_equals_scalar(source, data):
+    destinations = np.asarray(
+        data.draw(st.lists(segments, min_size=1, max_size=8))
+    )
+    vector = _MODEL.locate_times(source, destinations)
+    for destination, value in zip(destinations, vector):
+        assert value == _MODEL.locate_time(source, int(destination))
+
+
+@given(source=segments, destination=segments,
+       error=st.floats(min_value=0.0, max_value=20.0))
+@settings(max_examples=80, deadline=None)
+def test_even_odd_perturbation_exact(source, destination, error):
+    perturbed = EvenOddPerturbation(_MODEL, error)
+    base = _MODEL.locate_time(source, destination)
+    noisy = perturbed.locate_time(source, destination)
+    offset = error if destination % 2 == 0 else -error
+    assert noisy == max(0.0, base + offset)
+
+
+@given(source=segments, destination=segments)
+@settings(max_examples=80, deadline=None)
+def test_same_section_read_ahead_beats_any_other_section(
+    source, destination
+):
+    # The SLTF fast path's "fact 1": a forward read within the source's
+    # section is never slower than a locate that leaves the section.
+    geo = _MODEL.geometry
+    same_section = int(geo.global_section_of(source)) == int(
+        geo.global_section_of(destination)
+    )
+    if not same_section or destination < source:
+        return
+    inside = _MODEL.locate_time(source, destination)
+    # Compare against the first segment of a few other sections.
+    for track in range(geo.num_tracks):
+        other = int(geo.key_points(track)[5])
+        if int(geo.global_section_of(other)) == int(
+            geo.global_section_of(source)
+        ):
+            continue
+        assert inside <= _MODEL.locate_time(source, other) + 1e-9

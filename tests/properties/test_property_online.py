@@ -1,0 +1,86 @@
+"""Property-based tests: striping, bounds, Or-opt."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.bounds import in_edge_bound, out_edge_bound
+from repro.online import StripeMapping
+from repro.scheduling import or_opt_order
+
+
+@given(
+    drives=st.integers(min_value=1, max_value=8),
+    stripe_unit=st.integers(min_value=1, max_value=16),
+    units_per_drive=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=100, deadline=None)
+def test_stripe_mapping_is_bijective(drives, stripe_unit,
+                                     units_per_drive):
+    mapping = StripeMapping(
+        drives=drives,
+        stripe_unit=stripe_unit,
+        units_per_drive=units_per_drive,
+    )
+    seen = set()
+    for logical in range(mapping.logical_total):
+        drive, physical = mapping.locate(logical)
+        assert 0 <= drive < drives
+        assert 0 <= physical < units_per_drive * stripe_unit
+        assert mapping.logical_of(drive, physical) == logical
+        seen.add((drive, physical))
+    assert len(seen) == mapping.logical_total
+
+
+@given(
+    drives=st.integers(min_value=1, max_value=6),
+    stripe_unit=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_consecutive_units_rotate_drives(drives, stripe_unit):
+    mapping = StripeMapping(
+        drives=drives, stripe_unit=stripe_unit, units_per_drive=5
+    )
+    for unit in range(drives * 3):
+        logical = unit * stripe_unit
+        drive, _ = mapping.locate(logical)
+        assert drive == unit % drives
+
+
+@st.composite
+def rect_matrices(draw, max_n=7):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=50.0),
+            min_size=(n + 1) * n,
+            max_size=(n + 1) * n,
+        )
+    )
+    return np.asarray(values).reshape(n + 1, n)
+
+
+def path_cost(matrix, order):
+    cost = matrix[0, order[0]]
+    for a, b in zip(order, order[1:]):
+        cost += matrix[a + 1, b]
+    return float(cost)
+
+
+@given(matrix=rect_matrices(), data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_bounds_hold_for_any_permutation(matrix, data):
+    n = matrix.shape[1]
+    order = data.draw(st.permutations(list(range(n))))
+    cost = path_cost(matrix, list(order))
+    assert in_edge_bound(matrix) <= cost + 1e-9
+    assert out_edge_bound(matrix) <= cost + 1e-9
+
+
+@given(matrix=rect_matrices(), data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_or_opt_never_increases_cost(matrix, data):
+    n = matrix.shape[1]
+    start = list(data.draw(st.permutations(list(range(n)))))
+    improved = or_opt_order(matrix, start)
+    assert sorted(improved) == list(range(n))
+    assert path_cost(matrix, improved) <= path_cost(matrix, start) + 1e-9

@@ -1,0 +1,96 @@
+"""Property-based tests of the schedulers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.drive import SimulatedDrive
+from repro.geometry import tiny_tape
+from repro.model import LocateTimeModel
+from repro.scheduling import (
+    execute_schedule,
+    get_scheduler,
+    held_karp_path,
+    brute_force_path,
+    loss_path,
+)
+
+_TAPE = tiny_tape(seed=21, tracks=4)
+_MODEL = LocateTimeModel(_TAPE)
+
+segments = st.integers(min_value=0, max_value=_TAPE.total_segments - 1)
+batches = st.lists(segments, min_size=1, max_size=24, unique=True)
+algorithms = st.sampled_from(
+    ["FIFO", "SORT", "SLTF", "SLTF-naive", "SLTF-coalesce",
+     "SCAN", "WEAVE", "LOSS", "LOSS-raw", "LOSS-sparse",
+     "LOSS+oropt", "READ"]
+)
+
+
+@given(batch=batches, origin=segments, name=algorithms)
+@settings(max_examples=120, deadline=None)
+def test_every_scheduler_returns_a_permutation(batch, origin, name):
+    schedule = get_scheduler(name).schedule(_MODEL, origin, batch)
+    assert sorted(r.segment for r in schedule) == sorted(batch)
+    assert schedule.origin == origin
+    assert schedule.estimated_seconds is not None
+    assert schedule.estimated_seconds >= 0.0
+
+
+@given(batch=st.lists(segments, min_size=1, max_size=7, unique=True),
+       origin=segments)
+@settings(max_examples=40, deadline=None)
+def test_opt_lower_bounds_heuristics(batch, origin):
+    opt = get_scheduler("OPT").schedule(_MODEL, origin, batch)
+    for name in ("FIFO", "SORT", "SLTF", "SCAN", "WEAVE", "LOSS"):
+        other = get_scheduler(name).schedule(_MODEL, origin, batch)
+        assert opt.estimated_seconds <= other.estimated_seconds + 1e-6
+
+
+@given(batch=st.lists(segments, min_size=1, max_size=12, unique=True),
+       origin=segments, name=algorithms)
+@settings(max_examples=60, deadline=None)
+def test_estimate_matches_execution(batch, origin, name):
+    schedule = get_scheduler(name).schedule(_MODEL, origin, batch)
+    drive = SimulatedDrive(_MODEL, initial_position=origin)
+    result = execute_schedule(drive, schedule)
+    assert abs(result.total_seconds - schedule.estimated_seconds) < 1e-6
+
+
+@st.composite
+def distance_matrices(draw, max_size=6):
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=99.0),
+            min_size=(n + 1) * n,
+            max_size=(n + 1) * n,
+        )
+    )
+    return np.asarray(values, dtype=np.float64).reshape(n + 1, n)
+
+
+@given(matrix=distance_matrices())
+@settings(max_examples=80, deadline=None)
+def test_held_karp_is_exact(matrix):
+    n = matrix.shape[1]
+    dp = held_karp_path(matrix)
+    bf = brute_force_path(matrix)
+
+    def cost(order):
+        total = matrix[0, order[0]]
+        for a, b in zip(order, order[1:]):
+            total += matrix[a + 1, b]
+        return total
+
+    assert sorted(dp) == list(range(n))
+    assert cost(dp) <= cost(bf) + 1e-9
+
+
+@given(matrix=distance_matrices(max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_loss_path_is_a_valid_path(matrix):
+    n = matrix.shape[1]
+    square = np.full((n + 1, n + 1), np.inf)
+    square[:, 1:] = matrix
+    order = loss_path(square)
+    assert sorted(order) == list(range(1, n + 1))

@@ -1,0 +1,58 @@
+"""AUTO: the paper's size-based policy."""
+
+import pytest
+
+from repro.scheduling import AutoScheduler
+from repro.scheduling.loss import LossScheduler
+from repro.scheduling.opt import OptScheduler
+from repro.scheduling.read_all import ReadEntireTapeScheduler
+
+
+class TestChoice:
+    def test_paper_thresholds(self):
+        auto = AutoScheduler()
+        assert isinstance(auto.choose(1), OptScheduler)
+        assert isinstance(auto.choose(10), OptScheduler)
+        assert isinstance(auto.choose(11), LossScheduler)
+        assert isinstance(auto.choose(1536), LossScheduler)
+        assert isinstance(auto.choose(1537), ReadEntireTapeScheduler)
+
+    def test_custom_thresholds(self):
+        auto = AutoScheduler(opt_limit=2, loss_limit=5)
+        assert isinstance(auto.choose(3), LossScheduler)
+        assert isinstance(auto.choose(6), ReadEntireTapeScheduler)
+
+
+class TestDispatch:
+    def test_schedule_small_batch_is_optimal(self, tiny_model, rng):
+        batch = rng.choice(
+            tiny_model.geometry.total_segments, 6, replace=False
+        ).tolist()
+        auto = AutoScheduler().schedule(tiny_model, 0, batch)
+        opt = OptScheduler().schedule(tiny_model, 0, batch)
+        assert auto.algorithm == "OPT"
+        assert auto.estimated_seconds == pytest.approx(
+            opt.estimated_seconds
+        )
+
+    def test_schedule_medium_batch_uses_loss(self, tiny_model, rng):
+        batch = rng.choice(
+            tiny_model.geometry.total_segments, 30, replace=False
+        ).tolist()
+        schedule = AutoScheduler().schedule(tiny_model, 0, batch)
+        assert schedule.algorithm == "LOSS"
+
+    def test_schedule_huge_batch_reads_tape(self, tiny_model, rng):
+        auto = AutoScheduler(loss_limit=20)
+        batch = rng.choice(
+            tiny_model.geometry.total_segments, 30, replace=False
+        ).tolist()
+        schedule = auto.schedule(tiny_model, 0, batch)
+        assert schedule.algorithm == "READ"
+        assert schedule.whole_tape
+
+    def test_empty_batch_rejected(self, tiny_model):
+        from repro.exceptions import EmptyBatchError
+
+        with pytest.raises(EmptyBatchError):
+            AutoScheduler().schedule(tiny_model, 0, [])

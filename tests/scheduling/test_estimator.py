@@ -1,0 +1,106 @@
+"""Schedule-time estimation, and its agreement with execution."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SEGMENT_TRANSFER_SECONDS
+from repro.drive import SimulatedDrive
+from repro.scheduling import (
+    FifoScheduler,
+    Request,
+    Schedule,
+    estimate_locate_seconds,
+    estimate_schedule_seconds,
+    execute_schedule,
+    full_read_seconds,
+    get_scheduler,
+    locate_sequence_times,
+)
+
+
+class TestLocateSequence:
+    def test_per_request_times(self, tiny_model):
+        schedule = Schedule(
+            requests=(Request(40), Request(10)), origin=0,
+            algorithm="TEST",
+        )
+        times = locate_sequence_times(tiny_model, schedule)
+        assert times.shape == (2,)
+        assert times[0] == pytest.approx(tiny_model.locate_time(0, 40))
+        assert times[1] == pytest.approx(tiny_model.locate_time(41, 10))
+
+    def test_multi_segment_out_positions(self, tiny_model):
+        schedule = Schedule(
+            requests=(Request(10, length=5), Request(40)),
+            origin=0,
+            algorithm="TEST",
+        )
+        times = locate_sequence_times(tiny_model, schedule)
+        assert times[1] == pytest.approx(tiny_model.locate_time(15, 40))
+
+
+class TestEstimate:
+    def test_transfers_included_by_default(self, tiny_model):
+        schedule = Schedule(
+            requests=(Request(5, length=10),), origin=0, algorithm="TEST"
+        )
+        with_transfer = estimate_schedule_seconds(tiny_model, schedule)
+        without = estimate_schedule_seconds(
+            tiny_model, schedule, include_transfers=False
+        )
+        assert with_transfer - without == pytest.approx(
+            10 * SEGMENT_TRANSFER_SECONDS
+        )
+
+    def test_locate_only(self, tiny_model):
+        schedule = Schedule(
+            requests=(Request(5), Request(70)), origin=0, algorithm="TEST"
+        )
+        assert estimate_locate_seconds(
+            tiny_model, schedule
+        ) == pytest.approx(
+            estimate_schedule_seconds(
+                tiny_model, schedule, include_transfers=False
+            )
+        )
+
+    def test_whole_tape_constant(self, tiny_model, tiny):
+        schedule = Schedule(
+            requests=(Request(5),), origin=0, algorithm="READ",
+            whole_tape=True,
+        )
+        assert estimate_schedule_seconds(
+            tiny_model, schedule
+        ) == pytest.approx(full_read_seconds(tiny))
+
+
+class TestAgreementWithExecution:
+    @pytest.mark.parametrize(
+        "name", ["FIFO", "SORT", "SLTF", "SCAN", "WEAVE", "LOSS", "READ"]
+    )
+    def test_estimate_equals_measurement_same_model(
+        self, full_model, rng, name
+    ):
+        # When the drive runs the very model the estimator used, the
+        # two must agree to numerical precision: the validation
+        # experiments rely on this (all Figure 8 error comes from the
+        # *deviation* between models, never from the bookkeeping).
+        batch = rng.choice(
+            full_model.geometry.total_segments, 24, replace=False
+        ).tolist()
+        origin = int(rng.integers(0, full_model.geometry.total_segments))
+        schedule = get_scheduler(name).schedule(full_model, origin, batch)
+        drive = SimulatedDrive(full_model, initial_position=origin)
+        result = execute_schedule(drive, schedule)
+        assert result.total_seconds == pytest.approx(
+            schedule.estimated_seconds, rel=1e-9
+        )
+
+    def test_estimator_is_model_agnostic(self, tiny, tiny_model):
+        # Estimating with a different model than the scheduler used is
+        # the wrong-key-points scenario; it must not raise.
+        from repro.model import EvenOddPerturbation
+
+        schedule = FifoScheduler().schedule(tiny_model, 0, [9, 2])
+        other = EvenOddPerturbation(tiny_model, 4.0)
+        assert estimate_schedule_seconds(other, schedule) > 0

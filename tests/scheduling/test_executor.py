@@ -1,0 +1,80 @@
+"""Schedule execution on a drive."""
+
+import numpy as np
+import pytest
+
+from repro.drive import SimulatedDrive
+from repro.scheduling import (
+    ReadEntireTapeScheduler,
+    SortScheduler,
+    execute_schedule,
+)
+
+
+class TestExecute:
+    def test_requires_matching_position(self, tiny_model):
+        schedule = SortScheduler().schedule(tiny_model, 50, [9, 2])
+        drive = SimulatedDrive(tiny_model, initial_position=0)
+        with pytest.raises(ValueError):
+            execute_schedule(drive, schedule)
+
+    def test_decomposition_sums(self, tiny_model, rng):
+        batch = rng.choice(
+            tiny_model.geometry.total_segments, 12, replace=False
+        ).tolist()
+        schedule = SortScheduler().schedule(tiny_model, 0, batch)
+        drive = SimulatedDrive(tiny_model)
+        result = execute_schedule(drive, schedule)
+        assert result.total_seconds == pytest.approx(
+            result.locate_seconds + result.transfer_seconds
+        )
+        assert result.total_seconds == pytest.approx(drive.clock_seconds)
+
+    def test_completions_monotone_and_bounded(self, tiny_model, rng):
+        batch = rng.choice(
+            tiny_model.geometry.total_segments, 12, replace=False
+        ).tolist()
+        schedule = SortScheduler().schedule(tiny_model, 0, batch)
+        result = execute_schedule(SimulatedDrive(tiny_model), schedule)
+        completions = result.completion_seconds
+        assert completions.shape == (12,)
+        assert (np.diff(completions) > 0).all()
+        assert completions[-1] == pytest.approx(result.total_seconds)
+
+    def test_seconds_per_request(self, tiny_model):
+        schedule = SortScheduler().schedule(tiny_model, 0, [5, 80])
+        result = execute_schedule(SimulatedDrive(tiny_model), schedule)
+        assert result.seconds_per_request == pytest.approx(
+            result.total_seconds / 2
+        )
+        assert result.request_count == 2
+
+
+class TestWholeTape:
+    def test_completions_follow_stream_order(self, tiny_model, rng):
+        batch = rng.choice(
+            tiny_model.geometry.total_segments, 10, replace=False
+        ).tolist()
+        schedule = ReadEntireTapeScheduler().schedule(tiny_model, 0, batch)
+        result = execute_schedule(SimulatedDrive(tiny_model), schedule)
+        # Requests are in segment order, so completion times ascend
+        # with the streaming read.
+        assert (np.diff(result.completion_seconds) > 0).all()
+        assert result.completion_seconds[-1] < result.total_seconds
+
+    def test_rewinds_first_when_parked(self, tiny_model, tiny):
+        schedule = ReadEntireTapeScheduler().schedule(
+            tiny_model, tiny.total_segments // 2, [3]
+        )
+        drive = SimulatedDrive(
+            tiny_model, initial_position=tiny.total_segments // 2
+        )
+        parked = execute_schedule(drive, schedule).total_seconds
+
+        at_bot_schedule = ReadEntireTapeScheduler().schedule(
+            tiny_model, 0, [3]
+        )
+        fresh = execute_schedule(
+            SimulatedDrive(tiny_model), at_bot_schedule
+        ).total_seconds
+        assert parked > fresh

@@ -1,0 +1,108 @@
+"""Or-opt schedule improvement."""
+
+import numpy as np
+import pytest
+
+from repro.model.distance_matrix import schedule_distance_matrix
+from repro.scheduling import (
+    FifoScheduler,
+    ImprovedLossScheduler,
+    LossScheduler,
+    OptScheduler,
+    improve_schedule,
+    or_opt_order,
+)
+
+
+def order_cost(distance, order):
+    cost = distance[0, order[0]]
+    for a, b in zip(order, order[1:]):
+        cost += distance[a + 1, b]
+    return float(cost)
+
+
+class TestOrOptOrder:
+    def test_never_worse(self, tiny_model, rng):
+        for _ in range(5):
+            segments = rng.choice(
+                tiny_model.geometry.total_segments, 10, replace=False
+            )
+            distance = schedule_distance_matrix(tiny_model, 0, segments)
+            start = list(rng.permutation(10))
+            improved = or_opt_order(distance, start)
+            assert sorted(improved) == list(range(10))
+            assert order_cost(distance, improved) <= order_cost(
+                distance, start
+            ) + 1e-9
+
+    def test_fixes_obvious_blunder(self, full_model, rng):
+        # A sorted batch with one request moved to the front: Or-opt
+        # must restore something close to sorted order.
+        segments = np.sort(
+            rng.choice(
+                full_model.geometry.total_segments, 8, replace=False
+            )
+        )
+        distance = schedule_distance_matrix(full_model, 0, segments)
+        blundered = [7] + list(range(7))
+        improved = or_opt_order(distance, blundered)
+        assert order_cost(distance, improved) < order_cost(
+            distance, blundered
+        )
+
+    def test_tiny_orders_pass_through(self, tiny_model):
+        distance = schedule_distance_matrix(
+            tiny_model, 0, np.asarray([5, 9])
+        )
+        assert or_opt_order(distance, [1, 0]) == [1, 0]
+
+
+class TestImproveSchedule:
+    def test_improves_fifo_substantially(self, full_model, rng):
+        batch = rng.choice(
+            full_model.geometry.total_segments, 32, replace=False
+        ).tolist()
+        fifo = FifoScheduler().schedule(full_model, 0, batch)
+        improved = improve_schedule(full_model, fifo)
+        assert improved.estimated_seconds < 0.8 * fifo.estimated_seconds
+        assert improved.is_permutation_of(fifo.requests)
+        assert improved.algorithm.endswith("+oropt")
+
+    def test_opt_is_a_fixed_point(self, tiny_model, rng):
+        batch = rng.choice(
+            tiny_model.geometry.total_segments, 8, replace=False
+        ).tolist()
+        opt = OptScheduler().schedule(tiny_model, 0, batch)
+        improved = improve_schedule(tiny_model, opt)
+        assert improved.estimated_seconds == pytest.approx(
+            opt.estimated_seconds
+        )
+
+    def test_whole_tape_untouched(self, tiny_model):
+        from repro.scheduling import ReadEntireTapeScheduler
+
+        schedule = ReadEntireTapeScheduler().schedule(tiny_model, 0, [5])
+        assert improve_schedule(tiny_model, schedule) is schedule
+
+
+class TestImprovedLossScheduler:
+    def test_never_worse_than_loss(self, full_model, rng):
+        for _ in range(3):
+            batch = rng.choice(
+                full_model.geometry.total_segments, 48, replace=False
+            ).tolist()
+            loss = LossScheduler().schedule(full_model, 0, batch)
+            improved = ImprovedLossScheduler().schedule(
+                full_model, 0, batch
+            )
+            assert (
+                improved.estimated_seconds
+                <= loss.estimated_seconds + 1e-6
+            )
+
+    def test_registered(self):
+        from repro.scheduling import get_scheduler
+
+        assert isinstance(
+            get_scheduler("LOSS+oropt"), ImprovedLossScheduler
+        )

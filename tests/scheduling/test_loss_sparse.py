@@ -1,0 +1,111 @@
+"""Sparse-graph LOSS with contraction (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import (
+    LossScheduler,
+    SparseLossScheduler,
+    loss_path_fragments,
+    sparse_loss_order,
+)
+
+
+class TestLossPathFragments:
+    def test_complete_matrix_gives_one_fragment(self, rng):
+        n = 8
+        matrix = np.full((n + 1, n + 1), np.inf)
+        matrix[:, 1:] = rng.uniform(1, 50, size=(n + 1, n))
+        fragments = loss_path_fragments(matrix)
+        assert len(fragments) == 1
+        assert fragments[0][0] == 0
+        assert sorted(fragments[0][1:]) == list(range(1, n + 1))
+
+    def test_disconnected_matrix_gives_pieces(self):
+        inf = np.inf
+        # Two islands: {0 -> 1} and {2 <-> 3}, no bridge.
+        matrix = np.asarray(
+            [
+                [inf, 2.0, inf, inf],
+                [inf, inf, inf, inf],
+                [inf, inf, inf, 3.0],
+                [inf, inf, 5.0, inf],
+            ]
+        )
+        fragments = loss_path_fragments(matrix)
+        assert [0, 1] in fragments
+        # 2 and 3 form one fragment (one edge picked, cycle forbidden).
+        assert any(
+            sorted(fragment) == [2, 3]
+            for fragment in fragments
+            if fragment[0] != 0
+        )
+
+    def test_origin_fragment_first(self, rng):
+        n = 5
+        matrix = np.full((n + 1, n + 1), np.inf)
+        matrix[:, 1:] = rng.uniform(1, 50, size=(n + 1, n))
+        fragments = loss_path_fragments(matrix)
+        assert fragments[0][0] == 0
+
+
+class TestSparseLossOrder:
+    def test_small_instances_match_dense_quality(self, rng):
+        from repro.scheduling.loss import loss_path
+
+        for n in (4, 9, 20):
+            rect = rng.uniform(1, 100, size=(n + 1, n))
+            order = sparse_loss_order(rect.copy())
+            assert sorted(order) == list(range(n))
+
+            square = np.full((n + 1, n + 1), np.inf)
+            square[:, 1:] = rect
+            dense_order = [i - 1 for i in loss_path(square)]
+
+            def cost(visit):
+                total = rect[0, visit[0]]
+                for a, b in zip(visit, visit[1:]):
+                    total += rect[a + 1, b]
+                return total
+
+            assert cost(order) < 1.6 * cost(dense_order)
+
+    def test_empty(self):
+        assert sparse_loss_order(np.zeros((1, 0))) == []
+
+
+class TestSparseLossScheduler:
+    def test_valid_permutation(self, full_model, rng):
+        batch = rng.choice(
+            full_model.geometry.total_segments, 128, replace=False
+        ).tolist()
+        schedule = SparseLossScheduler().schedule(full_model, 0, batch)
+        assert sorted(r.segment for r in schedule) == sorted(batch)
+
+    def test_quality_close_to_dense_loss(self, full_model, rng):
+        total_sparse = 0.0
+        total_dense = 0.0
+        for _ in range(5):
+            batch = rng.choice(
+                full_model.geometry.total_segments, 96, replace=False
+            ).tolist()
+            total_sparse += SparseLossScheduler().schedule(
+                full_model, 0, batch
+            ).estimated_seconds
+            total_dense += LossScheduler().schedule(
+                full_model, 0, batch
+            ).estimated_seconds
+        assert total_sparse < 1.1 * total_dense
+
+    def test_single_group(self, full_model):
+        schedule = SparseLossScheduler().schedule(
+            full_model, 0, [100, 200, 300]
+        )
+        assert [r.segment for r in schedule] == [100, 200, 300]
+
+    def test_registered(self):
+        from repro.scheduling import get_scheduler
+
+        assert isinstance(
+            get_scheduler("LOSS-sparse"), SparseLossScheduler
+        )

@@ -1,0 +1,53 @@
+"""Request types and batch helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyBatchError
+from repro.scheduling import (
+    Request,
+    as_requests,
+    request_lengths,
+    request_segments,
+)
+from repro.scheduling.request import check_batch
+
+
+class TestRequest:
+    def test_defaults(self):
+        request = Request(100)
+        assert request.length == 1
+        assert request.end_segment == 101
+
+    def test_multi_segment(self):
+        request = Request(100, length=32)
+        assert request.end_segment == 132
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Request(-1)
+        with pytest.raises(ValueError):
+            Request(0, length=0)
+
+    def test_ordering(self):
+        assert Request(5) < Request(9)
+        assert sorted([Request(9), Request(5)])[0].segment == 5
+
+    def test_hashable(self):
+        assert len({Request(1), Request(1), Request(2)}) == 2
+
+
+class TestHelpers:
+    def test_as_requests_mixed(self):
+        batch = as_requests([5, Request(9, 2), np.int64(3)])
+        assert batch == (Request(5), Request(9, 2), Request(3))
+
+    def test_segments_and_lengths_arrays(self):
+        batch = (Request(5), Request(9, 2))
+        np.testing.assert_array_equal(request_segments(batch), [5, 9])
+        np.testing.assert_array_equal(request_lengths(batch), [1, 2])
+
+    def test_check_batch(self):
+        check_batch((Request(1),))
+        with pytest.raises(EmptyBatchError):
+            check_batch(())

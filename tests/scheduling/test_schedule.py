@@ -1,0 +1,40 @@
+"""Schedule value type."""
+
+import numpy as np
+
+from repro.scheduling import Request, Schedule
+
+
+def make(requests, **kwargs):
+    defaults = dict(origin=0, algorithm="TEST")
+    defaults.update(kwargs)
+    return Schedule(requests=tuple(requests), **defaults)
+
+
+class TestSchedule:
+    def test_iteration_and_len(self):
+        schedule = make([Request(3), Request(1)])
+        assert len(schedule) == 2
+        assert [r.segment for r in schedule] == [3, 1]
+
+    def test_segments_array(self):
+        schedule = make([Request(3), Request(1)])
+        np.testing.assert_array_equal(schedule.segments(), [3, 1])
+        # Cached: same object on second call.
+        assert schedule.segments() is schedule.segments()
+
+    def test_permutation_check(self):
+        schedule = make([Request(3), Request(1)])
+        assert schedule.is_permutation_of([Request(1), Request(3)])
+        assert not schedule.is_permutation_of([Request(1)])
+        assert not schedule.is_permutation_of(
+            [Request(1), Request(3), Request(3)]
+        )
+
+    def test_with_estimate(self):
+        schedule = make([Request(3)])
+        updated = schedule.with_estimate(42.0)
+        assert updated.estimated_seconds == 42.0
+        assert schedule.estimated_seconds is None
+        assert updated.requests == schedule.requests
+        assert updated.whole_tape == schedule.whole_tape

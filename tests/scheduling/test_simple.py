@@ -1,0 +1,73 @@
+"""FIFO, SORT and READ."""
+
+import pytest
+
+from repro.scheduling import (
+    FifoScheduler,
+    ReadEntireTapeScheduler,
+    Request,
+    SortScheduler,
+    full_read_seconds,
+)
+
+
+class TestFifo:
+    def test_preserves_order(self, tiny_model):
+        batch = [9, 1, 5, 3]
+        schedule = FifoScheduler().schedule(tiny_model, 0, batch)
+        assert [r.segment for r in schedule] == batch
+
+    def test_estimate_sums_sequential_locates(self, tiny_model):
+        batch = [40, 10]
+        schedule = FifoScheduler().schedule(tiny_model, 0, batch)
+        expected = (
+            tiny_model.locate_time(0, 40)
+            + tiny_model.locate_time(41, 10)
+        )
+        assert schedule.estimated_seconds == pytest.approx(
+            expected, abs=0.1
+        )
+
+
+class TestSort:
+    def test_sorted_by_segment(self, tiny_model):
+        schedule = SortScheduler().schedule(tiny_model, 0, [9, 1, 5])
+        assert [r.segment for r in schedule] == [1, 5, 9]
+
+    def test_duplicate_segments_by_length(self, tiny_model):
+        batch = [Request(5, 3), Request(5, 1)]
+        schedule = SortScheduler().schedule(tiny_model, 0, batch)
+        assert [r.length for r in schedule] == [1, 3]
+
+
+class TestRead:
+    def test_whole_tape_flag_and_estimate(self, tiny_model, tiny):
+        schedule = ReadEntireTapeScheduler().schedule(
+            tiny_model, 0, [9, 1]
+        )
+        assert schedule.whole_tape
+        assert schedule.estimated_seconds == pytest.approx(
+            full_read_seconds(tiny)
+        )
+
+    def test_estimate_independent_of_batch_size(self, tiny_model):
+        small = ReadEntireTapeScheduler().schedule(tiny_model, 0, [1])
+        large = ReadEntireTapeScheduler().schedule(
+            tiny_model, 0, list(range(50))
+        )
+        assert small.estimated_seconds == pytest.approx(
+            large.estimated_seconds
+        )
+
+    def test_nonzero_origin_charges_rewind(self, tiny_model, tiny):
+        at_bot = ReadEntireTapeScheduler().schedule(tiny_model, 0, [1])
+        parked = ReadEntireTapeScheduler().schedule(
+            tiny_model, tiny.total_segments // 2, [1]
+        )
+        assert parked.estimated_seconds > at_bot.estimated_seconds
+
+    def test_requests_stream_in_segment_order(self, tiny_model):
+        schedule = ReadEntireTapeScheduler().schedule(
+            tiny_model, 0, [9, 1, 5]
+        )
+        assert [r.segment for r in schedule] == [1, 5, 9]

@@ -1,0 +1,119 @@
+"""SLTF variants: greediness, section fast path, coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import tiny_tape
+from repro.model import LocateTimeModel
+from repro.scheduling import (
+    SltfCoalesceScheduler,
+    SltfNaiveScheduler,
+    SltfScheduler,
+)
+
+
+def random_batch(model, rng, size):
+    return rng.choice(
+        model.geometry.total_segments, size=size, replace=False
+    ).tolist()
+
+
+class TestGreediness:
+    def test_first_pick_is_nearest(self, tiny_model, rng):
+        batch = random_batch(tiny_model, rng, 20)
+        schedule = SltfNaiveScheduler().schedule(tiny_model, 0, batch)
+        first = schedule.requests[0].segment
+        times = tiny_model.locate_times(0, np.asarray(batch))
+        assert tiny_model.locate_time(0, first) == pytest.approx(
+            float(times.min())
+        )
+
+    def test_beats_fifo_on_average(self, full_model, rng):
+        total = full_model.geometry.total_segments
+        wins = 0
+        for _ in range(5):
+            batch = rng.choice(total, size=32, replace=False).tolist()
+            sltf = SltfScheduler().schedule(full_model, 0, batch)
+            fifo_estimate = float(
+                full_model.locate_times(0, np.asarray([batch[0]]))[0]
+            )
+            # Compare against the trivial in-order schedule's estimate.
+            from repro.scheduling import FifoScheduler
+
+            fifo = FifoScheduler().schedule(full_model, 0, batch)
+            if sltf.estimated_seconds < fifo.estimated_seconds:
+                wins += 1
+            assert fifo_estimate >= 0
+        assert wins == 5
+
+
+class TestSectionFastPath:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_naive_estimate(self, seed):
+        # The paper's two facts make the section algorithm equivalent
+        # to the naive greedy; allow only tie-breaking differences by
+        # comparing estimated times, not orders.
+        tape = tiny_tape(seed=seed, tracks=6)
+        model = LocateTimeModel(tape)
+        rng = np.random.default_rng(seed)
+        batch = rng.choice(
+            tape.total_segments, size=40, replace=False
+        ).tolist()
+        fast = SltfScheduler().schedule(model, 0, batch)
+        naive = SltfNaiveScheduler().schedule(model, 0, batch)
+        assert fast.estimated_seconds == pytest.approx(
+            naive.estimated_seconds, rel=1e-9
+        )
+
+    def test_consumes_sections_in_ascending_order(self, full_model, rng):
+        geo = full_model.geometry
+        batch = random_batch(full_model, rng, 64)
+        schedule = SltfScheduler().schedule(full_model, 0, batch)
+        segments = schedule.segments()
+        sections = geo.global_section_of(segments)
+        # Within every run of equal section ids, segments ascend.
+        for i in range(1, len(segments)):
+            if sections[i] == sections[i - 1]:
+                assert segments[i] > segments[i - 1]
+
+    def test_origin_section_leftovers_rescheduled(self, full_model):
+        # Requests behind the origin inside its own section appear
+        # later in the schedule, not first (the paper's footnote 2).
+        geo = full_model.geometry
+        layout = geo.track_layout(0).section_layout(5)
+        origin = layout.first_segment + layout.size // 2
+        behind = layout.first_segment + 1
+        ahead = layout.first_segment + layout.size - 2
+        schedule = SltfScheduler().schedule(
+            full_model, origin, [behind, ahead]
+        )
+        assert [r.segment for r in schedule] == [ahead, behind]
+
+
+class TestCoalesceVariant:
+    def test_valid_permutation(self, full_model, rng):
+        batch = random_batch(full_model, rng, 50)
+        schedule = SltfCoalesceScheduler().schedule(full_model, 0, batch)
+        assert sorted(r.segment for r in schedule) == sorted(batch)
+
+    def test_groups_stay_contiguous(self, full_model, rng):
+        threshold = 1410
+        batch = random_batch(full_model, rng, 50)
+        schedule = SltfCoalesceScheduler(threshold=threshold).schedule(
+            full_model, 0, batch
+        )
+        segments = schedule.segments()
+        # Whenever two consecutive scheduled segments are within the
+        # threshold in the sorted order, they must also be adjacent in
+        # the schedule (groups are never split).
+        ordered = np.sort(np.asarray(batch))
+        position = {int(s): i for i, s in enumerate(segments)}
+        for a, b in zip(ordered, ordered[1:]):
+            if b - a < threshold:
+                assert abs(position[int(b)] - position[int(a)]) == 1
+
+    def test_close_to_plain_sltf(self, full_model, rng):
+        batch = random_batch(full_model, rng, 96)
+        plain = SltfScheduler().schedule(full_model, 0, batch)
+        coalesced = SltfCoalesceScheduler().schedule(full_model, 0, batch)
+        assert coalesced.estimated_seconds < 1.35 * plain.estimated_seconds

@@ -1,0 +1,72 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["figure4"])
+        assert args.experiment == "figure4"
+        assert args.scale == "quick"
+        assert args.tape_seed == 1
+        assert args.max_length is None
+
+    def test_all_flags(self):
+        args = build_parser().parse_args(
+            [
+                "figure8",
+                "--scale", "full",
+                "--tape-seed", "9",
+                "--workload-seed", "4",
+                "--max-length", "128",
+            ]
+        )
+        assert args.scale == "full"
+        assert args.tape_seed == 9
+        assert args.workload_seed == 4
+        assert args.max_length == 128
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure4", "--scale", "huge"])
+
+
+class TestMain:
+    def test_runs_section3(self, capsys):
+        assert main(["section3"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 3" in out
+        assert "96.50" in out  # the paper column
+
+    def test_runs_truncated_figure4(self, capsys):
+        assert main(["figure4", "--max-length", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "LOSS" in out
+
+    def test_runs_truncated_figure10(self, capsys):
+        assert main(["figure10", "--max-length", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "OPT" in out
+
+    def test_chart_flag_renders_ascii(self, capsys):
+        assert main(["figure4", "--max-length", "2", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "seconds per locate vs schedule length" in out
+        assert "|" in out  # the chart frame
+
+    def test_seed_flags_change_results(self, capsys):
+        assert main(["figure4", "--max-length", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(
+            ["figure4", "--max-length", "1", "--workload-seed", "9"]
+        ) == 0
+        second = capsys.readouterr().out
+        assert first != second

@@ -1,0 +1,113 @@
+"""Drive profiles."""
+
+import pytest
+
+from repro.constants import (
+    DEFAULT_TOTAL_SEGMENTS,
+    READ_SECONDS_PER_SECTION,
+    SEGMENT_TRANSFER_SECONDS,
+)
+from repro.profiles import (
+    DLT4000,
+    DLT7000,
+    IBM3590,
+    PROFILES,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_profile("DLT4000") is DLT4000
+        assert set(PROFILES) == {"DLT4000", "DLT7000", "IBM3590"}
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("LTO9")
+
+
+class TestDlt4000IsExactDefault:
+    def test_segments(self):
+        assert DLT4000.total_segments == pytest.approx(
+            DEFAULT_TOTAL_SEGMENTS, rel=0.002
+        )
+
+    def test_speeds(self):
+        assert DLT4000.read_seconds_per_section == (
+            READ_SECONDS_PER_SECTION
+        )
+        assert DLT4000.segment_transfer_seconds == pytest.approx(
+            SEGMENT_TRANSFER_SECONDS
+        )
+
+    def test_model_matches_default(self, full_tape, full_model, rng):
+        model = DLT4000.build_model(full_tape)
+        destinations = rng.integers(0, full_tape.total_segments, 200)
+        import numpy as np
+
+        np.testing.assert_allclose(
+            model.locate_times(0, destinations),
+            full_model.locate_times(0, destinations),
+        )
+
+
+class TestGenerationScaling:
+    def test_published_capacities_and_rates(self):
+        # Section 2 of the paper.
+        assert DLT7000.capacity_bytes == pytest.approx(35e9)
+        assert DLT7000.transfer_rate_bytes_per_second == pytest.approx(
+            5.2e6
+        )
+        assert IBM3590.capacity_bytes == pytest.approx(10e9)
+        assert IBM3590.transfer_rate_bytes_per_second == pytest.approx(
+            9e6
+        )
+
+    def test_full_read_estimates(self):
+        # DLT4000 ~3.9 h, DLT7000 ~1.9 h, 3590 ~19 min.
+        assert DLT4000.full_read_seconds_estimate == pytest.approx(
+            13_590, rel=0.02
+        )
+        assert DLT7000.full_read_seconds_estimate == pytest.approx(
+            6_730, rel=0.02
+        )
+        assert IBM3590.full_read_seconds_estimate == pytest.approx(
+            1_111, rel=0.02
+        )
+
+    def test_faster_drives_have_faster_locates(self, rng):
+        times = {}
+        for profile in (DLT4000, DLT7000, IBM3590):
+            tape, model = profile.build_system(seed=2)
+            destinations = rng.integers(0, tape.total_segments, 2000)
+            times[profile.name] = float(
+                model.locate_times(0, destinations).mean()
+            )
+        assert times["IBM3590"] < times["DLT7000"] < times["DLT4000"]
+
+    def test_build_system_consistent(self):
+        tape, model = IBM3590.build_system(seed=5)
+        assert model.geometry is tape
+        assert tape.total_segments == IBM3590.total_segments
+        assert tape.label.startswith("IBM3590")
+
+
+class TestDriveGenerationsExperiment:
+    def test_scheduling_advantage_survives(self):
+        from repro.experiments import drive_generations
+
+        result = drive_generations.run(trials=3)
+        for profile in result.profiles:
+            assert result.speedup(profile) > 1.5
+        # Faster hardware means more absolute throughput everywhere.
+        assert (
+            result.points[("IBM3590", "LOSS")].per_hour
+            > result.points[("DLT4000", "LOSS")].per_hour
+        )
+
+    def test_report(self, capsys):
+        from repro.experiments import drive_generations
+
+        result = drive_generations.run(trials=2)
+        drive_generations.report(result)
+        assert "generations" in capsys.readouterr().out

@@ -1,0 +1,51 @@
+"""The package's public surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.geometry",
+            "repro.model",
+            "repro.drive",
+            "repro.scheduling",
+            "repro.workload",
+            "repro.online",
+            "repro.analysis",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackage_all_resolve(self, module):
+        package = importlib.import_module(module)
+        for name in package.__all__:
+            assert hasattr(package, name), f"{module}.{name}"
+
+    def test_docstring_quickstart_runs(self, tiny, tiny_model):
+        # The snippet in the package docstring, on a tiny tape.
+        from repro import LossScheduler, SimulatedDrive, execute_schedule
+
+        batch = [5, 42, 199, 310]
+        schedule = LossScheduler().schedule(
+            tiny_model, 0, batch
+        )
+        drive = SimulatedDrive(tiny_model)
+        result = execute_schedule(drive, schedule)
+        assert result.total_seconds > 0
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.SchedulingError, repro.ReproError)
+        assert issubclass(repro.SegmentOutOfRange, repro.GeometryError)
+        assert issubclass(repro.BatchTooLarge, repro.SchedulingError)

@@ -1,0 +1,55 @@
+"""Poisson arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.workload import PoissonArrivals
+
+
+class TestPoisson:
+    def test_arrivals_monotone_and_bounded(self):
+        stream = PoissonArrivals(
+            rate_per_hour=100.0, total_segments=1000, seed=1
+        ).batch(3600.0)
+        times = [r.arrival_seconds for r in stream]
+        assert times == sorted(times)
+        assert all(0 < t < 3600.0 for t in times)
+
+    def test_rate_approximately_respected(self):
+        stream = PoissonArrivals(
+            rate_per_hour=200.0, total_segments=1000, seed=2
+        ).batch(100 * 3600.0)
+        rate = len(stream) / 100.0
+        assert rate == pytest.approx(200.0, rel=0.1)
+
+    def test_segments_in_range(self):
+        stream = PoissonArrivals(
+            rate_per_hour=50.0, total_segments=77, seed=3
+        ).batch(24 * 3600.0)
+        assert all(0 <= r.segment < 77 for r in stream)
+
+    def test_deterministic(self):
+        a = PoissonArrivals(50.0, 1000, seed=4).batch(3600.0)
+        b = PoissonArrivals(50.0, 1000, seed=4).batch(3600.0)
+        assert [(r.arrival_seconds, r.segment) for r in a] == [
+            (r.arrival_seconds, r.segment) for r in b
+        ]
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate_per_hour=0.0)
+
+    def test_streaming_matches_batch(self):
+        gen = PoissonArrivals(80.0, 500, seed=5)
+        first = list(gen.stream(1800.0))
+        gen2 = PoissonArrivals(80.0, 500, seed=5)
+        assert first == gen2.batch(1800.0)
+
+
+def test_timed_request_is_frozen():
+    from repro.workload import TimedRequest
+
+    request = TimedRequest(1.0, 5)
+    assert request.length == 1
+    with pytest.raises(AttributeError):
+        request.segment = 9

@@ -1,0 +1,79 @@
+"""The POSIX rand48 reimplementation."""
+
+import pytest
+
+from repro.workload import LRand48
+
+# Constants of the POSIX generator, restated independently here so the
+# test cross-checks the implementation against the spec rather than
+# against itself.
+A = 0x5DEECE66D
+C = 0xB
+MASK = (1 << 48) - 1
+
+
+def reference_states(seed, count):
+    state = ((seed & 0xFFFFFFFF) << 16) | 0x330E
+    out = []
+    for _ in range(count):
+        state = (A * state + C) & MASK
+        out.append(state)
+    return out
+
+
+class TestSpecCompliance:
+    def test_lrand48_is_high_31_bits(self):
+        gen = LRand48(12345)
+        expected = [s >> 17 for s in reference_states(12345, 10)]
+        assert [gen.lrand48() for _ in range(10)] == expected
+
+    def test_mrand48_is_signed_high_32_bits(self):
+        gen = LRand48(7)
+        for state in reference_states(7, 10):
+            value = gen.mrand48()
+            raw = state >> 16
+            expected = raw - (1 << 32) if raw >= (1 << 31) else raw
+            assert value == expected
+
+    def test_drand48_range_and_value(self):
+        gen = LRand48(99)
+        for state in reference_states(99, 10):
+            value = gen.drand48()
+            assert value == pytest.approx(state / float(1 << 48))
+            assert 0.0 <= value < 1.0
+
+
+class TestBehaviour:
+    def test_reseed_reproduces(self):
+        gen = LRand48(5)
+        first = [gen.lrand48() for _ in range(5)]
+        gen.srand48(5)
+        assert [gen.lrand48() for _ in range(5)] == first
+
+    def test_seeds_differ(self):
+        a = [LRand48(1).lrand48() for _ in range(1)]
+        b = [LRand48(2).lrand48() for _ in range(1)]
+        assert a != b
+
+    def test_range(self):
+        gen = LRand48(0)
+        for _ in range(1000):
+            value = gen.lrand48()
+            assert 0 <= value < (1 << 31)
+
+    def test_below(self):
+        gen = LRand48(3)
+        for _ in range(1000):
+            assert 0 <= gen.below(622_058) < 622_058
+
+    def test_below_validates(self):
+        with pytest.raises(ValueError):
+            LRand48(0).below(0)
+
+    def test_roughly_uniform(self):
+        gen = LRand48(42)
+        buckets = [0] * 10
+        for _ in range(20_000):
+            buckets[gen.below(10)] += 1
+        for count in buckets:
+            assert 1700 < count < 2300

@@ -1,0 +1,64 @@
+"""Uniform batch workload."""
+
+import numpy as np
+import pytest
+
+from repro.workload import UniformWorkload
+
+
+class TestBatches:
+    def test_distinct_and_in_range(self):
+        workload = UniformWorkload(total_segments=1000, seed=0)
+        batch = workload.sample_batch(200)
+        assert len(set(batch.tolist())) == 200
+        assert batch.min() >= 0
+        assert batch.max() < 1000
+
+    def test_deterministic(self):
+        a = UniformWorkload(total_segments=5000, seed=9).sample_batch(50)
+        b = UniformWorkload(total_segments=5000, seed=9).sample_batch(50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_over_draw_rejected(self):
+        workload = UniformWorkload(total_segments=10, seed=0)
+        with pytest.raises(ValueError):
+            workload.sample_batch(11)
+
+    def test_successive_batches_differ(self):
+        workload = UniformWorkload(total_segments=5000, seed=1)
+        a = workload.sample_batch(20)
+        b = workload.sample_batch(20)
+        assert not np.array_equal(a, b)
+
+
+class TestOriginModes:
+    def test_random_origin_comes_from_first_draw(self):
+        fresh = UniformWorkload(total_segments=5000, seed=4)
+        draws = fresh.sample_batch(6)
+        again = UniformWorkload(total_segments=5000, seed=4)
+        origin, batch = again.sample_batch_with_origin(
+            5, origin_at_start=False
+        )
+        assert origin == draws[0]
+        np.testing.assert_array_equal(batch, draws[1:])
+
+    def test_bot_origin_is_zero(self):
+        workload = UniformWorkload(total_segments=5000, seed=4)
+        origin, batch = workload.sample_batch_with_origin(
+            5, origin_at_start=True
+        )
+        assert origin == 0
+        assert batch.shape == (5,)
+
+    def test_bot_mode_consumes_same_draws(self):
+        # Both modes draw 1 + N values, so seeded series stay aligned
+        # (the paper's Figures 4 and 5 use the same batches).
+        random_mode = UniformWorkload(total_segments=5000, seed=8)
+        bot_mode = UniformWorkload(total_segments=5000, seed=8)
+        _, batch_a = random_mode.sample_batch_with_origin(5, False)
+        _, batch_b = bot_mode.sample_batch_with_origin(5, True)
+        np.testing.assert_array_equal(batch_a, batch_b)
+
+    def test_single_segment(self):
+        workload = UniformWorkload(total_segments=100, seed=0)
+        assert 0 <= workload.sample_segment() < 100
