@@ -1,0 +1,51 @@
+"""Cache-sim — hit rate and response time vs. staging capacity.
+
+Not a figure from the paper: this benchmarks the disk staging cache
+extension (``repro.cache``) under the Zipf workload and asserts the
+headline finding — with capacity at or above 5 % of the hot set, mean
+response time is strictly below the cache-off baseline.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ExperimentConfig, cache_sim
+
+#: Hot set and the sweep (1 %, 5 %, 20 %, 50 % of it).
+HOT_SET = 2_000
+CAPACITIES = (20, 100, 400, 1_000)
+
+
+def test_cache_sim_sweep(benchmark):
+    config = ExperimentConfig(scale="quick")
+    result = run_once(
+        benchmark,
+        cache_sim.run,
+        config,
+        capacities=CAPACITIES,
+        hot_set=HOT_SET,
+        rate_per_hour=120.0,
+        horizon_hours=4.0,
+    )
+
+    by_capacity = {p.capacity_segments: p for p in result.points}
+    # Acceptance: >= 5% of the hot set beats the cache-off baseline.
+    for capacity in (100, 400, 1_000):
+        assert (
+            by_capacity[capacity].mean_seconds
+            < result.baseline_mean_seconds
+        )
+    # More capacity never hurts the hit rate on this sweep.
+    hit_rates = [by_capacity[c].hit_rate for c in CAPACITIES]
+    assert hit_rates == sorted(hit_rates)
+    # The cache absorbs a meaningful share of a skewed stream.
+    assert by_capacity[100].hit_rate > 0.10
+
+    benchmark.extra_info["baseline_mean_min"] = round(
+        result.baseline_mean_seconds / 60.0, 1
+    )
+    benchmark.extra_info["mean_min@5%"] = round(
+        by_capacity[100].mean_seconds / 60.0, 1
+    )
+    benchmark.extra_info["hit_rate@5%"] = round(
+        by_capacity[100].hit_rate, 3
+    )

@@ -16,7 +16,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import LocateTimeModel, generate_tape, get_scheduler
 from repro.workload import UniformWorkload, ZipfWorkload

@@ -27,7 +27,6 @@ from repro import (
     calibrate_key_points,
     estimate_schedule_seconds,
     execute_schedule,
-    generate_tape,
     geometry_from_key_points,
     ground_truth_drive,
     make_tape_pair,

@@ -24,6 +24,18 @@ Quickstart::
 """
 
 from repro._version import __version__
+from repro.cache import (
+    AdmissionPolicy,
+    AlwaysAdmit,
+    CachedTertiaryStorageSystem,
+    CostThresholdAdmission,
+    EvictionPolicy,
+    FIFOPolicy,
+    FrequencyThresholdAdmission,
+    GDSFPolicy,
+    LRUPolicy,
+    SegmentCache,
+)
 from repro.drive import (
     SimulatedDrive,
     ground_truth_drive,
@@ -31,13 +43,17 @@ from repro.drive import (
 )
 from repro.exceptions import (
     BatchTooLarge,
+    CacheError,
     DriveError,
     EmptyBatchError,
     GeometryError,
+    MetricsError,
+    NoSamplesError,
     ReproError,
     SchedulingError,
     SegmentOutOfRange,
 )
+from repro.online import CacheStats, ResponseStats
 from repro.geometry import (
     TapeGeometry,
     calibrate_key_points,
@@ -74,24 +90,39 @@ from repro.scheduling import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
+    "AlwaysAdmit",
     "AutoScheduler",
     "BatchTooLarge",
+    "CacheError",
+    "CacheStats",
+    "CachedTertiaryStorageSystem",
+    "CostThresholdAdmission",
     "DriveError",
     "EmptyBatchError",
     "EvenOddPerturbation",
+    "EvictionPolicy",
+    "FIFOPolicy",
     "FifoScheduler",
+    "FrequencyThresholdAdmission",
+    "GDSFPolicy",
     "GeometryError",
+    "LRUPolicy",
     "LocateCase",
     "LocateTimeModel",
     "LossScheduler",
+    "MetricsError",
+    "NoSamplesError",
     "OptScheduler",
     "ReadEntireTapeScheduler",
     "ReproError",
     "Request",
+    "ResponseStats",
     "ScanScheduler",
     "Schedule",
     "Scheduler",
     "SchedulingError",
+    "SegmentCache",
     "SegmentOutOfRange",
     "ShortLocateDeviation",
     "SimulatedDrive",

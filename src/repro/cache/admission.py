@@ -1,0 +1,109 @@
+"""Admission control for the disk staging cache.
+
+Tertiary-storage caches suffer badly from one-hit wonders: a random
+read that is never repeated evicts something useful and contributes
+nothing.  Admission control decides, on a miss that has just been
+serviced from tape, whether the fetched segment deserves a cache slot
+at all.  Because the medium's re-fetch cost is position-dependent
+(~0–180 s per locate), cost is a first-class admission signal here,
+exactly as it is for eviction in :mod:`repro.cache.policies`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+
+
+class AdmissionPolicy(abc.ABC):
+    """Decides whether a fetched segment may enter the cache."""
+
+    #: Registry name; subclasses set this.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def admit(self, key: int, cost: float) -> bool:
+        """Should ``key`` (estimated re-fetch time ``cost``) be cached?"""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class AlwaysAdmit(AdmissionPolicy):
+    """Admit every fetched segment (the classic cache behaviour)."""
+
+    name = "always"
+
+    def admit(self, key: int, cost: float) -> bool:
+        return True
+
+
+class FrequencyThresholdAdmission(AdmissionPolicy):
+    """Admit a segment only on its ``min_accesses``-th fetch.
+
+    Keeps a bounded LRU table of access counters (a cheap stand-in for
+    a TinyLFU sketch): the first ``min_accesses - 1`` fetches of a
+    segment are remembered but not cached, so one-hit wonders never
+    displace resident data.
+    """
+
+    name = "frequency"
+
+    def __init__(
+        self, min_accesses: int = 2, max_tracked: int = 65_536
+    ) -> None:
+        if min_accesses < 1:
+            raise ValueError("min_accesses must be >= 1")
+        if max_tracked < 1:
+            raise ValueError("max_tracked must be >= 1")
+        self.min_accesses = min_accesses
+        self.max_tracked = max_tracked
+        self._counts: OrderedDict[int, int] = OrderedDict()
+
+    def admit(self, key: int, cost: float) -> bool:
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        self._counts.move_to_end(key)
+        while len(self._counts) > self.max_tracked:
+            self._counts.popitem(last=False)
+        return count >= self.min_accesses
+
+
+class CostThresholdAdmission(AdmissionPolicy):
+    """Admit only segments whose re-fetch locate time is expensive.
+
+    Segments the head can re-reach cheaply (within the read-through
+    window, or a short scan away) are not worth a slot; a segment at
+    the far end of the tape costing ~3 minutes to re-locate is.  The
+    default threshold is just above the reposition+reversal overhead,
+    so anything needing an actual scan qualifies.
+    """
+
+    name = "cost"
+
+    def __init__(self, min_cost_seconds: float = 5.0) -> None:
+        if min_cost_seconds < 0:
+            raise ValueError("min_cost_seconds must be >= 0")
+        self.min_cost_seconds = float(min_cost_seconds)
+
+    def admit(self, key: int, cost: float) -> bool:
+        return cost >= self.min_cost_seconds
+
+
+#: Admission-policy factories by name (CLI and experiment plumbing).
+ADMISSIONS = {
+    AlwaysAdmit.name: AlwaysAdmit,
+    FrequencyThresholdAdmission.name: FrequencyThresholdAdmission,
+    CostThresholdAdmission.name: CostThresholdAdmission,
+}
+
+
+def get_admission(name: str) -> AdmissionPolicy:
+    """Instantiate an admission policy by registry name."""
+    try:
+        return ADMISSIONS[name]()
+    except KeyError:
+        known = ", ".join(sorted(ADMISSIONS))
+        raise ValueError(
+            f"unknown admission policy {name!r}; known: {known}"
+        ) from None

@@ -1,0 +1,165 @@
+"""Eviction policies for the disk staging cache.
+
+The cache tier sits in front of a medium whose re-fetch cost is wildly
+position-dependent: a locate back to an evicted segment costs anywhere
+from ~0 s (read-through window) to ~180 s (far end of the tape).  The
+classic recency/frequency policies ignore that asymmetry, so alongside
+FIFO and LRU this module provides a GDSF (Greedy-Dual-Size-Frequency)
+variant whose weight is the *model-estimated locate time* back to the
+segment — the same position-dependent cost structure the linear-tape
+scheduling literature (Cardonha & Villa Real; Honoré et al.) exploits.
+
+A policy only maintains *ordering metadata*; the
+:class:`~repro.cache.store.SegmentCache` owns the resident set and
+calls back into the policy on insert/hit/eviction.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from collections import OrderedDict
+
+
+class EvictionPolicy(abc.ABC):
+    """Victim-selection strategy for a :class:`SegmentCache`.
+
+    The store guarantees the call pattern: ``on_insert`` once per
+    resident key, ``on_hit`` only for resident keys, and ``pop_victim``
+    only while at least one key is resident.
+    """
+
+    #: Registry name; subclasses set this.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def on_insert(self, key: int, cost: float) -> None:
+        """A key became resident; ``cost`` is its estimated re-fetch time."""
+
+    @abc.abstractmethod
+    def on_hit(self, key: int) -> None:
+        """A resident key was accessed."""
+
+    @abc.abstractmethod
+    def pop_victim(self) -> int:
+        """Choose, remove from the metadata, and return the eviction victim."""
+
+    @abc.abstractmethod
+    def discard(self, key: int) -> None:
+        """Forget a key (explicit invalidation), if tracked."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FIFOPolicy(EvictionPolicy):
+    """Evict in insertion order; hits do not promote."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def on_insert(self, key: int, cost: float) -> None:
+        self._order[key] = None
+
+    def on_hit(self, key: int) -> None:
+        pass
+
+    def pop_victim(self) -> int:
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def discard(self, key: int) -> None:
+        self._order.pop(key, None)
+
+
+class LRUPolicy(EvictionPolicy):
+    """Evict the least-recently-used key; hits promote to most recent."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def on_insert(self, key: int, cost: float) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_hit(self, key: int) -> None:
+        self._order.move_to_end(key)
+
+    def pop_victim(self) -> int:
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def discard(self, key: int) -> None:
+        self._order.pop(key, None)
+
+
+class GDSFPolicy(EvictionPolicy):
+    """Greedy-Dual-Size-Frequency with tape-locate cost as the weight.
+
+    Each resident key carries a priority ``L + frequency * cost`` where
+    ``cost`` is the estimated locate time back to the segment (all
+    segments are the same size, so the classic size divisor is a
+    constant and drops out).  Eviction removes the minimum-priority key
+    and advances the inflation clock ``L`` to that priority, which ages
+    out once-hot entries without explicit decay.  Cheap-to-refetch
+    segments (near the head's usual territory) are sacrificed before
+    expensive far-end segments of equal popularity.
+    """
+
+    name = "gdsf"
+
+    def __init__(self) -> None:
+        self._clock = 0.0
+        #: key -> (priority, frequency, cost)
+        self._entries: dict[int, tuple[float, int, float]] = {}
+        #: lazy min-heap of (priority, key); stale entries are skipped.
+        self._heap: list[tuple[float, int]] = []
+
+    def _push(self, key: int, frequency: int, cost: float) -> None:
+        priority = self._clock + frequency * cost
+        self._entries[key] = (priority, frequency, cost)
+        heapq.heappush(self._heap, (priority, key))
+
+    def on_insert(self, key: int, cost: float) -> None:
+        self._push(key, 1, float(cost))
+
+    def on_hit(self, key: int) -> None:
+        _, frequency, cost = self._entries[key]
+        self._push(key, frequency + 1, cost)
+
+    def pop_victim(self) -> int:
+        while self._heap:
+            priority, key = heapq.heappop(self._heap)
+            entry = self._entries.get(key)
+            if entry is None or entry[0] != priority:
+                continue  # stale heap entry
+            del self._entries[key]
+            self._clock = priority
+            return key
+        raise LookupError("pop_victim on empty policy")
+
+    def discard(self, key: int) -> None:
+        self._entries.pop(key, None)
+
+
+#: Eviction-policy factories by name (CLI and experiment plumbing).
+POLICIES = {
+    FIFOPolicy.name: FIFOPolicy,
+    LRUPolicy.name: LRUPolicy,
+    GDSFPolicy.name: GDSFPolicy,
+}
+
+
+def get_policy(name: str) -> EvictionPolicy:
+    """Instantiate an eviction policy by registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(
+            f"unknown eviction policy {name!r}; known: {known}"
+        ) from None

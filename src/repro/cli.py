@@ -15,6 +15,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.experiments import (
+    cache_sim,
     drive_generations,
     figure1,
     figure4,
@@ -74,8 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted({*_CONFIGURED, *_SEED_ONLY, "all"}),
-        help="which figure/table to regenerate",
+        choices=sorted({*_CONFIGURED, *_SEED_ONLY, "cache-sim", "all"}),
+        help=(
+            "which figure/table to regenerate, or 'cache-sim' for the "
+            "disk staging cache extension"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -102,6 +106,45 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", default=None, metavar="FILE",
         help="also export the result to FILE (.csv or .json)",
+    )
+    cache = parser.add_argument_group(
+        "cache-sim options (ignored by the paper experiments)"
+    )
+    cache.add_argument(
+        "--cache-capacity", type=int, action="append", default=None,
+        metavar="SEGMENTS",
+        help=(
+            "staging capacity in segments; repeat the flag for a sweep "
+            "(default: 1/5/20/50%% of the hot set)"
+        ),
+    )
+    cache.add_argument(
+        "--cache-policy", choices=("fifo", "lru", "gdsf"),
+        default="gdsf", help="eviction policy (default: gdsf)",
+    )
+    cache.add_argument(
+        "--cache-admission", choices=("always", "frequency", "cost"),
+        default="always", help="admission policy (default: always)",
+    )
+    cache.add_argument(
+        "--no-prefetch", action="store_true",
+        help="disable opportunistic read-through prefetch",
+    )
+    cache.add_argument(
+        "--zipf-alpha", type=float, default=0.8,
+        help="Zipf skew of the workload (default: 0.8)",
+    )
+    cache.add_argument(
+        "--hot-set", type=int, default=4_000,
+        help="distinct hot segments in the workload (default: 4000)",
+    )
+    cache.add_argument(
+        "--rate-per-hour", type=float, default=120.0,
+        help="Poisson arrival rate (default: 120)",
+    )
+    cache.add_argument(
+        "--horizon-hours", type=float, default=None,
+        help="simulated hours (default: set by --scale)",
     )
     return parser
 
@@ -131,13 +174,37 @@ def run_experiment(
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.cache_capacity and any(c < 1 for c in args.cache_capacity):
+        parser.error("--cache-capacity must be >= 1 segment")
     config = ExperimentConfig(
         tape_seed=args.tape_seed,
         workload_seed=args.workload_seed,
         scale=args.scale,
         max_length=args.max_length,
     )
+    if args.experiment == "cache-sim":
+        result = cache_sim.main(
+            config,
+            capacities=(
+                tuple(args.cache_capacity)
+                if args.cache_capacity else None
+            ),
+            alpha=args.zipf_alpha,
+            hot_set=args.hot_set,
+            rate_per_hour=args.rate_per_hour,
+            horizon_hours=args.horizon_hours,
+            policy=args.cache_policy,
+            admission=args.cache_admission,
+            prefetch=not args.no_prefetch,
+        )
+        if args.out is not None:
+            from repro.experiments.export import write_result
+
+            written = write_result(result, args.out)
+            print(f"exported to {written}")
+        return 0
     names = _ALL_ORDER if args.experiment == "all" else (args.experiment,)
     if args.out is not None and len(names) > 1:
         raise SystemExit("--out works with a single experiment")

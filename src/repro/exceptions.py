@@ -48,6 +48,18 @@ class BatchTooLarge(SchedulingError):
         )
 
 
+class MetricsError(ReproError):
+    """Invalid use of the accounting/metrics layer."""
+
+
+class NoSamplesError(MetricsError):
+    """An aggregate statistic was requested from an empty sample set."""
+
+
+class CacheError(ReproError):
+    """Invalid operation on the disk staging cache tier."""
+
+
 class DriveError(ReproError):
     """Invalid operation on a (simulated) tape drive."""
 

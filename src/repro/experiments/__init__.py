@@ -6,6 +6,7 @@ benchmark suite are thin wrappers over these.
 """
 
 from repro.experiments import (
+    cache_sim,
     drive_generations,
     figure1,
     figure4,
@@ -57,6 +58,7 @@ __all__ = [
     "SeriesPoint",
     "VALIDATION_LENGTHS",
     "ValidationResult",
+    "cache_sim",
     "drive_generations",
     "figure1",
     "figure4",

@@ -61,10 +61,11 @@ def result_to_rows(result) -> list[dict]:
         return validation_to_rows(result)
     if hasattr(result, "rows"):
         rows = result.rows()
-        return [
-            {f"col{i}": value for i, value in enumerate(row)}
-            for row in rows
-        ]
+        if hasattr(result, "headers"):
+            names = result.headers()
+        else:
+            names = [f"col{i}" for i in range(len(rows[0]))] if rows else []
+        return [dict(zip(names, row)) for row in rows]
     raise TypeError(
         f"don't know how to export {type(result).__name__}"
     )

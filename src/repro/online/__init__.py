@@ -6,7 +6,7 @@ from repro.online.library import (
     DEFAULT_EXCHANGE_SECONDS,
     TapeLibrary,
 )
-from repro.online.metrics import ResponseStats
+from repro.online.metrics import CacheStats, ResponseStats
 from repro.online.striping import (
     StripeMapping,
     StripedBatchResult,
@@ -18,6 +18,7 @@ __all__ = [
     "BatchPolicy",
     "BatchQueue",
     "BatchRecord",
+    "CacheStats",
     "Cartridge",
     "DEFAULT_EXCHANGE_SECONDS",
     "ResponseStats",

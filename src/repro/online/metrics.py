@@ -1,10 +1,13 @@
-"""Response-time and throughput accounting for the online system."""
+"""Response-time, throughput, and cache accounting for the online system."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.constants import SEGMENT_BYTES
+from repro.exceptions import NoSamplesError
 
 
 @dataclass
@@ -14,6 +17,12 @@ class ResponseStats:
     Response time = completion time − arrival time; the batching policy
     trades it against throughput (bigger batches schedule better but
     wait longer).
+
+    The aggregate properties (:attr:`mean_seconds`, :attr:`max_seconds`,
+    :meth:`percentile`) raise :class:`~repro.exceptions.NoSamplesError`
+    when no request has been recorded — an empty simulation has no mean
+    response time, and silently reporting 0.0 (or a numpy NaN warning)
+    has hidden misconfigured experiments before.
     """
 
     _samples: list[float] = field(default_factory=list)
@@ -24,6 +33,13 @@ class ResponseStats:
             raise ValueError("completion precedes arrival")
         self._samples.append(completion_seconds - arrival_seconds)
 
+    def _require_samples(self) -> None:
+        if not self._samples:
+            raise NoSamplesError(
+                "no requests recorded; aggregate response-time "
+                "statistics are undefined"
+            )
+
     @property
     def count(self) -> int:
         """Requests recorded."""
@@ -32,17 +48,18 @@ class ResponseStats:
     @property
     def mean_seconds(self) -> float:
         """Mean response time."""
-        return float(np.mean(self._samples)) if self._samples else 0.0
+        self._require_samples()
+        return float(np.mean(self._samples))
 
     @property
     def max_seconds(self) -> float:
         """Worst response time."""
-        return float(np.max(self._samples)) if self._samples else 0.0
+        self._require_samples()
+        return float(np.max(self._samples))
 
     def percentile(self, q: float) -> float:
         """Response-time percentile, ``q`` in [0, 100]."""
-        if not self._samples:
-            return 0.0
+        self._require_samples()
         return float(np.percentile(self._samples, q))
 
     def throughput_per_hour(self, horizon_seconds: float) -> float:
@@ -50,3 +67,68 @@ class ResponseStats:
         if horizon_seconds <= 0:
             raise ValueError("horizon must be positive")
         return 3600.0 * self.count / horizon_seconds
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/byte accounting for the disk staging cache tier.
+
+    Request-level counters (``hits``/``misses``) drive the headline hit
+    rate; segment-level counters weight multi-segment requests by their
+    size and convert to bytes via the paper's fixed 32 KB segment.
+    Insertion-side counters split demand fills from opportunistic
+    prefetch and record how often admission control or eviction acted.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    hit_segments: int = 0
+    miss_segments: int = 0
+    insertions: int = 0
+    prefetch_insertions: int = 0
+    rejections: int = 0
+    evictions: int = 0
+
+    def record_hit(self, segments: int = 1) -> None:
+        """One request fully served from the cache."""
+        self.hits += 1
+        self.hit_segments += segments
+
+    def record_miss(self, segments: int = 1) -> None:
+        """One request that had to go to tape."""
+        self.misses += 1
+        self.miss_segments += segments
+
+    @property
+    def lookups(self) -> int:
+        """Total requests that consulted the cache."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from cache."""
+        if self.lookups == 0:
+            raise NoSamplesError(
+                "no cache lookups recorded; hit rate is undefined"
+            )
+        return self.hits / self.lookups
+
+    @property
+    def hit_bytes(self) -> int:
+        """Bytes served from the cache tier."""
+        return self.hit_segments * SEGMENT_BYTES
+
+    @property
+    def miss_bytes(self) -> int:
+        """Bytes that had to come off tape."""
+        return self.miss_segments * SEGMENT_BYTES
+
+    @property
+    def byte_hit_rate(self) -> float:
+        """Fraction of requested bytes served from cache."""
+        total = self.hit_segments + self.miss_segments
+        if total == 0:
+            raise NoSamplesError(
+                "no cache lookups recorded; byte hit rate is undefined"
+            )
+        return self.hit_segments / total

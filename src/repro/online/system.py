@@ -20,9 +20,10 @@ from repro.model.locate import LocateTimeModel
 from repro.online.batch_queue import BatchPolicy, BatchQueue
 from repro.online.metrics import ResponseStats
 from repro.scheduling.base import Scheduler
-from repro.scheduling.executor import execute_schedule
+from repro.scheduling.executor import ExecutionResult, execute_schedule
 from repro.scheduling.loss import LossScheduler
 from repro.scheduling.request import Request
+from repro.scheduling.schedule import Schedule
 from repro.workload.arrivals import TimedRequest
 
 
@@ -77,7 +78,7 @@ class TertiaryStorageSystem:
                 index < len(pending)
                 and pending[index].arrival_seconds <= now
             ):
-                self.queue.push(pending[index])
+                self._admit(pending[index], now)
                 index += 1
 
             drive_idle = now >= self._drive_free_at
@@ -100,7 +101,13 @@ class TertiaryStorageSystem:
             now = max(now, min(horizons))
         return self.stats
 
-    def _run_batch(self, now: float) -> None:
+    def _admit(self, item: TimedRequest, now: float) -> None:
+        """Route one arrived request (hook: a cache tier front-ends this)."""
+        self.queue.push(item)
+
+    def _run_batch(
+        self, now: float
+    ) -> tuple[list[TimedRequest], Schedule, ExecutionResult]:
         batch = self.queue.flush()
         requests = [Request(item.segment, item.length) for item in batch]
         schedule = self.scheduler.schedule(
@@ -127,3 +134,4 @@ class TertiaryStorageSystem:
                 now + float(result.completion_seconds[position]),
             )
         self._drive_free_at = now + result.total_seconds
+        return batch, schedule, result

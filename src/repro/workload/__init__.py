@@ -1,7 +1,11 @@
 """Workload generators: the paper's lrand48 uniform batches plus
 arrival processes and a skew extension."""
 
-from repro.workload.arrivals import PoissonArrivals, TimedRequest
+from repro.workload.arrivals import (
+    PoissonArrivals,
+    TimedRequest,
+    ZipfArrivals,
+)
 from repro.workload.lrand48 import LRand48
 from repro.workload.random_uniform import UniformWorkload
 from repro.workload.trace import (
@@ -16,6 +20,7 @@ __all__ = [
     "PoissonArrivals",
     "TimedRequest",
     "UniformWorkload",
+    "ZipfArrivals",
     "ZipfWorkload",
     "load_trace",
     "save_trace",

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.constants import DEFAULT_TOTAL_SEGMENTS
+from repro.workload.zipf import ZipfWorkload
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,46 @@ class PoissonArrivals:
                 arrival_seconds=clock,
                 segment=int(self._rng.integers(0, self.total_segments)),
             )
+
+    def batch(self, horizon_seconds: float) -> list[TimedRequest]:
+        """Materialized :meth:`stream`."""
+        return list(self.stream(horizon_seconds))
+
+
+@dataclass
+class ZipfArrivals:
+    """Poisson arrival times with Zipf-skewed segment targets.
+
+    The arrival process of :class:`PoissonArrivals` composed with the
+    skewed segment draws of
+    :class:`~repro.workload.zipf.ZipfWorkload` — the workload a disk
+    staging cache in front of the tape cares about, since only repeated
+    (skewed) accesses can hit.  Draws are *with* replacement: temporal
+    locality is the point.
+    """
+
+    rate_per_hour: float
+    workload: ZipfWorkload
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_hour <= 0:
+            raise ValueError("rate_per_hour must be positive")
+        self._rng = np.random.default_rng(self.seed)
+
+    def stream(self, horizon_seconds: float) -> Iterator[TimedRequest]:
+        """Yield requests with arrival times below ``horizon_seconds``."""
+        rate_per_second = self.rate_per_hour / 3600.0
+        clock = 0.0
+        while True:
+            clock += float(self._rng.exponential(1.0 / rate_per_second))
+            if clock >= horizon_seconds:
+                return
+            segment = int(
+                self.workload.sample_batch(1, distinct=False)[0]
+            )
+            yield TimedRequest(arrival_seconds=clock, segment=segment)
 
     def batch(self, horizon_seconds: float) -> list[TimedRequest]:
         """Materialized :meth:`stream`."""

@@ -1,0 +1,69 @@
+"""Admission control."""
+
+import pytest
+
+from repro.cache import (
+    AlwaysAdmit,
+    CostThresholdAdmission,
+    FrequencyThresholdAdmission,
+    get_admission,
+)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["always", "frequency", "cost"])
+    def test_get_admission(self, name):
+        assert get_admission(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown admission policy"):
+            get_admission("tinylfu")
+
+
+class TestAlwaysAdmit:
+    def test_admits_everything(self):
+        policy = AlwaysAdmit()
+        assert policy.admit(1, 0.0)
+        assert policy.admit(2, 180.0)
+
+
+class TestFrequencyThreshold:
+    def test_second_access_admits(self):
+        policy = FrequencyThresholdAdmission(min_accesses=2)
+        assert policy.admit(7, 10.0) is False
+        assert policy.admit(7, 10.0) is True
+
+    def test_one_hit_wonders_never_admitted(self):
+        policy = FrequencyThresholdAdmission(min_accesses=2)
+        assert not any(policy.admit(key, 10.0) for key in range(100))
+
+    def test_threshold_one_is_always_admit(self):
+        policy = FrequencyThresholdAdmission(min_accesses=1)
+        assert policy.admit(5, 0.0) is True
+
+    def test_tracking_table_is_bounded(self):
+        policy = FrequencyThresholdAdmission(
+            min_accesses=2, max_tracked=4
+        )
+        for key in range(10):
+            policy.admit(key, 1.0)
+        assert len(policy._counts) <= 4
+        # Key 0's count was aged out, so it starts over.
+        assert policy.admit(0, 1.0) is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyThresholdAdmission(min_accesses=0)
+        with pytest.raises(ValueError):
+            FrequencyThresholdAdmission(max_tracked=0)
+
+
+class TestCostThreshold:
+    def test_threshold(self):
+        policy = CostThresholdAdmission(min_cost_seconds=5.0)
+        assert policy.admit(1, 4.9) is False
+        assert policy.admit(1, 5.0) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostThresholdAdmission(min_cost_seconds=-1.0)

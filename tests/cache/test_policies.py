@@ -1,0 +1,103 @@
+"""Eviction policies: FIFO, LRU, and tape-cost-aware GDSF."""
+
+import pytest
+
+from repro.cache import (
+    FIFOPolicy,
+    GDSFPolicy,
+    LRUPolicy,
+    SegmentCache,
+    get_policy,
+)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["fifo", "lru", "gdsf"])
+    def test_get_policy(self, name):
+        assert get_policy(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown eviction policy"):
+            get_policy("arc")
+
+
+class TestFIFO:
+    def test_insertion_order_ignores_hits(self):
+        policy = FIFOPolicy()
+        for key in (1, 2, 3):
+            policy.on_insert(key, 1.0)
+        policy.on_hit(1)
+        assert policy.pop_victim() == 1
+        assert policy.pop_victim() == 2
+
+
+class TestLRU:
+    def test_hit_promotes(self):
+        policy = LRUPolicy()
+        for key in (1, 2, 3):
+            policy.on_insert(key, 1.0)
+        policy.on_hit(1)
+        assert policy.pop_victim() == 2
+        assert policy.pop_victim() == 3
+        assert policy.pop_victim() == 1
+
+
+class TestGDSF:
+    def test_cheap_segment_evicted_before_expensive(self):
+        policy = GDSFPolicy()
+        policy.on_insert(1, 5.0)    # cheap re-fetch
+        policy.on_insert(2, 150.0)  # far end of tape
+        assert policy.pop_victim() == 1
+
+    def test_frequency_outweighs_moderate_cost_gap(self):
+        policy = GDSFPolicy()
+        policy.on_insert(1, 50.0)
+        policy.on_insert(2, 60.0)
+        for _ in range(3):
+            policy.on_hit(1)  # priority 4 * 50 = 200 > 60
+        assert policy.pop_victim() == 2
+
+    def test_clock_inflation_ages_out_stale_entries(self):
+        policy = GDSFPolicy()
+        policy.on_insert(1, 100.0)          # priority 100
+        for victim in range(2, 11):
+            policy.on_insert(victim, 10.0)  # priority clock + 10
+            assert policy.pop_victim() == victim
+        # The clock reached 90, so a fresh cheap entry (priority
+        # 90 + 10.5) now outranks the old expensive one.
+        policy.on_insert(99, 10.5)
+        assert policy.pop_victim() == 1
+
+    def test_stale_heap_entries_skipped(self):
+        policy = GDSFPolicy()
+        policy.on_insert(1, 10.0)
+        policy.on_insert(2, 20.0)
+        policy.on_hit(1)
+        policy.on_hit(1)  # several stale heap records for key 1
+        assert policy.pop_victim() == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(LookupError):
+            GDSFPolicy().pop_victim()
+
+
+class TestPoliciesInStore:
+    @pytest.mark.parametrize("name", ["fifo", "lru", "gdsf"])
+    def test_store_respects_capacity(self, name):
+        cache = SegmentCache(8, policy=get_policy(name))
+        for segment in range(50):
+            cache.admit(segment, cost=float(segment % 7) + 1.0)
+            cache.lookup(segment % 13)
+            assert len(cache) <= 8
+
+    def test_gdsf_keeps_expensive_hot_set(self):
+        # Expensive far-end segments hold their slots; a stream of
+        # cheap one-hit segments churns through the remaining slot.
+        cache = SegmentCache(3, policy=GDSFPolicy())
+        cache.admit(1, cost=150.0)
+        cache.admit(2, cost=150.0)
+        for cheap in range(10, 20):
+            cache.admit(cheap, cost=1.0)
+            cache.lookup(1)
+            cache.lookup(2)
+        assert 1 in cache and 2 in cache

@@ -1,0 +1,71 @@
+"""Opportunistic read-through prefetch."""
+
+from repro.cache import SegmentCache, prefetch_candidates
+from repro.cache.prefetch import opportunistic_prefetch
+from repro.scheduling import Request
+
+
+class TestPrefetchCandidates:
+    def test_empty_batch(self):
+        assert prefetch_candidates([]) == []
+
+    def test_gap_within_group_is_prefetched(self):
+        requests = [Request(100), Request(104)]
+        assert prefetch_candidates(requests, threshold=10) == [
+            101, 102, 103,
+        ]
+
+    def test_requests_beyond_threshold_contribute_nothing(self):
+        requests = [Request(100), Request(5_000)]
+        assert prefetch_candidates(requests, threshold=10) == []
+
+    def test_covered_segments_excluded(self):
+        # length-3 read covers 100..102; only 103 is a gap.
+        requests = [Request(100, length=3), Request(104)]
+        assert prefetch_candidates(requests, threshold=10) == [103]
+
+    def test_limit_caps_output(self):
+        requests = [Request(0), Request(100)]
+        out = prefetch_candidates(requests, threshold=200, limit=5)
+        assert len(out) == 5
+
+    def test_narrow_gaps_first(self):
+        requests = [
+            Request(0), Request(50),         # wide-gap group
+            Request(1_000), Request(1_002),  # narrow-gap group
+        ]
+        out = prefetch_candidates(requests, threshold=60, limit=1)
+        assert out == [1_001]
+
+    def test_singleton_groups_ignored(self):
+        requests = [Request(0), Request(10_000), Request(50_000)]
+        assert prefetch_candidates(requests, threshold=100) == []
+
+
+class TestOpportunisticPrefetch:
+    def test_stages_gaps_with_model_costs(self, tiny_model):
+        cache = SegmentCache(32)
+        staged = opportunistic_prefetch(
+            cache, tiny_model, 0,
+            [Request(10), Request(14)], threshold=20,
+        )
+        assert staged == 3
+        assert all(seg in cache for seg in (11, 12, 13))
+        assert cache.stats.prefetch_insertions == 3
+
+    def test_never_evicts_resident_data(self, tiny_model):
+        cache = SegmentCache(2)
+        cache.admit(200)
+        cache.admit(201)
+        staged = opportunistic_prefetch(
+            cache, tiny_model, 0,
+            [Request(10), Request(14)], threshold=20,
+        )
+        assert staged == 0
+        assert set(cache) == {200, 201}
+
+    def test_no_candidates_is_noop(self, tiny_model):
+        cache = SegmentCache(4)
+        assert opportunistic_prefetch(
+            cache, tiny_model, 0, [Request(10)]
+        ) == 0

@@ -1,0 +1,102 @@
+"""The bounded segment cache."""
+
+import pytest
+
+from repro.cache import (
+    CostThresholdAdmission,
+    FIFOPolicy,
+    LRUPolicy,
+    SegmentCache,
+)
+from repro.exceptions import CacheError
+
+
+class TestSegmentCache:
+    def test_requires_positive_capacity(self):
+        with pytest.raises(CacheError):
+            SegmentCache(0)
+
+    def test_admit_then_hit(self):
+        cache = SegmentCache(4)
+        assert cache.admit(10)
+        assert 10 in cache
+        assert cache.lookup(10) is True
+        assert cache.lookup(11) is False
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_capacity_enforced_with_eviction(self):
+        cache = SegmentCache(3, policy=FIFOPolicy())
+        for segment in range(5):
+            cache.admit(segment)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 2
+        # FIFO: 0 and 1 went first.
+        assert set(cache) == {2, 3, 4}
+
+    def test_readmit_is_touch_not_fill(self):
+        cache = SegmentCache(2, policy=LRUPolicy())
+        cache.admit(1)
+        cache.admit(2)
+        cache.admit(1)  # touch: 2 becomes LRU
+        cache.admit(3)
+        assert set(cache) == {1, 3}
+        assert cache.stats.insertions == 3
+
+    def test_multisegment_partial_residency_is_miss(self):
+        cache = SegmentCache(8)
+        cache.admit(5)
+        cache.admit(6)
+        assert cache.contains_run(5, 2)
+        assert not cache.contains_run(5, 3)
+        assert cache.lookup(5, length=3) is False
+        assert cache.stats.miss_segments == 3
+        cache.admit(7)
+        assert cache.lookup(5, length=3) is True
+        assert cache.stats.hit_segments == 3
+
+    def test_lookup_rejects_bad_length(self):
+        with pytest.raises(CacheError):
+            SegmentCache(2).lookup(0, length=0)
+
+    def test_admission_rejection_counted(self):
+        cache = SegmentCache(
+            4, admission=CostThresholdAdmission(min_cost_seconds=10.0)
+        )
+        assert cache.admit(1, cost=3.0) is False
+        assert cache.admit(2, cost=30.0) is True
+        assert cache.stats.rejections == 1
+        assert set(cache) == {2}
+
+    def test_prefetch_only_fills_free_space(self):
+        cache = SegmentCache(2)
+        cache.admit(1)
+        assert cache.admit(2, prefetch=True) is True
+        assert cache.admit(3, prefetch=True) is False  # full: no eviction
+        assert set(cache) == {1, 2}
+        assert cache.stats.prefetch_insertions == 1
+        assert cache.stats.evictions == 0
+
+    def test_invalidate(self):
+        cache = SegmentCache(2)
+        cache.admit(1)
+        assert cache.invalidate(1) is True
+        assert cache.invalidate(1) is False
+        assert len(cache) == 0
+        # The discarded key must not resurface as a victim.
+        cache.admit(2)
+        cache.admit(3)
+        cache.admit(4)
+        assert len(cache) == 2
+
+    def test_admit_run_counts(self):
+        cache = SegmentCache(10)
+        admitted = cache.admit_run([1, 2, 3], [5.0, 5.0, 5.0])
+        assert admitted == 3
+        assert len(cache) == 3
+
+    def test_free_segments(self):
+        cache = SegmentCache(5)
+        assert cache.free_segments == 5
+        cache.admit(1)
+        assert cache.free_segments == 4

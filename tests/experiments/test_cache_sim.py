@@ -1,0 +1,56 @@
+"""The cache-sim experiment driver."""
+
+import pytest
+
+from repro.experiments import cache_sim
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    # A short but statistically meaningful run: 1 simulated hour at
+    # 240 req/h over a 1000-segment hot set.
+    return cache_sim.run(
+        ExperimentConfig(scale="quick"),
+        capacities=(10, 50, 500),
+        hot_set=1_000,
+        rate_per_hour=240.0,
+        horizon_hours=1.0,
+    )
+
+
+class TestCacheSim:
+    def test_sweep_shape(self, result):
+        assert len(result.points) == 3
+        assert [p.capacity_segments for p in result.points] == [
+            10, 50, 500,
+        ]
+        assert result.request_count > 0
+
+    def test_cache_at_5_percent_beats_baseline(self, result):
+        # The acceptance criterion: capacity >= 5% of the hot set ->
+        # mean response strictly below the cache-off baseline.
+        point = result.points[1]  # 50 / 1000 = 5%
+        assert point.mean_seconds < result.baseline_mean_seconds
+        assert point.hit_rate > 0.0
+
+    def test_rows_include_baseline_first(self, result):
+        rows = result.rows()
+        assert len(rows) == 4
+        assert rows[0][0] == 0
+        assert rows[0][3] == pytest.approx(
+            result.baseline_mean_seconds / 60.0
+        )
+
+    def test_report_prints_table(self, result, capsys):
+        cache_sim.report(result)
+        out = capsys.readouterr().out
+        assert "Cache-sim" in out
+        assert "hit %" in out
+
+    def test_default_capacities_scale_with_hot_set(self):
+        capacities = tuple(
+            max(1, int(round(f * 200)))
+            for f in cache_sim.DEFAULT_CAPACITY_FRACTIONS
+        )
+        assert capacities == (2, 10, 40, 100)

@@ -1,8 +1,9 @@
-"""Response-time statistics."""
+"""Response-time and cache statistics."""
 
 import pytest
 
-from repro.online import ResponseStats
+from repro.exceptions import NoSamplesError
+from repro.online import CacheStats, ResponseStats
 
 
 class TestResponseStats:
@@ -26,11 +27,17 @@ class TestResponseStats:
         with pytest.raises(ValueError):
             stats.record(10.0, 5.0)
 
-    def test_empty_is_zero(self):
+    def test_empty_aggregates_raise(self):
         stats = ResponseStats()
-        assert stats.mean_seconds == 0.0
-        assert stats.max_seconds == 0.0
-        assert stats.percentile(99) == 0.0
+        assert stats.count == 0
+        with pytest.raises(NoSamplesError):
+            stats.mean_seconds
+        with pytest.raises(NoSamplesError):
+            stats.max_seconds
+        with pytest.raises(NoSamplesError):
+            stats.percentile(99)
+        # Throughput of zero requests is well-defined.
+        assert stats.throughput_per_hour(3600.0) == 0.0
 
     def test_throughput(self):
         stats = ResponseStats()
@@ -39,3 +46,23 @@ class TestResponseStats:
         assert stats.throughput_per_hour(3600.0) == pytest.approx(50.0)
         with pytest.raises(ValueError):
             stats.throughput_per_hour(0.0)
+
+
+class TestCacheStats:
+    def test_request_and_segment_accounting(self):
+        stats = CacheStats()
+        stats.record_hit(segments=3)
+        stats.record_miss(segments=1)
+        assert stats.lookups == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert stats.hit_segments == 3
+        assert stats.hit_bytes == 3 * 32 * 1024
+        assert stats.miss_bytes == 32 * 1024
+        assert stats.byte_hit_rate == pytest.approx(0.75)
+
+    def test_empty_rates_raise(self):
+        stats = CacheStats()
+        with pytest.raises(NoSamplesError):
+            stats.hit_rate
+        with pytest.raises(NoSamplesError):
+            stats.byte_hit_rate

@@ -1,6 +1,5 @@
 """Striped tape arrays."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import LibraryError, SegmentOutOfRange

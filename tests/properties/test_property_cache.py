@@ -1,0 +1,94 @@
+"""Property-based tests: the disk staging cache.
+
+Three invariants from the caching literature, checked over arbitrary
+traces: capacity is a hard bound, LRU evicts the least-recently-used
+key, and (LRU's stack/inclusion property) hit count is monotone
+nondecreasing in capacity for any fixed trace.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import SegmentCache, get_policy
+
+#: A trace is a sequence of segment accesses over a small key space
+#: (small so that reuse — and therefore hits/evictions — is common).
+traces = st.lists(
+    st.integers(min_value=0, max_value=30), min_size=1, max_size=200
+)
+
+
+def run_trace(cache: SegmentCache, trace: list[int]) -> int:
+    """Demand-fill the cache from an access trace; returns hits."""
+    hits = 0
+    for segment in trace:
+        if cache.lookup(segment):
+            hits += 1
+        else:
+            cache.admit(segment, cost=1.0 + segment % 5)
+    return hits
+
+
+@given(
+    trace=traces,
+    capacity=st.integers(min_value=1, max_value=40),
+    policy=st.sampled_from(["fifo", "lru", "gdsf"]),
+)
+@settings(max_examples=150, deadline=None)
+def test_capacity_never_exceeded(trace, capacity, policy):
+    cache = SegmentCache(capacity, policy=get_policy(policy))
+    for segment in trace:
+        if not cache.lookup(segment):
+            cache.admit(segment, cost=1.0 + segment % 5)
+        assert len(cache) <= capacity
+
+
+@given(trace=traces, capacity=st.integers(min_value=1, max_value=8))
+@settings(max_examples=150, deadline=None)
+def test_lru_matches_reference_model(trace, capacity):
+    """LRU evicts exactly the least-recent key: contents always equal
+    an OrderedDict reference implementation's."""
+    cache = SegmentCache(capacity, policy=get_policy("lru"))
+    reference: OrderedDict[int, None] = OrderedDict()
+    for segment in trace:
+        if cache.lookup(segment):
+            assert segment in reference
+            reference.move_to_end(segment)
+        else:
+            assert segment not in reference
+            cache.admit(segment)
+            reference[segment] = None
+            reference.move_to_end(segment)
+            while len(reference) > capacity:
+                reference.popitem(last=False)  # least recently used
+        assert set(cache) == set(reference)
+
+
+@given(
+    trace=traces,
+    small=st.integers(min_value=1, max_value=20),
+    extra=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=150, deadline=None)
+def test_lru_hit_count_monotone_in_capacity(trace, small, extra):
+    """The stack property: growing an LRU cache never loses hits on a
+    fixed trace."""
+    few = run_trace(SegmentCache(small, policy=get_policy("lru")), trace)
+    many = run_trace(
+        SegmentCache(small + extra, policy=get_policy("lru")), trace
+    )
+    assert many >= few
+
+
+@given(trace=traces, capacity=st.integers(min_value=1, max_value=40))
+@settings(max_examples=100, deadline=None)
+def test_stats_are_consistent(trace, capacity):
+    cache = SegmentCache(capacity, policy=get_policy("gdsf"))
+    hits = run_trace(cache, trace)
+    stats = cache.stats
+    assert stats.hits == hits
+    assert stats.lookups == len(trace)
+    assert stats.hits + stats.misses == len(trace)
+    assert stats.insertions - stats.evictions == len(cache)
+    assert 0.0 <= stats.hit_rate <= 1.0

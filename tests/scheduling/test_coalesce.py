@@ -1,6 +1,5 @@
 """Request coalescing."""
 
-import pytest
 
 from repro.scheduling import (
     Request,

@@ -1,6 +1,5 @@
 """Schedule-time estimation, and its agreement with execution."""
 
-import numpy as np
 import pytest
 
 from repro.constants import SEGMENT_TRANSFER_SECONDS

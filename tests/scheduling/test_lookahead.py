@@ -1,7 +1,6 @@
 """Two-step lookahead greedy."""
 
 import numpy as np
-import pytest
 
 from repro.scheduling import (
     LookaheadScheduler,

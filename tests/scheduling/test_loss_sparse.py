@@ -1,7 +1,6 @@
 """Sparse-graph LOSS with contraction (the paper's future work)."""
 
 import numpy as np
-import pytest
 
 from repro.scheduling import (
     LossScheduler,

@@ -1,6 +1,5 @@
 """WEAVE: the fixed pattern and the scheduler built on it."""
 
-import numpy as np
 
 from repro.scheduling import WeaveScheduler, weave_pattern
 from repro.scheduling.weave import ANTI, CO, SAME, flip

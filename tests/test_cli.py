@@ -32,6 +32,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure99"])
 
+    def test_cache_sim_defaults(self):
+        args = build_parser().parse_args(["cache-sim"])
+        assert args.experiment == "cache-sim"
+        assert args.cache_capacity is None
+        assert args.cache_policy == "gdsf"
+        assert args.cache_admission == "always"
+        assert args.no_prefetch is False
+        assert args.zipf_alpha == pytest.approx(0.8)
+
+    def test_cache_sim_capacity_sweep_flag_repeats(self):
+        args = build_parser().parse_args(
+            ["cache-sim", "--cache-capacity", "100",
+             "--cache-capacity", "400"]
+        )
+        assert args.cache_capacity == [100, 400]
+
+    def test_cache_sim_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cache-sim", "--cache-policy", "arc"]
+            )
+
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure4", "--scale", "huge"])
@@ -61,6 +83,36 @@ class TestMain:
         out = capsys.readouterr().out
         assert "seconds per locate vs schedule length" in out
         assert "|" in out  # the chart frame
+
+    def test_runs_cache_sim(self, capsys):
+        assert main(
+            [
+                "cache-sim",
+                "--horizon-hours", "0.5",
+                "--rate-per-hour", "240",
+                "--cache-capacity", "200",
+                "--hot-set", "1000",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Cache-sim" in out
+        assert "hit %" in out
+        assert "p99 (min)" in out
+
+    def test_cache_sim_export(self, capsys, tmp_path):
+        out_file = tmp_path / "cache.csv"
+        assert main(
+            [
+                "cache-sim",
+                "--horizon-hours", "0.25",
+                "--rate-per-hour", "240",
+                "--cache-capacity", "100",
+                "--hot-set", "500",
+                "--out", str(out_file),
+            ]
+        ) == 0
+        assert out_file.exists()
+        assert "exported to" in capsys.readouterr().out
 
     def test_seed_flags_change_results(self, capsys):
         assert main(["figure4", "--max-length", "1"]) == 0

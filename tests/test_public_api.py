@@ -24,6 +24,7 @@ class TestPublicSurface:
             "repro.scheduling",
             "repro.workload",
             "repro.online",
+            "repro.cache",
             "repro.analysis",
             "repro.experiments",
         ],
@@ -49,3 +50,25 @@ class TestPublicSurface:
         assert issubclass(repro.SchedulingError, repro.ReproError)
         assert issubclass(repro.SegmentOutOfRange, repro.GeometryError)
         assert issubclass(repro.BatchTooLarge, repro.SchedulingError)
+        assert issubclass(repro.CacheError, repro.ReproError)
+        assert issubclass(repro.NoSamplesError, repro.MetricsError)
+        assert issubclass(repro.MetricsError, repro.ReproError)
+
+    def test_cache_quickstart_runs(self, tiny):
+        # The docs/CACHING.md composition snippet, on a tiny tape.
+        from repro import (
+            CachedTertiaryStorageSystem,
+            GDSFPolicy,
+            SegmentCache,
+        )
+        from repro.workload import TimedRequest
+
+        system = CachedTertiaryStorageSystem(
+            geometry=tiny,
+            cache=SegmentCache(64, policy=GDSFPolicy()),
+        )
+        stats = system.run(
+            [TimedRequest(0.0, 7), TimedRequest(9000.0, 7)]
+        )
+        assert stats.count == 2
+        assert system.cache_stats.hits == 1

@@ -1,6 +1,5 @@
 """Poisson arrival process."""
 
-import numpy as np
 import pytest
 
 from repro.workload import PoissonArrivals
