@@ -23,6 +23,7 @@ Quickstart::
     print(schedule.algorithm, result.total_seconds)
 """
 
+from repro import api
 from repro._version import __version__
 from repro.cache import (
     AdmissionPolicy,
@@ -52,8 +53,22 @@ from repro.exceptions import (
     ReproError,
     SchedulingError,
     SegmentOutOfRange,
+    TraceError,
 )
-from repro.online import CacheStats, ResponseStats
+from repro.obs import (
+    EventBus,
+    MetricsRegistry,
+    TraceRecorder,
+    TraceSummary,
+    bind_standard_metrics,
+    summarize_events,
+)
+from repro.online import (
+    BatchPolicy,
+    CacheStats,
+    ResponseStats,
+    TertiaryStorageSystem,
+)
 from repro.geometry import (
     TapeGeometry,
     calibrate_key_points,
@@ -93,6 +108,7 @@ __all__ = [
     "AdmissionPolicy",
     "AlwaysAdmit",
     "AutoScheduler",
+    "BatchPolicy",
     "BatchTooLarge",
     "CacheError",
     "CacheStats",
@@ -101,6 +117,7 @@ __all__ = [
     "DriveError",
     "EmptyBatchError",
     "EvenOddPerturbation",
+    "EventBus",
     "EvictionPolicy",
     "FIFOPolicy",
     "FifoScheduler",
@@ -112,6 +129,7 @@ __all__ = [
     "LocateTimeModel",
     "LossScheduler",
     "MetricsError",
+    "MetricsRegistry",
     "NoSamplesError",
     "OptScheduler",
     "ReadEntireTapeScheduler",
@@ -129,8 +147,14 @@ __all__ = [
     "SltfScheduler",
     "SortScheduler",
     "TapeGeometry",
+    "TertiaryStorageSystem",
+    "TraceError",
+    "TraceRecorder",
+    "TraceSummary",
     "WeaveScheduler",
     "__version__",
+    "api",
+    "bind_standard_metrics",
     "calibrate_key_points",
     "classify",
     "estimate_schedule_seconds",
@@ -143,5 +167,6 @@ __all__ = [
     "make_tape_pair",
     "rewind_time",
     "scheduler_names",
+    "summarize_events",
     "tiny_tape",
 ]

@@ -1,0 +1,137 @@
+"""The single public facade of the reproduction.
+
+``repro.api`` re-exports the blessed entry points of every layer under
+one import, so downstream code can write::
+
+    from repro import api
+
+    tape = api.generate_tape(seed=7)
+    bus = api.EventBus()
+    system = api.TertiaryStorageSystem(geometry=tape, bus=bus)
+
+and stay insulated from internal module moves: names re-exported here
+are stable across releases (see ``docs/API.md`` for the signatures and
+the deprecation policy), while importing from deep module paths may
+break when internals are reorganized — such moves keep the old path
+working for one release behind a :class:`DeprecationWarning` shim (see
+``repro.drive.events``).
+
+The facade groups:
+
+* **geometry / model** — synthetic cartridges and the locate-time model;
+* **scheduling** — the paper's eight algorithms, schedules, execution;
+* **online** — the batching service loop, the robotic library, and the
+  staging-cache front-end;
+* **observability** — the event bus, metrics, and trace tooling of
+  :mod:`repro.obs`;
+* **experiments** — config plus the tabular-result export helpers.
+"""
+
+from __future__ import annotations
+
+from repro._version import __version__
+from repro.cache.store import SegmentCache
+from repro.cache.system import CachedTertiaryStorageSystem
+from repro.drive.simulated import SimulatedDrive
+from repro.exceptions import (
+    CacheError,
+    DriveError,
+    MetricsError,
+    NoSamplesError,
+    ReproError,
+    SchedulingError,
+    TraceError,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.export import result_to_rows, write_result
+from repro.experiments.result import TabularResult
+from repro.geometry.generator import generate_tape, tiny_tape
+from repro.geometry.tape import TapeGeometry
+from repro.model.locate import LocateTimeModel
+from repro.obs import (
+    EventBus,
+    MetricsRegistry,
+    Subscription,
+    TraceRecorder,
+    TraceSummary,
+    bind_standard_metrics,
+    cache_stats_from_events,
+    event_from_record,
+    read_events_jsonl,
+    response_stats_from_events,
+    summarize_events,
+    write_events_csv,
+    write_events_jsonl,
+)
+from repro.online.batch_queue import BatchPolicy, BatchQueue
+from repro.online.library import Cartridge, TapeLibrary
+from repro.online.metrics import CacheStats, ResponseStats
+from repro.online.system import BatchRecord, TertiaryStorageSystem
+from repro.scheduling.base import (
+    Scheduler,
+    get_scheduler,
+    scheduler_names,
+)
+from repro.scheduling.estimator import estimate_schedule_seconds
+from repro.scheduling.executor import ExecutionResult, execute_schedule
+from repro.scheduling.request import Request
+from repro.scheduling.schedule import Schedule
+from repro.workload.arrivals import (
+    PoissonArrivals,
+    TimedRequest,
+    ZipfArrivals,
+)
+
+__all__ = [
+    "BatchPolicy",
+    "BatchQueue",
+    "BatchRecord",
+    "CacheError",
+    "CacheStats",
+    "CachedTertiaryStorageSystem",
+    "Cartridge",
+    "DriveError",
+    "EventBus",
+    "ExecutionResult",
+    "ExperimentConfig",
+    "LocateTimeModel",
+    "MetricsError",
+    "MetricsRegistry",
+    "NoSamplesError",
+    "PoissonArrivals",
+    "ReproError",
+    "Request",
+    "ResponseStats",
+    "Schedule",
+    "Scheduler",
+    "SchedulingError",
+    "SegmentCache",
+    "SimulatedDrive",
+    "Subscription",
+    "TabularResult",
+    "TapeGeometry",
+    "TapeLibrary",
+    "TertiaryStorageSystem",
+    "TimedRequest",
+    "TraceError",
+    "TraceRecorder",
+    "TraceSummary",
+    "ZipfArrivals",
+    "__version__",
+    "bind_standard_metrics",
+    "cache_stats_from_events",
+    "estimate_schedule_seconds",
+    "event_from_record",
+    "execute_schedule",
+    "generate_tape",
+    "get_scheduler",
+    "read_events_jsonl",
+    "response_stats_from_events",
+    "result_to_rows",
+    "scheduler_names",
+    "summarize_events",
+    "tiny_tape",
+    "write_events_csv",
+    "write_events_jsonl",
+    "write_result",
+]

@@ -18,6 +18,14 @@ from collections.abc import Iterable, Iterator
 from repro.cache.admission import AdmissionPolicy, AlwaysAdmit
 from repro.cache.policies import EvictionPolicy, LRUPolicy
 from repro.exceptions import CacheError
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    CacheAdmitted,
+    CacheEvicted,
+    CacheHit,
+    CacheMiss,
+    CacheRejected,
+)
 from repro.online.metrics import CacheStats
 
 
@@ -38,6 +46,12 @@ class SegmentCache:
     stats:
         Accounting sink; a fresh :class:`~repro.online.metrics.CacheStats`
         by default.
+    bus:
+        Optional :class:`~repro.obs.bus.EventBus`; publishes
+        ``cache.hit`` / ``cache.miss`` / ``cache.admit`` /
+        ``cache.reject`` / ``cache.evict`` events stamped with the bus
+        clock.  A :class:`~repro.cache.system.CachedTertiaryStorageSystem`
+        attaches its own bus automatically.
     """
 
     def __init__(
@@ -46,6 +60,7 @@ class SegmentCache:
         policy: EvictionPolicy | None = None,
         admission: AdmissionPolicy | None = None,
         stats: CacheStats | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         if capacity_segments < 1:
             raise CacheError(
@@ -57,6 +72,7 @@ class SegmentCache:
             admission if admission is not None else AlwaysAdmit()
         )
         self.stats = stats if stats is not None else CacheStats()
+        self.bus = bus
         self._resident: set[int] = set()
 
     # -- state ---------------------------------------------------------------
@@ -101,8 +117,22 @@ class SegmentCache:
             for offset in range(length):
                 self.policy.on_hit(segment + offset)
             self.stats.record_hit(segments=length)
+            if self.bus is not None:
+                self.bus.publish(
+                    CacheHit(
+                        seconds=self.bus.now,
+                        segment=segment,
+                        length=length,
+                    )
+                )
             return True
         self.stats.record_miss(segments=length)
+        if self.bus is not None:
+            self.bus.publish(
+                CacheMiss(
+                    seconds=self.bus.now, segment=segment, length=length
+                )
+            )
         return False
 
     # -- fill path -----------------------------------------------------------
@@ -129,6 +159,10 @@ class SegmentCache:
                 return False
         elif not self.admission.admit(segment, cost):
             self.stats.rejections += 1
+            if self.bus is not None:
+                self.bus.publish(
+                    CacheRejected(seconds=self.bus.now, segment=segment)
+                )
             return False
         while len(self._resident) >= self.capacity_segments:
             self._evict_one()
@@ -138,6 +172,14 @@ class SegmentCache:
             self.stats.prefetch_insertions += 1
         else:
             self.stats.insertions += 1
+        if self.bus is not None:
+            self.bus.publish(
+                CacheAdmitted(
+                    seconds=self.bus.now,
+                    segment=segment,
+                    prefetch=prefetch,
+                )
+            )
         return True
 
     def admit_run(
@@ -169,6 +211,10 @@ class SegmentCache:
             )
         self._resident.remove(victim)
         self.stats.evictions += 1
+        if self.bus is not None:
+            self.bus.publish(
+                CacheEvicted(seconds=self.bus.now, segment=victim)
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

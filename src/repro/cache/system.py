@@ -62,6 +62,10 @@ class CachedTertiaryStorageSystem(TertiaryStorageSystem):
         if self.hit_latency_seconds < 0:
             raise ValueError("hit_latency_seconds must be >= 0")
         super().__post_init__()
+        # The staging tier joins the system's event stream (unless the
+        # caller wired the cache to a bus of its own already).
+        if self.bus is not None and self.cache.bus is None:
+            self.cache.bus = self.bus
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -71,9 +75,11 @@ class CachedTertiaryStorageSystem(TertiaryStorageSystem):
     def _admit(self, item: TimedRequest, now: float) -> None:
         """Check the cache; hits complete at once, misses queue for tape."""
         if self.cache.lookup(item.segment, item.length):
-            self.stats.record(
-                item.arrival_seconds,
+            # position -1 marks a cache hit in the event stream.
+            self._complete(
+                item,
                 item.arrival_seconds + self.hit_latency_seconds,
+                position=-1,
             )
             return
         super()._admit(item, now)

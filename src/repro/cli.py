@@ -30,6 +30,7 @@ from repro.experiments import (
     section3_stats,
     seed_stability,
     summary_table,
+    trace_run,
 )
 from repro.experiments.config import ExperimentConfig
 
@@ -75,10 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted({*_CONFIGURED, *_SEED_ONLY, "cache-sim", "all"}),
+        choices=sorted(
+            {*_CONFIGURED, *_SEED_ONLY, "cache-sim", "trace", "all"}
+        ),
         help=(
-            "which figure/table to regenerate, or 'cache-sim' for the "
-            "disk staging cache extension"
+            "which figure/table to regenerate, 'cache-sim' for the "
+            "disk staging cache extension, or 'trace' for an "
+            "instrumented run with telemetry cross-checks"
         ),
     )
     parser.add_argument(
@@ -146,6 +150,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--horizon-hours", type=float, default=None,
         help="simulated hours (default: set by --scale)",
     )
+    trace = parser.add_argument_group(
+        "trace options (ignored by the paper experiments)"
+    )
+    trace.add_argument(
+        "--trace-jsonl", default=None, metavar="FILE",
+        help="write the raw event stream as JSON Lines",
+    )
+    trace.add_argument(
+        "--smoke", action="store_true",
+        help=(
+            "exit non-zero unless the telemetry cross-checks hold "
+            "(phase sums reconcile; trace mean == stats mean)"
+        ),
+    )
+    trace.add_argument(
+        "--algorithm", default="LOSS",
+        help="scheduling algorithm for the run (default: LOSS)",
+    )
+    trace.add_argument(
+        "--max-batch", type=int, default=96,
+        help="batch-queue flush size (default: 96)",
+    )
     return parser
 
 
@@ -198,6 +224,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             policy=args.cache_policy,
             admission=args.cache_admission,
             prefetch=not args.no_prefetch,
+        )
+        if args.out is not None:
+            from repro.experiments.export import write_result
+
+            written = write_result(result, args.out)
+            print(f"exported to {written}")
+        return 0
+    if args.experiment == "trace":
+        result = trace_run.main(
+            config,
+            algorithm=args.algorithm,
+            rate_per_hour=args.rate_per_hour,
+            horizon_hours=args.horizon_hours,
+            max_batch=args.max_batch,
+            trace_jsonl=args.trace_jsonl,
+            smoke=args.smoke,
         )
         if args.out is not None:
             from repro.experiments.export import write_result

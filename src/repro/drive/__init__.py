@@ -8,7 +8,6 @@ Public surface::
     )
 """
 
-from repro.drive.events import DriveEvent, EventKind
 from repro.drive.faults import FaultyModel
 from repro.drive.interface import TapeDrive
 from repro.drive.physical import ground_truth_drive, ground_truth_model
@@ -18,6 +17,7 @@ from repro.drive.wear import (
     EXABYTE_RATED_PASSES,
     WearMeter,
 )
+from repro.obs.events import DriveEvent, EventKind
 
 __all__ = [
     "DLT_RATED_PASSES",

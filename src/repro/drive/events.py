@@ -1,47 +1,36 @@
-"""Event records emitted by the simulated drive."""
+"""Deprecated shim — drive event types moved to :mod:`repro.obs.events`.
+
+The observability subsystem (``repro.obs``) generalizes the drive's
+event log into the system-wide event taxonomy, and
+:class:`~repro.obs.events.DriveEvent` / :class:`~repro.obs.events.EventKind`
+now live there.  Importing them from here still works but warns once;
+new code should import from ``repro.obs`` (or the ``repro.api``
+facade).
+"""
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
+import warnings
+
+from repro.obs import events as _events
+
+_MOVED = ("DriveEvent", "EventKind")
 
 
-class EventKind(enum.Enum):
-    """Categories of drive activity."""
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.drive.events.{name} moved to repro.obs.events; "
+            "this import path is deprecated and will be removed in a "
+            "future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_events, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
-    LOCATE = "locate"
-    READ = "read"
-    REWIND = "rewind"
-    FULL_READ = "full_read"
-    MOUNT = "mount"
-    UNMOUNT = "unmount"
 
-
-@dataclass(frozen=True, slots=True)
-class DriveEvent:
-    """One timed drive operation.
-
-    Attributes
-    ----------
-    kind:
-        What the drive did.
-    start_seconds:
-        Drive clock when the operation began.
-    duration_seconds:
-        How long it took.
-    source, destination:
-        Head position before and after the operation (absolute segment
-        numbers; for reads the destination is the position just past the
-        data read).
-    """
-
-    kind: EventKind
-    start_seconds: float
-    duration_seconds: float
-    source: int
-    destination: int
-
-    @property
-    def end_seconds(self) -> float:
-        """Drive clock when the operation finished."""
-        return self.start_seconds + self.duration_seconds
+def __dir__() -> list[str]:
+    return sorted(_MOVED)

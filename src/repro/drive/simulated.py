@@ -21,9 +21,9 @@ from repro.constants import (
     REPOSITION_SECONDS,
     SEGMENT_TRANSFER_SECONDS,
 )
-from repro.drive.events import DriveEvent, EventKind
 from repro.exceptions import DriveError
 from repro.model.rewind import rewind_time
+from repro.obs.events import DriveEvent, DriveOperation, EventKind
 
 #: Per-track-turnaround cost charged during a full-tape sequential read.
 TRACK_TURNAROUND_SECONDS = REPOSITION_SECONDS
@@ -40,8 +40,14 @@ class SimulatedDrive:
     initial_position:
         Head position when the simulation starts (0 = freshly loaded).
     record_events:
-        Keep a :class:`~repro.drive.events.DriveEvent` log.  Disable for
+        Keep a :class:`~repro.obs.events.DriveEvent` log.  Disable for
         large Monte-Carlo runs.
+    bus:
+        Optional :class:`~repro.obs.bus.EventBus`; every primitive
+        operation is published as a
+        :class:`~repro.obs.events.DriveOperation` (stamped with the
+        drive clock at the operation's start).  ``None`` (the default)
+        publishes nothing and costs nothing.
     """
 
     def __init__(
@@ -50,6 +56,7 @@ class SimulatedDrive:
         initial_position: int = 0,
         record_events: bool = False,
         wear_meter=None,
+        bus=None,
     ) -> None:
         self.model = model
         self.model.geometry.check_segment(initial_position)
@@ -61,6 +68,9 @@ class SimulatedDrive:
         #: Optional :class:`repro.drive.wear.WearMeter` accumulating
         #: head travel across all operations.
         self.wear_meter = wear_meter
+        #: Optional :class:`repro.obs.bus.EventBus` receiving one
+        #: ``drive.op`` event per primitive operation.
+        self.bus = bus
 
     # -- state ---------------------------------------------------------------
 
@@ -92,6 +102,16 @@ class SimulatedDrive:
                 DriveEvent(
                     kind=kind,
                     start_seconds=self._clock,
+                    duration_seconds=duration,
+                    source=source,
+                    destination=destination,
+                )
+            )
+        if self.bus is not None:
+            self.bus.publish(
+                DriveOperation(
+                    seconds=self._clock,
+                    kind=kind.value,
                     duration_seconds=duration,
                     source=source,
                     destination=destination,

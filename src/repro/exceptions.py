@@ -78,3 +78,7 @@ class UnknownTape(LibraryError):
 
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
+
+
+class TraceError(ReproError):
+    """A telemetry trace was malformed or inconsistent."""

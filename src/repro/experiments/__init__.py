@@ -21,6 +21,7 @@ from repro.experiments import (
     section3_stats,
     seed_stability,
     summary_table,
+    trace_run,
 )
 from repro.experiments.config import (
     ExperimentConfig,
@@ -35,6 +36,7 @@ from repro.experiments.ascii_plot import (
     render_series,
 )
 from repro.experiments.report import format_table, print_table
+from repro.experiments.result import TabularResult
 from repro.experiments.runner import (
     DEFAULT_ALGORITHMS,
     PerLocateResult,
@@ -56,6 +58,7 @@ __all__ = [
     "PerLocateResult",
     "RunningStats",
     "SeriesPoint",
+    "TabularResult",
     "VALIDATION_LENGTHS",
     "ValidationResult",
     "cache_sim",
@@ -82,4 +85,5 @@ __all__ = [
     "section3_stats",
     "seed_stability",
     "summary_table",
+    "trace_run",
 ]

@@ -22,6 +22,7 @@ from repro.cache.store import SegmentCache
 from repro.cache.system import CachedTertiaryStorageSystem
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import print_table
+from repro.experiments.result import TabularResult
 from repro.geometry.generator import generate_tape
 from repro.online.batch_queue import BatchPolicy
 from repro.online.system import TertiaryStorageSystem
@@ -48,7 +49,7 @@ class CacheSimPoint:
 
 
 @dataclass(frozen=True)
-class CacheSimResult:
+class CacheSimResult(TabularResult):
     """The sweep plus its cache-off baseline."""
 
     label: str

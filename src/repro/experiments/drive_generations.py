@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.analysis.rates import ios_per_hour
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import print_table
+from repro.experiments.result import TabularResult
 from repro.experiments.stats import RunningStats
 from repro.profiles import DLT4000, DLT7000, IBM3590, DriveProfile
 from repro.scheduling.base import get_scheduler
@@ -44,13 +45,17 @@ class GenerationPoint:
 
 
 @dataclass(frozen=True)
-class DriveGenerationsResult:
+class DriveGenerationsResult(TabularResult):
     """Per-profile comparison table."""
 
     length: int
     points: dict[tuple[str, str], GenerationPoint]
     profiles: tuple[str, ...]
     algorithms: tuple[str, ...]
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`: drive, then one per algorithm."""
+        return ["drive", *(f"{a}_per_hour" for a in self.algorithms)]
 
     def rows(self) -> list[list]:
         """Rows: profile, then I/Os-per-hour per algorithm."""

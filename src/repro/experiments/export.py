@@ -1,10 +1,12 @@
 """Exporting experiment results to CSV and JSON.
 
 The drivers print paper-style tables; for plotting or regression
-tracking, the same results can be written to files.  Every exporter
-takes the result object the corresponding ``run()`` returned, so the
-CLI's ``--out`` flag (and any script) can persist whatever it just
-computed.
+tracking, the same results can be written to files.  Export dispatches
+on the tabular result protocol of
+:mod:`repro.experiments.result` — any object with ``to_dict()``
+(returning records), or with ``rows()``/``headers()``, exports — so
+new experiments and the telemetry layer's
+:class:`~repro.obs.trace.TraceSummary` need no exporter registration.
 """
 
 from __future__ import annotations
@@ -18,56 +20,41 @@ from repro.experiments.validation import ValidationResult
 
 
 def per_locate_to_rows(result: PerLocateResult) -> list[dict]:
-    """Flatten a Figure 4/5 result into records."""
-    records = []
-    for (algorithm, length), point in sorted(result.points.items()):
-        if point.total.count == 0:
-            continue
-        records.append(
-            {
-                "algorithm": algorithm,
-                "length": length,
-                "trials": point.total.count,
-                "mean_total_seconds": point.total.mean,
-                "std_total_seconds": point.total.std,
-                "seconds_per_locate": point.per_locate_mean,
-                "cpu_seconds": (
-                    point.cpu.mean if point.cpu.count else None
-                ),
-            }
-        )
-    return records
+    """Flatten a Figure 4/5 result into records.
+
+    Kept as a thin wrapper over the result's own
+    :meth:`~repro.experiments.runner.PerLocateResult.to_dict`.
+    """
+    return result.to_dict()
 
 
 def validation_to_rows(result: ValidationResult) -> list[dict]:
-    """Flatten a Figure 8/9 result into records."""
-    return [
-        {
-            "label": result.label,
-            "length": point.length,
-            "trials": point.percent_error.count,
-            "mean_percent_error": point.mean,
-            "std_percent_error": point.percent_error.std,
-        }
-        for point in result.points
-    ]
+    """Flatten a Figure 8/9 result into records (wrapper, see above)."""
+    return result.to_dict()
 
 
 def result_to_rows(result) -> list[dict]:
-    """Flatten any known result type into records."""
-    if isinstance(result, PerLocateResult):
-        return per_locate_to_rows(result)
-    if isinstance(result, ValidationResult):
-        return validation_to_rows(result)
-    if hasattr(result, "rows"):
-        rows = result.rows()
-        if hasattr(result, "headers"):
-            names = result.headers()
+    """Flatten any tabular result into records.
+
+    Dispatches on the protocol, not on concrete types: ``to_dict()``
+    wins if present; otherwise ``rows()`` is zipped with ``headers()``
+    (or positional ``colN`` names when headers are missing too).
+    """
+    to_dict = getattr(result, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    rows_method = getattr(result, "rows", None)
+    if callable(rows_method):
+        rows = rows_method()
+        headers_method = getattr(result, "headers", None)
+        if callable(headers_method):
+            names = headers_method()
         else:
             names = [f"col{i}" for i in range(len(rows[0]))] if rows else []
         return [dict(zip(names, row)) for row in rows]
     raise TypeError(
-        f"don't know how to export {type(result).__name__}"
+        f"don't know how to export {type(result).__name__}: it has "
+        "neither to_dict() nor rows()"
     )
 
 

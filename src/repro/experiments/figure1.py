@@ -18,13 +18,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.report import print_table
+from repro.experiments.result import TabularResult
 from repro.geometry.generator import generate_tape
 from repro.model.locate import LocateTimeModel
 from repro.model.rewind import rewind_time
 
 
 @dataclass(frozen=True)
-class Figure1Result:
+class Figure1Result(TabularResult):
     """The two curves plus the detected dip structure."""
 
     destinations: np.ndarray
@@ -45,6 +46,23 @@ class Figure1Result:
         """Median abrupt drop at reverse-track dips (paper: ~25 s)."""
         big = self.dip_drops[self.dip_drops >= 12.0]
         return float(np.median(big)) if big.size else 0.0
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`."""
+        return ["metric", "value"]
+
+    def rows(self) -> list[list]:
+        """Summary rows: the dip structure the figure illustrates (the
+        raw curves are arrays; export those via numpy directly)."""
+        return [
+            ["destinations", int(self.destinations.size)],
+            ["max_locate_seconds", float(self.locate_seconds.max())],
+            ["max_rewind_seconds", float(self.rewind_seconds.max())],
+            ["track_boundaries", int(self.track_boundaries.size)],
+            ["dips_detected", int(self.dip_segments.size)],
+            ["forward_dip_drop_seconds", self.forward_dip_drop],
+            ["reverse_dip_drop_seconds", self.reverse_dip_drop],
+        ]
 
 
 def run(tape_seed: int = 1, source: int = 0) -> Figure1Result:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentConfig, OPT_MAX_LENGTH
 from repro.experiments.report import print_table
+from repro.experiments.result import TabularResult
 from repro.experiments.stats import RunningStats
 from repro.geometry.generator import generate_tape
 from repro.model.locate import LocateTimeModel
@@ -36,13 +37,17 @@ ERROR_AMOUNTS: tuple[float, ...] = (1.0, 2.0, 3.0, 5.0, 10.0)
 
 
 @dataclass
-class Figure10Result:
+class Figure10Result(TabularResult):
     """Mean % execution-time increase per (E, schedule length)."""
 
     lengths: tuple[int, ...]
     errors: tuple[float, ...]
     increase: dict[tuple[float, int], RunningStats]
     opt_increase: dict[tuple[float, int], RunningStats]
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`: N, then one per error amount."""
+        return ["length", *(f"loss_E{e:g}_percent" for e in self.errors)]
 
     def rows(self) -> list[list]:
         """LOSS table rows: N then one column per E."""

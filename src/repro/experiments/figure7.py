@@ -19,17 +19,26 @@ from repro.analysis.utilization import (
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import print_table
+from repro.experiments.result import TabularResult
 from repro.experiments.runner import run_per_locate
 
 
 @dataclass(frozen=True)
-class Figure7Result:
+class Figure7Result(TabularResult):
     """Transfer-size requirement per (utilization, schedule length)."""
 
     lengths: tuple[int, ...]
     utilizations: tuple[float, ...]
     locate_seconds: dict[int, float]
     megabytes: dict[tuple[float, int], float]
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`."""
+        return [
+            "length",
+            "locate_seconds",
+            *(f"mb_at_{u:g}_util" for u in self.utilizations),
+        ]
 
     def rows(self) -> list[list]:
         """Table rows: length, then MB per request per utilization."""

@@ -28,6 +28,7 @@ from repro.analysis.utilization import utilization_for_transfer_size
 from repro.constants import SEGMENT_BYTES, SEGMENT_TRANSFER_SECONDS
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import print_table
+from repro.experiments.result import TabularResult
 from repro.experiments.stats import RunningStats
 from repro.geometry.generator import generate_tape
 from repro.model.locate import LocateTimeModel
@@ -42,13 +43,23 @@ DEFAULT_TRANSFER_MB: tuple[float, ...] = (1.0, 10.0, 30.0, 100.0)
 
 
 @dataclass(frozen=True)
-class Figure7EmpiricalResult:
+class Figure7EmpiricalResult(TabularResult):
     """Measured vs predicted utilization per (N, transfer size)."""
 
     lengths: tuple[int, ...]
     transfer_mb: tuple[float, ...]
     measured: dict[tuple[int, float], float]
     predicted: dict[tuple[int, float], float]
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`."""
+        return [
+            "length",
+            "transfer_mb",
+            "measured_percent",
+            "predicted_percent",
+            "gap_points",
+        ]
 
     def rows(self) -> list[list]:
         """Rows: N, MB, measured %, predicted %, gap (points)."""

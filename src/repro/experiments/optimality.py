@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.analysis.bounds import schedule_lower_bound
 from repro.experiments.config import ExperimentConfig, OPT_MAX_LENGTH
 from repro.experiments.report import print_table
+from repro.experiments.result import TabularResult
 from repro.experiments.stats import RunningStats
 from repro.geometry.generator import generate_tape
 from repro.model.locate import LocateTimeModel
@@ -36,12 +37,16 @@ DEFAULT_LENGTHS: tuple[int, ...] = (8, 12, 48, 96, 192)
 
 
 @dataclass(frozen=True)
-class OptimalityResult:
+class OptimalityResult(TabularResult):
     """Mean percent gap above the lower bound per (algorithm, N)."""
 
     algorithms: tuple[str, ...]
     lengths: tuple[int, ...]
     gaps: dict[tuple[str, int], RunningStats]
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`: N, then one per algorithm."""
+        return ["length", *self.algorithms]
 
     def rows(self) -> list[list]:
         """Rows: N, then mean gap % per algorithm ('-' if not run)."""

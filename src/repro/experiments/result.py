@@ -1,0 +1,56 @@
+"""The tabular result protocol shared by every experiment result.
+
+Every ``run()`` in :mod:`repro.experiments` returns a result object;
+each one reports as a table.  The protocol is two methods:
+
+``headers() -> list[str]``
+    Column names, machine-friendly (they become CSV columns and JSON
+    keys).
+
+``to_dict() -> list[dict]``
+    The result flattened to records — one dict per table row, keyed by
+    :meth:`headers`.
+
+:mod:`repro.experiments.export` dispatches on the protocol (duck-typed
+``to_dict``), not on concrete classes, so a new experiment only has to
+implement the two methods — or inherit :class:`TabularResult` and
+implement ``headers()`` + ``rows()`` — to gain CSV/JSON export for
+free.
+"""
+
+from __future__ import annotations
+
+
+class TabularResult:
+    """Mixin deriving ``to_dict()`` from ``headers()`` + ``rows()``.
+
+    Subclasses provide ``rows() -> list[list]`` (the report table) and
+    ``headers() -> list[str]`` (matching column names); the mixin zips
+    them into records.  Override :meth:`to_dict` when the export shape
+    should be richer than the printed table (e.g.
+    :class:`~repro.experiments.runner.PerLocateResult` exports one
+    record per cell, not per row).
+    """
+
+    def headers(self) -> list[str]:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement headers()"
+        )
+
+    def rows(self) -> list[list]:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement rows()"
+        )
+
+    def to_dict(self) -> list[dict]:
+        """Flatten to records: one dict per row, keyed by headers."""
+        names = self.headers()
+        records = []
+        for row in self.rows():
+            if len(row) != len(names):
+                raise ValueError(
+                    f"{type(self).__name__}: row width {len(row)} != "
+                    f"{len(names)} headers"
+                )
+            records.append(dict(zip(names, row)))
+        return records

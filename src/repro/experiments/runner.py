@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.constants import SEGMENT_TRANSFER_SECONDS
 from repro.experiments.config import ExperimentConfig, OPT_MAX_LENGTH
+from repro.experiments.result import TabularResult
 from repro.experiments.stats import RunningStats
 from repro.geometry.generator import generate_tape
 from repro.model.locate import LocateTimeModel
@@ -56,7 +57,7 @@ class SeriesPoint:
 
 
 @dataclass
-class PerLocateResult:
+class PerLocateResult(TabularResult):
     """Output of :func:`run_per_locate`: the Figure 4/5 data."""
 
     origin_at_start: bool
@@ -67,6 +68,32 @@ class PerLocateResult:
     def point(self, algorithm: str, length: int) -> SeriesPoint:
         """One cell of the figure."""
         return self.points[(algorithm, length)]
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`: length, then one per algorithm."""
+        return ["length", *self.algorithms]
+
+    def to_dict(self) -> list[dict]:
+        """One record per populated cell, with the full statistics
+        (richer than the printed table, which keeps only the means)."""
+        records = []
+        for (algorithm, length), point in sorted(self.points.items()):
+            if point.total.count == 0:
+                continue
+            records.append(
+                {
+                    "algorithm": algorithm,
+                    "length": length,
+                    "trials": point.total.count,
+                    "mean_total_seconds": point.total.mean,
+                    "std_total_seconds": point.total.std,
+                    "seconds_per_locate": point.per_locate_mean,
+                    "cpu_seconds": (
+                        point.cpu.mean if point.cpu.count else None
+                    ),
+                }
+            )
+        return records
 
     def rows(self) -> list[list]:
         """Figure-style rows: length column then one column per

@@ -20,18 +20,23 @@ from repro.constants import (
     PAPER_MEAN_LOCATE_RANDOM_SECONDS,
 )
 from repro.experiments.report import print_table
+from repro.experiments.result import TabularResult
 from repro.geometry.generator import generate_tape
 from repro.model.locate import LocateTimeModel
 
 
 @dataclass(frozen=True)
-class Section3Result:
+class Section3Result(TabularResult):
     """Model aggregates vs the published measurements."""
 
     mean_from_bot: float
     mean_random: float
     max_locate: float
     big_drop_destinations: float
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`."""
+        return ["metric", "ours", "paper"]
 
     def rows(self) -> list[list]:
         """Side-by-side rows (ours vs paper)."""

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import print_table
+from repro.experiments.result import TabularResult
 from repro.experiments.runner import run_per_locate
 
 #: The seeds; the paper used five.
@@ -29,7 +30,7 @@ DEFAULT_SEEDS: tuple[int, ...] = (0, 1, 2, 3, 4)
 
 
 @dataclass(frozen=True)
-class SeedStabilityResult:
+class SeedStabilityResult(TabularResult):
     """Relative spread of per-locate means across seeds."""
 
     algorithms: tuple[str, ...]
@@ -53,6 +54,13 @@ class SeedStabilityResult:
             (b - a) / a for a, b in zip(values, values[1:])
         ]
         return min(gaps) if gaps else 0.0
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`: N, then one per algorithm."""
+        return [
+            "length",
+            *(f"{a}_spread_percent" for a in self.algorithms),
+        ]
 
     def rows(self) -> list[list]:
         """Table rows: length, then per-algorithm spread (percent)."""

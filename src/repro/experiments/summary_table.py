@@ -22,11 +22,12 @@ from dataclasses import dataclass
 from repro.analysis.rates import PaperSummaryTargets, ios_per_hour
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import print_table
+from repro.experiments.result import TabularResult
 from repro.experiments.runner import run_per_locate
 
 
 @dataclass(frozen=True)
-class SummaryResult:
+class SummaryResult(TabularResult):
     """Measured operating points beside the published ones."""
 
     fifo_rate: float
@@ -37,6 +38,10 @@ class SummaryResult:
     fifo_hours_192: float
     loss_hours_192: float
     targets: PaperSummaryTargets
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`."""
+        return ["metric", "ours", "paper"]
 
     def rows(self) -> list[list]:
         """Side-by-side rows (ours vs paper)."""

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.drive.physical import ground_truth_drive
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.result import TabularResult
 from repro.experiments.stats import RunningStats
 from repro.geometry.tape import TapeGeometry
 from repro.scheduling.executor import execute_schedule
@@ -47,17 +48,34 @@ class ValidationPoint:
 
 
 @dataclass
-class ValidationResult:
+class ValidationResult(TabularResult):
     """Per-size percent errors."""
 
     label: str
     points: list[ValidationPoint]
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`."""
+        return ["length", "mean_percent_error", "std_percent_error"]
 
     def rows(self) -> list[list]:
         """Table rows: N, mean %, std %."""
         return [
             [p.length, p.mean, p.percent_error.std]
             for p in self.points
+        ]
+
+    def to_dict(self) -> list[dict]:
+        """One record per size, carrying the run's label and trials."""
+        return [
+            {
+                "label": self.label,
+                "length": point.length,
+                "trials": point.percent_error.count,
+                "mean_percent_error": point.mean,
+                "std_percent_error": point.percent_error.std,
+            }
+            for point in self.points
         ]
 
 

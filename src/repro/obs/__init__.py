@@ -1,0 +1,98 @@
+"""repro.obs — the observability layer.
+
+A zero-dependency event/metrics/trace subsystem: every layer of the
+storage system publishes typed events onto an :class:`EventBus`
+(``bus=`` hook on the instrumented constructors), and everything else —
+response statistics, cache accounting, metrics registries, span-style
+batch traces, JSONL export — is a consumer of that one stream.  See
+``docs/OBSERVABILITY.md`` for the taxonomy and the hook API.
+"""
+
+from repro.obs.bus import EventBus, Subscription
+from repro.obs.events import (
+    EVENT_TYPES,
+    BatchCompleted,
+    BatchStarted,
+    CacheAdmitted,
+    CacheEvicted,
+    CacheHit,
+    CacheMiss,
+    CacheRejected,
+    DriveEvent,
+    DriveOperation,
+    Event,
+    EventKind,
+    QueueAdmitted,
+    QueueDispatched,
+    RequestCompleted,
+    RequestLocated,
+    RequestRead,
+    ScheduleComputed,
+    TapeMounted,
+    TapeUnmounted,
+    event_from_record,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bind_standard_metrics,
+)
+from repro.obs.trace import (
+    BatchSpan,
+    RequestSpan,
+    TraceRecorder,
+    TraceSummary,
+    batch_spans,
+    cache_stats_from_events,
+    read_events_jsonl,
+    request_spans,
+    response_stats_from_events,
+    summarize_events,
+    write_events_csv,
+    write_events_jsonl,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "BatchCompleted",
+    "BatchSpan",
+    "BatchStarted",
+    "CacheAdmitted",
+    "CacheEvicted",
+    "CacheHit",
+    "CacheMiss",
+    "CacheRejected",
+    "Counter",
+    "DriveEvent",
+    "DriveOperation",
+    "Event",
+    "EventBus",
+    "EventKind",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueueAdmitted",
+    "QueueDispatched",
+    "RequestCompleted",
+    "RequestLocated",
+    "RequestRead",
+    "RequestSpan",
+    "ScheduleComputed",
+    "Subscription",
+    "TapeMounted",
+    "TapeUnmounted",
+    "TraceRecorder",
+    "TraceSummary",
+    "batch_spans",
+    "bind_standard_metrics",
+    "cache_stats_from_events",
+    "event_from_record",
+    "read_events_jsonl",
+    "request_spans",
+    "response_stats_from_events",
+    "summarize_events",
+    "write_events_csv",
+    "write_events_jsonl",
+]

@@ -1,0 +1,353 @@
+"""The event taxonomy of the observability layer.
+
+Every layer of the system publishes typed events onto an
+:class:`~repro.obs.bus.EventBus`: the batch queue (admit/dispatch), the
+scheduler (schedule computed, with its model estimate), the executor
+(per-request locate/read with *estimated vs actual* locate seconds —
+the model-error signal of Figures 9–10), the system (request and batch
+completions with per-phase durations), the staging cache
+(hit/miss/admit/reject/evict), the robotic library (mount/unmount), and
+the simulated drive (raw mechanism operations).
+
+Events are small frozen dataclasses.  Each carries ``seconds`` — the
+publisher's clock when the event happened (simulation time for
+queue/system/cache events, drive busy-time for raw drive operations) —
+and flattens losslessly to a JSON-safe record via :meth:`Event.to_record`;
+:func:`event_from_record` reverses the mapping exactly, so a JSONL trace
+round-trips to identical event objects.
+
+This module also hosts :class:`DriveEvent`/:class:`EventKind`, the
+simulated drive's own operation log, which this taxonomy generalizes
+(they moved here from ``repro.drive.events``; the old import path keeps
+working through a deprecation shim).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+from typing import ClassVar
+
+
+class EventKind(enum.Enum):
+    """Categories of drive activity."""
+
+    LOCATE = "locate"
+    READ = "read"
+    REWIND = "rewind"
+    FULL_READ = "full_read"
+    MOUNT = "mount"
+    UNMOUNT = "unmount"
+
+
+@dataclass(frozen=True, slots=True)
+class DriveEvent:
+    """One timed drive operation.
+
+    Attributes
+    ----------
+    kind:
+        What the drive did.
+    start_seconds:
+        Drive clock when the operation began.
+    duration_seconds:
+        How long it took.
+    source, destination:
+        Head position before and after the operation (absolute segment
+        numbers; for reads the destination is the position just past the
+        data read).
+    """
+
+    kind: EventKind
+    start_seconds: float
+    duration_seconds: float
+    source: int
+    destination: int
+
+    @property
+    def end_seconds(self) -> float:
+        """Drive clock when the operation finished."""
+        return self.start_seconds + self.duration_seconds
+
+
+#: Registry of event types by name, for parsing traces.
+EVENT_TYPES: dict[str, type[Event]] = {}
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base class for bus events.
+
+    Attributes
+    ----------
+    seconds:
+        The publisher's clock when the event happened.  System, queue,
+        and cache events are stamped in simulation time; raw
+        :class:`DriveOperation` events in drive busy-time.
+    """
+
+    #: Dotted taxonomy name (``layer.action``); set per subclass.
+    name: ClassVar[str] = "event"
+
+    seconds: float
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        # No super() call: ``@dataclass(slots=True)`` rebuilds each
+        # subclass, which breaks zero-argument super in this hook.  The
+        # rebuild also fires this hook a second time for the same
+        # logical class, so "same module + qualname" replaces its own
+        # registration rather than being a duplicate.
+        existing = EVENT_TYPES.get(cls.name)
+        if existing is not None and (
+            existing.__module__ != cls.__module__
+            or existing.__qualname__ != cls.__qualname__
+        ):
+            raise ValueError(f"duplicate event name {cls.name!r}")
+        EVENT_TYPES[cls.name] = cls
+
+    def to_record(self) -> dict:
+        """Flatten to a JSON-safe record (``event`` key + fields)."""
+        record: dict = {"event": self.name}
+        for spec in fields(self):
+            record[spec.name] = getattr(self, spec.name)
+        return record
+
+
+def event_from_record(record: dict) -> Event:
+    """Rebuild an event from a :meth:`Event.to_record` record."""
+    payload = dict(record)
+    try:
+        name = payload.pop("event")
+    except KeyError:
+        raise ValueError("record has no 'event' key") from None
+    try:
+        cls = EVENT_TYPES[name]
+    except KeyError:
+        known = ", ".join(sorted(EVENT_TYPES))
+        raise ValueError(
+            f"unknown event {name!r}; known: {known}"
+        ) from None
+    return cls(**payload)
+
+
+# -- queue layer -------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class QueueAdmitted(Event):
+    """A request entered the batch accumulation queue."""
+
+    name: ClassVar[str] = "queue.admit"
+
+    segment: int
+    length: int
+    arrival_seconds: float
+    queue_depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class QueueDispatched(Event):
+    """The queue released a batch to the scheduler."""
+
+    name: ClassVar[str] = "queue.dispatch"
+
+    batch_size: int
+    oldest_arrival_seconds: float
+
+
+# -- scheduling layer --------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleComputed(Event):
+    """A scheduler ordered a batch (with its model estimate)."""
+
+    name: ClassVar[str] = "schedule.computed"
+
+    algorithm: str
+    batch_size: int
+    origin: int
+    estimated_seconds: float | None
+
+
+@dataclass(frozen=True, slots=True)
+class RequestLocated(Event):
+    """The drive positioned for one scheduled request.
+
+    ``estimated_seconds`` is the model's prediction for this hop (from
+    the scheduler's model), ``actual_seconds`` what the drive took —
+    their gap is the per-hop model error the validation figures study.
+    """
+
+    name: ClassVar[str] = "request.locate"
+
+    position: int
+    source: int
+    segment: int
+    actual_seconds: float
+    estimated_seconds: float | None
+
+
+@dataclass(frozen=True, slots=True)
+class RequestRead(Event):
+    """The drive transferred one scheduled request's data."""
+
+    name: ClassVar[str] = "request.read"
+
+    position: int
+    segment: int
+    length: int
+    actual_seconds: float
+
+
+# -- system layer ------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BatchStarted(Event):
+    """A batch began executing on the drive."""
+
+    name: ClassVar[str] = "batch.start"
+
+    batch_index: int
+    batch_size: int
+    origin: int
+
+
+@dataclass(frozen=True, slots=True)
+class BatchCompleted(Event):
+    """A batch finished; carries the per-phase time decomposition.
+
+    The phases partition the execution exactly:
+    ``locate_seconds + transfer_seconds + rewind_seconds ==
+    total_seconds`` (to float round-off), and ``queue_wait_seconds`` is
+    the summed time the batch's requests waited before execution began.
+    """
+
+    name: ClassVar[str] = "batch.complete"
+
+    batch_index: int
+    algorithm: str
+    batch_size: int
+    queue_wait_seconds: float
+    locate_seconds: float
+    transfer_seconds: float
+    rewind_seconds: float
+    total_seconds: float
+    estimated_seconds: float | None
+
+
+@dataclass(frozen=True, slots=True)
+class RequestCompleted(Event):
+    """One request's data was fully delivered.
+
+    Published at the request's *read* event (or at arrival plus hit
+    latency for a cache hit, with ``position = -1``), not at batch
+    completion — so per-request response times are observable on the
+    bus.
+    """
+
+    name: ClassVar[str] = "request.complete"
+
+    position: int
+    segment: int
+    length: int
+    arrival_seconds: float
+    completion_seconds: float
+
+    @property
+    def response_seconds(self) -> float:
+        """Completion minus arrival."""
+        return self.completion_seconds - self.arrival_seconds
+
+
+# -- cache layer -------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CacheHit(Event):
+    """A request was fully served from the staging cache."""
+
+    name: ClassVar[str] = "cache.hit"
+
+    segment: int
+    length: int
+
+
+@dataclass(frozen=True, slots=True)
+class CacheMiss(Event):
+    """A request missed the staging cache and went to tape."""
+
+    name: ClassVar[str] = "cache.miss"
+
+    segment: int
+    length: int
+
+
+@dataclass(frozen=True, slots=True)
+class CacheAdmitted(Event):
+    """A fetched segment was staged (demand fill or prefetch)."""
+
+    name: ClassVar[str] = "cache.admit"
+
+    segment: int
+    prefetch: bool
+
+
+@dataclass(frozen=True, slots=True)
+class CacheRejected(Event):
+    """Admission control turned a demand fill away."""
+
+    name: ClassVar[str] = "cache.reject"
+
+    segment: int
+
+
+@dataclass(frozen=True, slots=True)
+class CacheEvicted(Event):
+    """The eviction policy dropped a resident segment."""
+
+    name: ClassVar[str] = "cache.evict"
+
+    segment: int
+
+
+# -- library layer -----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TapeMounted(Event):
+    """The robot loaded a cartridge into the drive."""
+
+    name: ClassVar[str] = "library.mount"
+
+    label: str
+    exchange_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class TapeUnmounted(Event):
+    """The robot rewound, ejected, and shelved a cartridge."""
+
+    name: ClassVar[str] = "library.unmount"
+
+    label: str
+    rewind_seconds: float
+
+
+# -- drive layer -------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DriveOperation(Event):
+    """One raw drive mechanism operation (generalizes
+    :class:`DriveEvent` onto the bus; ``seconds`` is the drive clock at
+    the start of the operation and ``kind`` an :class:`EventKind`
+    value)."""
+
+    name: ClassVar[str] = "drive.op"
+
+    kind: str
+    duration_seconds: float
+    source: int
+    destination: int

@@ -1,0 +1,254 @@
+"""Counters, gauges, histograms, and their registry.
+
+A minimal, dependency-free metrics layer.  Instruments live in a
+:class:`MetricsRegistry` keyed by dotted names; the registry snapshots
+to a flat dict for export.  :func:`bind_standard_metrics` wires a
+registry to an :class:`~repro.obs.bus.EventBus` so the standard event
+taxonomy populates it without any publisher knowing metrics exist.
+
+The histogram keeps raw samples (simulation scale makes that cheap) and
+computes percentiles with the same linear-interpolation rule as
+``numpy.percentile``'s default, so results are directly comparable with
+the numpy-based analysis modules — without importing numpy here.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.exceptions import MetricsError, NoSamplesError
+from repro.obs.bus import EventBus
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add to the count (must not decrease it)."""
+        if amount < 0:
+            raise MetricsError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (e.g. queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the current value."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Adjust the current value downward."""
+        self.value -= amount
+
+
+class Histogram:
+    """Sample distribution with exact percentiles.
+
+    Keeps every observation; aggregates raise
+    :class:`~repro.exceptions.NoSamplesError` when empty (matching the
+    convention of :class:`~repro.online.metrics.ResponseStats`).
+    """
+
+    __slots__ = ("name", "_samples", "_sorted")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        if not math.isfinite(value):
+            raise MetricsError(
+                f"histogram {self.name!r} got non-finite sample {value}"
+            )
+        self._samples.append(float(value))
+        self._sorted = False
+
+    def _require(self) -> list[float]:
+        if not self._samples:
+            raise NoSamplesError(
+                f"histogram {self.name!r} has no samples"
+            )
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    @property
+    def count(self) -> int:
+        """Samples recorded."""
+        return len(self._samples)
+
+    @property
+    def sum(self) -> float:
+        """Sum of all samples."""
+        return math.fsum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean."""
+        self._require()
+        return self.sum / len(self._samples)
+
+    @property
+    def min(self) -> float:
+        """Smallest sample."""
+        return self._require()[0]
+
+    @property
+    def max(self) -> float:
+        """Largest sample."""
+        return self._require()[-1]
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile, ``q`` in [0, 100].
+
+        Linear interpolation between closest ranks — the same rule as
+        ``numpy.percentile(..., method="linear")``, numpy's default.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise MetricsError(f"percentile q must be in [0, 100], got {q}")
+        samples = self._require()
+        rank = (q / 100.0) * (len(samples) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return samples[low]
+        fraction = rank - low
+        return samples[low] + fraction * (samples[high] - samples[low])
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments.
+
+    A name is bound to one instrument type for the registry's lifetime;
+    asking for the same name as a different type raises
+    :class:`~repro.exceptions.MetricsError`.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not cls:
+            raise MetricsError(
+                f"{name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create a histogram."""
+        return self._get_or_create(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(sorted(self._instruments))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def as_dict(self) -> dict[str, float | dict]:
+        """Flat snapshot: counters/gauges to their value, histograms to
+        ``{count, mean, p50, p99, max}`` (empty histograms to
+        ``{count: 0}``)."""
+        snapshot: dict[str, float | dict] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                if instrument.count == 0:
+                    snapshot[name] = {"count": 0}
+                else:
+                    snapshot[name] = {
+                        "count": instrument.count,
+                        "mean": instrument.mean,
+                        "p50": instrument.percentile(50),
+                        "p99": instrument.percentile(99),
+                        "max": instrument.max,
+                    }
+            else:
+                snapshot[name] = instrument.value
+        return snapshot
+
+
+def bind_standard_metrics(
+    bus: EventBus, registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Populate a registry from the standard event taxonomy.
+
+    Subscribes one handler that maintains:
+
+    * ``events.<name>`` counters for every event kind seen;
+    * ``queue.depth`` gauge (from admit/dispatch events);
+    * ``request.response_seconds`` histogram (request completions);
+    * ``request.locate_seconds`` and ``request.locate_error_seconds``
+      histograms (actual locates, and estimated-minus-actual where an
+      estimate was attached);
+    * ``batch.execution_seconds`` and ``batch.size`` histograms.
+
+    Returns the registry (a fresh one if none was given).
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+
+    def observe(event) -> None:
+        registry.counter(f"events.{event.name}").inc()
+        name = event.name
+        if name == "queue.admit":
+            registry.gauge("queue.depth").set(event.queue_depth)
+        elif name == "queue.dispatch":
+            registry.gauge("queue.depth").dec(event.batch_size)
+        elif name == "request.complete":
+            registry.histogram("request.response_seconds").observe(
+                event.response_seconds
+            )
+        elif name == "request.locate":
+            registry.histogram("request.locate_seconds").observe(
+                event.actual_seconds
+            )
+            if event.estimated_seconds is not None:
+                registry.histogram(
+                    "request.locate_error_seconds"
+                ).observe(event.estimated_seconds - event.actual_seconds)
+        elif name == "batch.complete":
+            registry.histogram("batch.execution_seconds").observe(
+                event.total_seconds
+            )
+            registry.histogram("batch.size").observe(event.batch_size)
+
+    bus.subscribe(observe)
+    return registry

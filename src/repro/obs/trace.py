@@ -1,0 +1,387 @@
+"""Span-style batch traces: record, export, parse, summarize.
+
+A :class:`TraceRecorder` subscribes to an
+:class:`~repro.obs.bus.EventBus` and keeps the ordered event stream.
+From it, each batch's life cycle — arrival → batched → scheduled →
+executed → completed — reconstructs as a :class:`BatchSpan` whose
+per-phase durations (queue wait, locate, read, rewind) partition the
+measured execution exactly, and each request's as a
+:class:`RequestSpan`.
+
+Traces export to JSONL (lossless: parsing a written trace yields
+identical event objects) or CSV (flat, for spreadsheets), and
+:func:`summarize_events` folds a stream into a :class:`TraceSummary`
+that speaks the same ``headers()``/``to_dict()`` protocol as the
+experiment results, so ``--out`` export works on it unchanged.
+
+:func:`response_stats_from_events` and
+:func:`cache_stats_from_events` rebuild the accounting objects the
+system keeps (``ResponseStats``, ``CacheStats``) purely from the event
+stream — the stream is the source of truth, the stats objects are one
+consumer of it.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from repro.exceptions import TraceError
+from repro.obs.bus import EventBus
+from repro.obs.events import Event, event_from_record
+
+
+class TraceRecorder:
+    """Accumulates the ordered event stream of a bus.
+
+    Parameters
+    ----------
+    bus:
+        Subscribe to this bus on construction (optional — a recorder
+        can also be filled by replaying a parsed trace into
+        :meth:`record`).
+    kinds:
+        Restrict recording to these event kinds (default: everything).
+    """
+
+    def __init__(self, bus: EventBus | None = None, kinds=None) -> None:
+        self.events: list[Event] = []
+        self.subscription = (
+            bus.subscribe(self.record, kinds) if bus is not None else None
+        )
+
+    def record(self, event: Event) -> None:
+        """Append one event (the subscribed handler)."""
+        self.events.append(event)
+
+    def close(self) -> None:
+        """Detach from the bus (recording stops; events are kept)."""
+        if self.subscription is not None:
+            self.subscription.close()
+            self.subscription = None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def batch_spans(self) -> list[BatchSpan]:
+        """The per-batch spans of the recorded stream."""
+        return batch_spans(self.events)
+
+    def request_spans(self) -> list[RequestSpan]:
+        """The per-request spans of the recorded stream."""
+        return request_spans(self.events)
+
+    def summary(self) -> TraceSummary:
+        """Fold the recorded stream into a summary."""
+        return summarize_events(self.events)
+
+
+# -- spans -------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BatchSpan:
+    """One batch's reconstructed life cycle.
+
+    ``locate_seconds + transfer_seconds + rewind_seconds`` equals
+    ``total_seconds`` up to float round-off — the per-phase accounting
+    the paper's figures decompose response time with.
+    """
+
+    batch_index: int
+    algorithm: str
+    batch_size: int
+    start_seconds: float
+    queue_wait_seconds: float
+    locate_seconds: float
+    transfer_seconds: float
+    rewind_seconds: float
+    total_seconds: float
+    estimated_seconds: float | None
+
+    @property
+    def phase_seconds(self) -> float:
+        """Sum of the execution phases (should equal ``total_seconds``)."""
+        return (
+            self.locate_seconds
+            + self.transfer_seconds
+            + self.rewind_seconds
+        )
+
+    @property
+    def end_seconds(self) -> float:
+        """Simulation time when the batch finished."""
+        return self.start_seconds + self.total_seconds
+
+
+@dataclass(frozen=True, slots=True)
+class RequestSpan:
+    """One request's arrival-to-completion span."""
+
+    segment: int
+    length: int
+    arrival_seconds: float
+    completion_seconds: float
+    position: int
+
+    @property
+    def response_seconds(self) -> float:
+        """Completion minus arrival."""
+        return self.completion_seconds - self.arrival_seconds
+
+    @property
+    def cache_hit(self) -> bool:
+        """Was this request served by the staging tier?"""
+        return self.position < 0
+
+
+def batch_spans(events: Iterable[Event]) -> list[BatchSpan]:
+    """Pair batch.start/batch.complete events into spans."""
+    spans: list[BatchSpan] = []
+    open_starts: dict[int, Event] = {}
+    for event in events:
+        if event.name == "batch.start":
+            open_starts[event.batch_index] = event
+        elif event.name == "batch.complete":
+            start = open_starts.pop(event.batch_index, None)
+            if start is None:
+                raise TraceError(
+                    f"batch.complete for batch {event.batch_index} "
+                    "without a batch.start"
+                )
+            spans.append(
+                BatchSpan(
+                    batch_index=event.batch_index,
+                    algorithm=event.algorithm,
+                    batch_size=event.batch_size,
+                    start_seconds=start.seconds,
+                    queue_wait_seconds=event.queue_wait_seconds,
+                    locate_seconds=event.locate_seconds,
+                    transfer_seconds=event.transfer_seconds,
+                    rewind_seconds=event.rewind_seconds,
+                    total_seconds=event.total_seconds,
+                    estimated_seconds=event.estimated_seconds,
+                )
+            )
+    return spans
+
+
+def request_spans(events: Iterable[Event]) -> list[RequestSpan]:
+    """The request.complete events of a stream, as spans."""
+    return [
+        RequestSpan(
+            segment=event.segment,
+            length=event.length,
+            arrival_seconds=event.arrival_seconds,
+            completion_seconds=event.completion_seconds,
+            position=event.position,
+        )
+        for event in events
+        if event.name == "request.complete"
+    ]
+
+
+# -- reconstruction ----------------------------------------------------------
+
+
+def response_stats_from_events(events: Iterable[Event]):
+    """Rebuild a :class:`~repro.online.metrics.ResponseStats` from the
+    stream's request completions.
+
+    On a run instrumented end to end this reproduces the system's own
+    ``stats`` sample for sample (tested) — the stats object is just one
+    consumer of the event stream.
+    """
+    from repro.online.metrics import ResponseStats
+
+    stats = ResponseStats()
+    for event in events:
+        if event.name == "request.complete":
+            stats.record(event.arrival_seconds, event.completion_seconds)
+    return stats
+
+
+def cache_stats_from_events(events: Iterable[Event]):
+    """Rebuild a :class:`~repro.online.metrics.CacheStats` from the
+    stream's cache events (eviction/insertion/rejection counters
+    included)."""
+    from repro.online.metrics import CacheStats
+
+    stats = CacheStats()
+    for event in events:
+        name = event.name
+        if name == "cache.hit":
+            stats.record_hit(segments=event.length)
+        elif name == "cache.miss":
+            stats.record_miss(segments=event.length)
+        elif name == "cache.admit":
+            if event.prefetch:
+                stats.prefetch_insertions += 1
+            else:
+                stats.insertions += 1
+        elif name == "cache.reject":
+            stats.rejections += 1
+        elif name == "cache.evict":
+            stats.evictions += 1
+    return stats
+
+
+# -- export ------------------------------------------------------------------
+
+
+def write_events_jsonl(
+    events: Iterable[Event], path: str | Path
+) -> Path:
+    """Write a stream as JSON Lines; returns the path written.
+
+    The format is lossless: :func:`read_events_jsonl` yields events
+    equal to the ones written.
+    """
+    path = Path(path)
+    with path.open("w") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_record()))
+            handle.write("\n")
+    return path
+
+
+def read_events_jsonl(path: str | Path) -> list[Event]:
+    """Parse a JSONL trace back into event objects."""
+    path = Path(path)
+    events: list[Event] = []
+    with path.open() as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                events.append(event_from_record(record))
+            except (ValueError, TypeError) as error:
+                raise TraceError(f"{path}:{number}: {error}") from None
+    return events
+
+
+def write_events_csv(
+    events: Sequence[Event], path: str | Path
+) -> Path:
+    """Write a stream as flat CSV (union of all event fields).
+
+    Lossy relative to JSONL (everything stringifies); meant for
+    spreadsheets, not round-trips.
+    """
+    path = Path(path)
+    names: list[str] = ["event", "seconds"]
+    for event in events:
+        for spec in fields(event):
+            if spec.name not in names:
+                names.append(spec.name)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=names, restval="")
+        writer.writeheader()
+        for event in events:
+            writer.writerow(event.to_record())
+    return path
+
+
+# -- summary -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregates of one trace, in the tabular-result protocol."""
+
+    event_count: int
+    batch_count: int
+    request_count: int
+    cache_hit_count: int
+    mean_response_seconds: float | None
+    max_response_seconds: float | None
+    queue_wait_seconds: float
+    locate_seconds: float
+    transfer_seconds: float
+    rewind_seconds: float
+    execution_seconds: float
+    estimated_execution_seconds: float | None
+    mean_abs_locate_error_seconds: float | None
+
+    def headers(self) -> list[str]:
+        """Column names matching :meth:`rows`."""
+        return ["metric", "value"]
+
+    def rows(self) -> list[list]:
+        """One row per aggregate."""
+        return [
+            ["events", self.event_count],
+            ["batches", self.batch_count],
+            ["requests completed", self.request_count],
+            ["cache hits", self.cache_hit_count],
+            ["mean response (s)", self.mean_response_seconds],
+            ["max response (s)", self.max_response_seconds],
+            ["queue wait (s)", self.queue_wait_seconds],
+            ["locate (s)", self.locate_seconds],
+            ["transfer (s)", self.transfer_seconds],
+            ["rewind (s)", self.rewind_seconds],
+            ["execution (s)", self.execution_seconds],
+            ["estimated execution (s)", self.estimated_execution_seconds],
+            ["mean |locate error| (s)", self.mean_abs_locate_error_seconds],
+        ]
+
+    def to_dict(self) -> list[dict]:
+        """Records for export (one per :meth:`rows` row)."""
+        return [dict(zip(self.headers(), row)) for row in self.rows()]
+
+
+def summarize_events(events: Sequence[Event]) -> TraceSummary:
+    """Fold an event stream into its :class:`TraceSummary`."""
+    spans = batch_spans(events)
+    responses = [
+        event.response_seconds
+        for event in events
+        if event.name == "request.complete"
+    ]
+    locate_errors = [
+        abs(event.estimated_seconds - event.actual_seconds)
+        for event in events
+        if event.name == "request.locate"
+        and event.estimated_seconds is not None
+    ]
+    estimates = [
+        span.estimated_seconds
+        for span in spans
+        if span.estimated_seconds is not None
+    ]
+    return TraceSummary(
+        event_count=len(events),
+        batch_count=len(spans),
+        request_count=len(responses),
+        cache_hit_count=sum(
+            1 for event in events if event.name == "cache.hit"
+        ),
+        mean_response_seconds=(
+            math.fsum(responses) / len(responses) if responses else None
+        ),
+        max_response_seconds=max(responses) if responses else None,
+        queue_wait_seconds=math.fsum(
+            span.queue_wait_seconds for span in spans
+        ),
+        locate_seconds=math.fsum(span.locate_seconds for span in spans),
+        transfer_seconds=math.fsum(
+            span.transfer_seconds for span in spans
+        ),
+        rewind_seconds=math.fsum(span.rewind_seconds for span in spans),
+        execution_seconds=math.fsum(
+            span.total_seconds for span in spans
+        ),
+        estimated_execution_seconds=(
+            math.fsum(estimates) if estimates else None
+        ),
+        mean_abs_locate_error_seconds=(
+            math.fsum(locate_errors) / len(locate_errors)
+            if locate_errors else None
+        ),
+    )

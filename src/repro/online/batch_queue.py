@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.bus import EventBus
+from repro.obs.events import QueueAdmitted, QueueDispatched
 from repro.workload.arrivals import TimedRequest
 
 
@@ -44,14 +46,31 @@ class BatchPolicy:
 
 @dataclass
 class BatchQueue:
-    """Accumulates timed requests and releases them per a policy."""
+    """Accumulates timed requests and releases them per a policy.
+
+    With a ``bus`` attached, every :meth:`push` publishes a
+    ``queue.admit`` event and every non-empty :meth:`flush` a
+    ``queue.dispatch`` event (stamped with the bus clock, which the
+    system advances to simulation time).
+    """
 
     policy: BatchPolicy = field(default_factory=BatchPolicy)
+    bus: EventBus | None = None
     _pending: list[TimedRequest] = field(default_factory=list)
 
     def push(self, request: TimedRequest) -> None:
         """Enqueue an arrived request."""
         self._pending.append(request)
+        if self.bus is not None:
+            self.bus.publish(
+                QueueAdmitted(
+                    seconds=self.bus.now,
+                    segment=request.segment,
+                    length=request.length,
+                    arrival_seconds=request.arrival_seconds,
+                    queue_depth=len(self._pending),
+                )
+            )
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -76,4 +95,12 @@ class BatchQueue:
         """Release up to ``max_batch`` requests, oldest first."""
         batch = self._pending[: self.policy.max_batch]
         self._pending = self._pending[self.policy.max_batch:]
+        if batch and self.bus is not None:
+            self.bus.publish(
+                QueueDispatched(
+                    seconds=self.bus.now,
+                    batch_size=len(batch),
+                    oldest_arrival_seconds=batch[0].arrival_seconds,
+                )
+            )
         return batch

@@ -17,6 +17,8 @@ from repro.drive.simulated import SimulatedDrive
 from repro.exceptions import LibraryError, UnknownTape
 from repro.geometry.tape import TapeGeometry
 from repro.model.locate import LocateTimeModel
+from repro.obs.bus import EventBus
+from repro.obs.events import TapeMounted, TapeUnmounted
 
 #: Typical robotic cartridge-exchange time (pick, move, load), seconds.
 DEFAULT_EXCHANGE_SECONDS = 30.0
@@ -48,12 +50,17 @@ class TapeLibrary:
         self,
         cartridges: list[Cartridge],
         exchange_seconds: float = DEFAULT_EXCHANGE_SECONDS,
+        bus: EventBus | None = None,
     ) -> None:
         labels = [c.label for c in cartridges]
         if len(set(labels)) != len(labels):
             raise LibraryError("cartridge labels must be unique")
         self._shelf = {c.label: c for c in cartridges}
         self.exchange_seconds = float(exchange_seconds)
+        #: Optional :class:`~repro.obs.bus.EventBus`; mounts/unmounts
+        #: publish ``library.mount`` / ``library.unmount`` events, and
+        #: the drive of the mounted cartridge joins the same stream.
+        self.bus = bus
         self._mounted: str | None = None
         self._drive: SimulatedDrive | None = None
         self._clock = 0.0
@@ -107,16 +114,35 @@ class TapeLibrary:
         cartridge = self.cartridge(label)
         self._clock += self.exchange_seconds
         spent += self.exchange_seconds
-        self._drive = SimulatedDrive(cartridge.model, initial_position=0)
+        self._drive = SimulatedDrive(
+            cartridge.model, initial_position=0, bus=self.bus
+        )
         self._mounted = label
+        if self.bus is not None:
+            self.bus.publish(
+                TapeMounted(
+                    seconds=self.clock_seconds,
+                    label=label,
+                    exchange_seconds=self.exchange_seconds,
+                )
+            )
         return spent
 
     def unmount(self) -> float:
         """Rewind (DLT must rewind to eject) and shelve the cartridge."""
         if self._mounted is None or self._drive is None:
             raise LibraryError("no cartridge mounted")
+        label = self._mounted
         rewind_spent = self._drive.rewind()
         self._clock += self._drive.clock_seconds + self.exchange_seconds
         self._drive = None
         self._mounted = None
+        if self.bus is not None:
+            self.bus.publish(
+                TapeUnmounted(
+                    seconds=self.clock_seconds,
+                    label=label,
+                    rewind_seconds=rewind_spent,
+                )
+            )
         return rewind_spent + self.exchange_seconds

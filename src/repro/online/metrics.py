@@ -46,6 +46,11 @@ class ResponseStats:
         return len(self._samples)
 
     @property
+    def samples(self) -> tuple[float, ...]:
+        """The recorded response times, in recording order."""
+        return tuple(self._samples)
+
+    @property
     def mean_seconds(self) -> float:
         """Mean response time."""
         self._require_samples()

@@ -8,18 +8,36 @@ and executed.  The simulation is event-stepped at batch granularity
 is exactly the paper's "a tape is scheduled repeatedly, executing
 retrievals in batches" scenario — the head starts each batch wherever
 the previous batch finished.
+
+Passing ``bus=`` instruments the whole pipeline: the queue publishes
+admit/dispatch events, the scheduler's estimate is published with each
+computed schedule, the executor publishes per-request locate/read
+events carrying *estimated vs actual* locate seconds, and the system
+publishes per-request completions (at each request's read, not at
+batch end) plus per-batch spans whose phase durations — queue wait,
+locate, read, rewind — partition the measured execution exactly.  See
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.drive.simulated import SimulatedDrive
 from repro.geometry.tape import TapeGeometry
 from repro.model.locate import LocateTimeModel
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    BatchCompleted,
+    BatchStarted,
+    RequestCompleted,
+    ScheduleComputed,
+)
 from repro.online.batch_queue import BatchPolicy, BatchQueue
 from repro.online.metrics import ResponseStats
 from repro.scheduling.base import Scheduler
+from repro.scheduling.estimator import locate_sequence_times
 from repro.scheduling.executor import ExecutionResult, execute_schedule
 from repro.scheduling.loss import LossScheduler
 from repro.scheduling.request import Request
@@ -29,12 +47,34 @@ from repro.workload.arrivals import TimedRequest
 
 @dataclass(frozen=True)
 class BatchRecord:
-    """One executed batch, for reporting."""
+    """One executed batch, for reporting.
+
+    The original fields (start, size, algorithm, total execution) are
+    joined by the per-phase decomposition the telemetry layer carries:
+    ``locate_seconds + transfer_seconds + rewind_seconds ==
+    execution_seconds`` (to float round-off), ``queue_wait_seconds`` is
+    the summed pre-execution wait of the batch's requests, and
+    ``estimated_seconds`` the scheduler's model estimate.
+    """
 
     start_seconds: float
     size: int
     algorithm: str
     execution_seconds: float
+    queue_wait_seconds: float = 0.0
+    locate_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    rewind_seconds: float = 0.0
+    estimated_seconds: float | None = None
+
+    @property
+    def phase_seconds(self) -> float:
+        """Sum of the execution phases (equals ``execution_seconds``)."""
+        return (
+            self.locate_seconds
+            + self.transfer_seconds
+            + self.rewind_seconds
+        )
 
 
 @dataclass
@@ -49,30 +89,38 @@ class TertiaryStorageSystem:
         Batch scheduling algorithm (default: the paper's LOSS).
     policy:
         Batching policy.
+    bus:
+        Optional :class:`~repro.obs.bus.EventBus`; wires the queue,
+        drive, executor, and this system's own batch/request events
+        onto one stream.  ``None`` (the default) adds no overhead.
     """
 
     geometry: TapeGeometry
     scheduler: Scheduler = field(default_factory=LossScheduler)
     policy: BatchPolicy = field(default_factory=BatchPolicy)
+    bus: EventBus | None = None
 
     def __post_init__(self) -> None:
         self.model = LocateTimeModel(self.geometry)
-        self.drive = SimulatedDrive(self.model)
-        self.queue = BatchQueue(policy=self.policy)
+        self.drive = SimulatedDrive(self.model, bus=self.bus)
+        self.queue = BatchQueue(policy=self.policy, bus=self.bus)
         self.stats = ResponseStats()
         self.batches: list[BatchRecord] = []
         self._drive_free_at = 0.0
 
-    def run(self, requests: list[TimedRequest]) -> ResponseStats:
+    def run(self, requests: Iterable[TimedRequest]) -> ResponseStats:
         """Service a timed request stream to completion.
 
-        Requests must be in arrival order.  Returns the response-time
-        statistics (also kept on ``self.stats``).
+        Accepts any iterable of requests (materialized once); order
+        does not matter.  Returns the response-time statistics (also
+        kept on ``self.stats``).
         """
         pending = sorted(requests, key=lambda r: r.arrival_seconds)
         index = 0
         now = 0.0
         while index < len(pending) or len(self.queue):
+            if self.bus is not None:
+                self.bus.set_time(now)
             # Admit everything that has arrived by `now`.
             while (
                 index < len(pending)
@@ -105,6 +153,26 @@ class TertiaryStorageSystem:
         """Route one arrived request (hook: a cache tier front-ends this)."""
         self.queue.push(item)
 
+    def _complete(
+        self,
+        item: TimedRequest,
+        completion_seconds: float,
+        position: int,
+    ) -> None:
+        """Record one request's completion (and publish it)."""
+        self.stats.record(item.arrival_seconds, completion_seconds)
+        if self.bus is not None:
+            self.bus.publish(
+                RequestCompleted(
+                    seconds=completion_seconds,
+                    position=position,
+                    segment=item.segment,
+                    length=item.length,
+                    arrival_seconds=item.arrival_seconds,
+                    completion_seconds=completion_seconds,
+                )
+            )
+
     def _run_batch(
         self, now: float
     ) -> tuple[list[TimedRequest], Schedule, ExecutionResult]:
@@ -113,25 +181,84 @@ class TertiaryStorageSystem:
         schedule = self.scheduler.schedule(
             self.model, self.drive.position, requests
         )
-        result = execute_schedule(self.drive, schedule)
+        batch_index = len(self.batches)
+        estimated_locates = None
+        if self.bus is not None:
+            self.bus.publish(
+                ScheduleComputed(
+                    seconds=now,
+                    algorithm=schedule.algorithm,
+                    batch_size=len(schedule),
+                    origin=schedule.origin,
+                    estimated_seconds=schedule.estimated_seconds,
+                )
+            )
+            self.bus.publish(
+                BatchStarted(
+                    seconds=now,
+                    batch_index=batch_index,
+                    batch_size=len(batch),
+                    origin=schedule.origin,
+                )
+            )
+            if not schedule.whole_tape:
+                # The scheduler's own per-hop estimates, so locate
+                # events carry estimated-vs-actual seconds.
+                estimated_locates = locate_sequence_times(
+                    self.model, schedule
+                )
+        result = execute_schedule(
+            self.drive,
+            schedule,
+            bus=self.bus,
+            estimated_locate_seconds=estimated_locates,
+            base_seconds=now,
+        )
+        queue_wait = sum(now - item.arrival_seconds for item in batch)
         self.batches.append(
             BatchRecord(
                 start_seconds=now,
                 size=len(batch),
                 algorithm=schedule.algorithm,
                 execution_seconds=result.total_seconds,
+                queue_wait_seconds=queue_wait,
+                locate_seconds=(
+                    result.locate_seconds - result.rewind_seconds
+                ),
+                transfer_seconds=result.transfer_seconds,
+                rewind_seconds=result.rewind_seconds,
+                estimated_seconds=schedule.estimated_seconds,
             )
         )
         # Completion time of each request = batch start + offset of its
-        # scheduled position.  Map scheduled order back to arrivals.
+        # scheduled position (stamped at its read event, not at batch
+        # end).  Map scheduled order back to arrivals.
         by_key: dict[tuple[int, int], list[TimedRequest]] = {}
         for item in batch:
             by_key.setdefault((item.segment, item.length), []).append(item)
         for position, request in enumerate(schedule):
             item = by_key[(request.segment, request.length)].pop(0)
-            self.stats.record(
-                item.arrival_seconds,
+            self._complete(
+                item,
                 now + float(result.completion_seconds[position]),
+                position,
             )
         self._drive_free_at = now + result.total_seconds
+        if self.bus is not None:
+            record = self.batches[-1]
+            self.bus.publish(
+                BatchCompleted(
+                    seconds=self._drive_free_at,
+                    batch_index=batch_index,
+                    algorithm=record.algorithm,
+                    batch_size=record.size,
+                    queue_wait_seconds=record.queue_wait_seconds,
+                    locate_seconds=record.locate_seconds,
+                    transfer_seconds=record.transfer_seconds,
+                    rewind_seconds=record.rewind_seconds,
+                    total_seconds=record.execution_seconds,
+                    estimated_seconds=record.estimated_seconds,
+                )
+            )
+            self.bus.set_time(self._drive_free_at)
         return batch, schedule, result

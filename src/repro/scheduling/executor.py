@@ -4,6 +4,13 @@ The executor is the "measurement" side of the paper's validation: the
 same :class:`~repro.scheduling.schedule.Schedule` can be *estimated*
 (with :mod:`repro.scheduling.estimator` against a model) and *executed*
 (here, against a drive whose locate times may deviate from that model).
+
+With a ``bus`` attached, execution publishes one
+:class:`~repro.obs.events.RequestLocated` and
+:class:`~repro.obs.events.RequestRead` per request; when the caller
+also passes the estimator's per-hop locate times
+(``estimated_locate_seconds``), the locate events carry *estimated vs
+actual* seconds — the per-hop model-error signal behind Figures 9–10.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from repro.drive.simulated import (
     SimulatedDrive,
     TRACK_TURNAROUND_SECONDS,
 )
+from repro.obs.events import RequestLocated, RequestRead
 from repro.scheduling.schedule import Schedule
 
 
@@ -35,12 +43,18 @@ class ExecutionResult:
     completion_seconds:
         Per-request completion times, in schedule order (feeds the
         response-time metrics of the online system).
+    rewind_seconds:
+        Rewind time contained in ``locate_seconds`` (nonzero only for
+        the whole-tape READ plan: lead-in plus final rewind), so
+        positioning can be reported net of rewinds:
+        ``(locate - rewind) + transfer + rewind == total``.
     """
 
     total_seconds: float
     locate_seconds: float
     transfer_seconds: float
     completion_seconds: np.ndarray
+    rewind_seconds: float = 0.0
 
     @property
     def request_count(self) -> int:
@@ -54,29 +68,87 @@ class ExecutionResult:
 
 
 def execute_schedule(
-    drive: SimulatedDrive, schedule: Schedule
+    drive: SimulatedDrive,
+    schedule: Schedule,
+    bus=None,
+    estimated_locate_seconds=None,
+    base_seconds: float | None = None,
 ) -> ExecutionResult:
     """Run a schedule on a drive, returning the measured times.
 
     The drive must already be positioned at ``schedule.origin`` (the
     usual case: it is wherever the previous batch left it).
+
+    Parameters
+    ----------
+    drive, schedule:
+        What to run, and on what.
+    bus:
+        Optional :class:`~repro.obs.bus.EventBus`; publishes
+        ``request.locate`` / ``request.read`` events per request.
+        ``None`` (the default) publishes nothing and adds no overhead.
+    estimated_locate_seconds:
+        Per-hop locate-time estimates in schedule order (from
+        :func:`repro.scheduling.estimator.locate_sequence_times`),
+        attached to the published locate events as
+        ``estimated_seconds``.  Ignored without a bus.
+    base_seconds:
+        Simulation time corresponding to the drive clock at call time;
+        published events are stamped ``base_seconds + elapsed``.
+        Defaults to the drive clock itself.
     """
     if drive.position != schedule.origin:
         raise ValueError(
             f"drive at {drive.position}, schedule assumes "
             f"{schedule.origin}"
         )
+    if (
+        estimated_locate_seconds is not None
+        and len(estimated_locate_seconds) != len(schedule)
+    ):
+        raise ValueError(
+            f"{len(estimated_locate_seconds)} locate estimates for a "
+            f"schedule of {len(schedule)} requests"
+        )
     if schedule.whole_tape:
-        return _execute_whole_tape(drive, schedule)
+        return _execute_whole_tape(drive, schedule, bus, base_seconds)
 
     start = drive.clock_seconds
+    base = start if base_seconds is None else base_seconds
     locate_total = 0.0
     transfer_total = 0.0
     completions = np.empty(len(schedule), dtype=np.float64)
     for index, request in enumerate(schedule):
-        locate_total += drive.locate(request.segment)
-        transfer_total += drive.read(request.length)
+        source = drive.position
+        locate_seconds = drive.locate(request.segment)
+        locate_total += locate_seconds
+        if bus is not None:
+            bus.publish(
+                RequestLocated(
+                    seconds=base + (drive.clock_seconds - start),
+                    position=index,
+                    source=source,
+                    segment=request.segment,
+                    actual_seconds=locate_seconds,
+                    estimated_seconds=(
+                        None if estimated_locate_seconds is None
+                        else float(estimated_locate_seconds[index])
+                    ),
+                )
+            )
+        read_seconds = drive.read(request.length)
+        transfer_total += read_seconds
         completions[index] = drive.clock_seconds - start
+        if bus is not None:
+            bus.publish(
+                RequestRead(
+                    seconds=base + float(completions[index]),
+                    position=index,
+                    segment=request.segment,
+                    length=request.length,
+                    actual_seconds=read_seconds,
+                )
+            )
     return ExecutionResult(
         total_seconds=drive.clock_seconds - start,
         locate_seconds=locate_total,
@@ -86,7 +158,10 @@ def execute_schedule(
 
 
 def _execute_whole_tape(
-    drive: SimulatedDrive, schedule: Schedule
+    drive: SimulatedDrive,
+    schedule: Schedule,
+    bus=None,
+    base_seconds: float | None = None,
 ) -> ExecutionResult:
     """READ plan: stream the whole tape; requests complete as they pass."""
     geo = drive.geometry
@@ -94,10 +169,18 @@ def _execute_whole_tape(
         drive.model, "segment_transfer_seconds", SEGMENT_TRANSFER_SECONDS
     )
     start = drive.clock_seconds
+    base = start if base_seconds is None else base_seconds
     lead_in = 0.0
     if drive.position != 0:
         lead_in = drive.rewind()
     total = drive.read_entire_tape() + lead_in
+    # read_entire_tape = sequential scan + turnarounds + final rewind;
+    # back the rewind out of the known scan and turnaround components.
+    final_rewind = (
+        (total - lead_in)
+        - geo.total_segments * transfer_seconds
+        - (geo.num_tracks - 1) * TRACK_TURNAROUND_SECONDS
+    )
 
     ends = np.fromiter(
         (min(r.end_segment, geo.total_segments) for r in schedule),
@@ -110,10 +193,22 @@ def _execute_whole_tape(
         + ends.astype(np.float64) * transfer_seconds
         + tracks.astype(np.float64) * TRACK_TURNAROUND_SECONDS
     )
+    if bus is not None:
+        for index, request in enumerate(schedule):
+            bus.publish(
+                RequestRead(
+                    seconds=base + float(completions[index]),
+                    position=index,
+                    segment=request.segment,
+                    length=request.length,
+                    actual_seconds=request.length * transfer_seconds,
+                )
+            )
     transfer = len(schedule) * transfer_seconds
     return ExecutionResult(
         total_seconds=total,
         locate_seconds=total - transfer,
         transfer_seconds=transfer,
         completion_seconds=completions,
+        rewind_seconds=lead_in + final_rewind,
     )

@@ -41,14 +41,20 @@ class Request:
 
 
 def as_requests(items: Iterable[int | Request]) -> tuple[Request, ...]:
-    """Normalize a mixed iterable of segments/requests into requests."""
-    out = []
-    for item in items:
-        if isinstance(item, Request):
-            out.append(item)
-        else:
-            out.append(Request(int(item)))
-    return tuple(out)
+    """Normalize a mixed iterable of segments/requests into requests.
+
+    Accepts any iterable (generators included) and materializes it at
+    most once; a tuple that already contains only :class:`Request`
+    objects is returned as-is.
+    """
+    if isinstance(items, tuple) and all(
+        type(item) is Request for item in items
+    ):
+        return items
+    return tuple(
+        item if isinstance(item, Request) else Request(int(item))
+        for item in items
+    )
 
 
 def request_segments(requests: Sequence[Request]) -> np.ndarray:

@@ -1,0 +1,96 @@
+"""The instrumented trace experiment driver (`python -m repro trace`)."""
+
+import pytest
+
+from repro.experiments import trace_run
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.export import result_to_rows, write_result
+from repro.obs import read_events_jsonl
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Short horizon: ~24 Poisson arrivals on the full cartridge.
+    return trace_run.run(
+        ExperimentConfig(scale="quick"),
+        rate_per_hour=120.0,
+        horizon_hours=0.2,
+        max_batch=16,
+    )
+
+
+class TestTraceRun:
+    def test_smoke_invariants_hold(self, result):
+        assert result.phases_reconcile
+        assert result.worst_phase_error_seconds <= (
+            trace_run.PHASE_TOLERANCE_SECONDS
+        )
+        assert result.mean_matches
+        assert result.ok
+
+    def test_summary_matches_system(self, result):
+        assert result.summary.request_count == result.system.stats.count
+        assert result.summary.batch_count == len(result.system.batches)
+        assert result.summary.mean_response_seconds == pytest.approx(
+            result.system.stats.mean_seconds, rel=1e-12
+        )
+
+    def test_registry_populated(self, result):
+        registry = result.registry
+        assert registry.histogram(
+            "request.response_seconds"
+        ).count == result.system.stats.count
+        assert registry.histogram("batch.size").count == len(
+            result.system.batches
+        )
+
+    def test_tabular_protocol_and_export(self, result, tmp_path):
+        rows = result_to_rows(result)
+        assert rows == result.to_dict()
+        metrics = [record["metric"] for record in rows]
+        assert "phases reconcile" in metrics
+        assert "trace mean == stats mean" in metrics
+        out = write_result(result, tmp_path / "trace.json")
+        assert out.exists()
+
+    def test_report_prints_verification(self, result, capsys):
+        trace_run.report(result)
+        out = capsys.readouterr().out
+        assert "phases reconcile" in out
+        assert "trace mean" in out
+
+    def test_jsonl_export_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        result = trace_run.run(
+            ExperimentConfig(scale="quick"),
+            rate_per_hour=120.0,
+            horizon_hours=0.1,
+            max_batch=8,
+            trace_jsonl=str(path),
+        )
+        events = read_events_jsonl(path)
+        assert events == result.recorder.events
+
+    def test_smoke_mode_passes_on_healthy_run(self, capsys):
+        result = trace_run.main(
+            ExperimentConfig(scale="quick"),
+            rate_per_hour=120.0,
+            horizon_hours=0.1,
+            max_batch=8,
+            smoke=True,
+        )
+        assert result.ok
+        capsys.readouterr()
+
+    def test_smoke_mode_fails_on_broken_invariant(
+        self, result, capsys, monkeypatch
+    ):
+        import dataclasses
+
+        broken = dataclasses.replace(result, mean_matches=False)
+        monkeypatch.setattr(
+            trace_run, "run", lambda *args, **kwargs: broken
+        )
+        with pytest.raises(SystemExit, match="smoke check failed"):
+            trace_run.main(smoke=True)
+        capsys.readouterr()

@@ -1,0 +1,175 @@
+"""Counters, gauges, histograms, the registry, and the standard binding."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricsError, NoSamplesError
+from repro.obs import EventBus, MetricsRegistry, bind_standard_metrics
+from repro.obs.events import (
+    BatchCompleted,
+    QueueAdmitted,
+    QueueDispatched,
+    RequestCompleted,
+    RequestLocated,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_cannot_decrease(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(MetricsError):
+            counter.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12.0
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (3.0, 1.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == 6.0
+        assert hist.mean == 2.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+
+    def test_empty_raises_no_samples(self):
+        hist = MetricsRegistry().histogram("h")
+        with pytest.raises(NoSamplesError):
+            hist.mean
+        with pytest.raises(NoSamplesError):
+            hist.percentile(50)
+
+    def test_non_finite_sample_rejected(self):
+        hist = MetricsRegistry().histogram("h")
+        with pytest.raises(MetricsError):
+            hist.observe(float("nan"))
+        with pytest.raises(MetricsError):
+            hist.observe(float("inf"))
+
+    def test_percentile_bounds_checked(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(MetricsError):
+            hist.percentile(-1)
+        with pytest.raises(MetricsError):
+            hist.percentile(101)
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 100, 257])
+    def test_percentile_matches_numpy(self, n, rng):
+        samples = rng.exponential(scale=40.0, size=n)
+        hist = MetricsRegistry().histogram("h")
+        for value in samples:
+            hist.observe(float(value))
+        for q in (0, 1, 25, 50, 75, 90, 95, 99, 99.9, 100):
+            assert hist.percentile(q) == pytest.approx(
+                float(np.percentile(samples, q)), rel=1e-12, abs=1e-12
+            )
+
+    def test_observation_after_query_resorts(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(5.0)
+        assert hist.percentile(50) == 5.0
+        hist.observe(1.0)
+        assert hist.min == 1.0
+        assert hist.percentile(50) == 3.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_type_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(MetricsError):
+            registry.gauge("a")
+        with pytest.raises(MetricsError):
+            registry.histogram("a")
+
+    def test_container_protocol(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert "a" in registry and "c" not in registry
+        assert list(registry) == ["a", "b"]
+        assert len(registry) == 2
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.histogram("empty")
+        hist = registry.histogram("resp")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        snapshot = registry.as_dict()
+        assert snapshot["hits"] == 3.0
+        assert snapshot["empty"] == {"count": 0}
+        assert snapshot["resp"]["count"] == 3
+        assert snapshot["resp"]["mean"] == 2.0
+        assert snapshot["resp"]["p50"] == 2.0
+
+
+class TestStandardBinding:
+    def test_populates_from_event_stream(self):
+        bus = EventBus()
+        registry = bind_standard_metrics(bus)
+        bus.publish(QueueAdmitted(seconds=0.0, segment=1, length=1,
+                                  arrival_seconds=0.0, queue_depth=3))
+        bus.publish(QueueDispatched(seconds=1.0, batch_size=2,
+                                    oldest_arrival_seconds=0.0))
+        bus.publish(RequestLocated(seconds=2.0, position=0, source=0,
+                                   segment=5, actual_seconds=10.0,
+                                   estimated_seconds=10.5))
+        bus.publish(RequestCompleted(seconds=12.0, position=0, segment=5,
+                                     length=1, arrival_seconds=0.0,
+                                     completion_seconds=12.0))
+        bus.publish(BatchCompleted(seconds=12.0, batch_index=0,
+                                   algorithm="LOSS", batch_size=2,
+                                   queue_wait_seconds=1.0,
+                                   locate_seconds=10.0,
+                                   transfer_seconds=2.0,
+                                   rewind_seconds=0.0,
+                                   total_seconds=12.0,
+                                   estimated_seconds=None))
+        assert registry.counter("events.queue.admit").value == 1
+        assert registry.gauge("queue.depth").value == 1.0  # 3 - 2
+        assert registry.histogram(
+            "request.response_seconds"
+        ).mean == 12.0
+        assert registry.histogram(
+            "request.locate_seconds"
+        ).mean == 10.0
+        assert registry.histogram(
+            "request.locate_error_seconds"
+        ).mean == pytest.approx(0.5)
+        assert registry.histogram("batch.execution_seconds").count == 1
+        assert registry.histogram("batch.size").mean == 2.0
+
+    def test_locate_without_estimate_skips_error_histogram(self):
+        bus = EventBus()
+        registry = bind_standard_metrics(bus)
+        bus.publish(RequestLocated(seconds=2.0, position=0, source=0,
+                                   segment=5, actual_seconds=10.0,
+                                   estimated_seconds=None))
+        assert "request.locate_error_seconds" not in registry
+
+    def test_reuses_given_registry(self):
+        bus = EventBus()
+        registry = MetricsRegistry()
+        assert bind_standard_metrics(bus, registry) is registry

@@ -1,0 +1,208 @@
+"""Trace recording, span reconstruction, export round-trips, summaries."""
+
+import pytest
+
+from repro.exceptions import TraceError
+from repro.obs import (
+    EventBus,
+    TraceRecorder,
+    batch_spans,
+    cache_stats_from_events,
+    read_events_jsonl,
+    request_spans,
+    response_stats_from_events,
+    summarize_events,
+    write_events_csv,
+    write_events_jsonl,
+)
+from repro.obs.events import (
+    BatchCompleted,
+    BatchStarted,
+    CacheAdmitted,
+    CacheEvicted,
+    CacheHit,
+    CacheMiss,
+    CacheRejected,
+    RequestCompleted,
+    RequestLocated,
+)
+
+
+def sample_stream():
+    """A small hand-built stream covering every summary input."""
+    return [
+        BatchStarted(seconds=10.0, batch_index=0, batch_size=2, origin=0),
+        RequestLocated(seconds=15.0, position=0, source=0, segment=4,
+                       actual_seconds=5.0, estimated_seconds=5.5),
+        RequestCompleted(seconds=16.0, position=0, segment=4, length=1,
+                         arrival_seconds=1.0, completion_seconds=16.0),
+        RequestCompleted(seconds=20.0, position=1, segment=9, length=1,
+                         arrival_seconds=2.0, completion_seconds=20.0),
+        BatchCompleted(seconds=20.0, batch_index=0, algorithm="LOSS",
+                       batch_size=2, queue_wait_seconds=17.0,
+                       locate_seconds=7.0, transfer_seconds=3.0,
+                       rewind_seconds=0.0, total_seconds=10.0,
+                       estimated_seconds=10.2),
+        CacheHit(seconds=21.0, segment=4, length=1),
+        CacheMiss(seconds=22.0, segment=5, length=2),
+        CacheAdmitted(seconds=22.5, segment=5, prefetch=False),
+        CacheAdmitted(seconds=22.6, segment=6, prefetch=True),
+        CacheRejected(seconds=23.0, segment=7),
+        CacheEvicted(seconds=23.5, segment=4),
+        RequestCompleted(seconds=24.0, position=-1, segment=4, length=1,
+                         arrival_seconds=23.0, completion_seconds=24.0),
+    ]
+
+
+class TestRecorder:
+    def test_records_from_bus(self):
+        bus = EventBus()
+        recorder = TraceRecorder(bus)
+        stream = sample_stream()
+        for event in stream:
+            bus.publish(event)
+        assert recorder.events == stream
+        assert len(recorder) == len(stream)
+
+    def test_kinds_filter(self):
+        bus = EventBus()
+        recorder = TraceRecorder(bus, kinds=["cache.hit", "cache.miss"])
+        for event in sample_stream():
+            bus.publish(event)
+        assert [e.name for e in recorder.events] == [
+            "cache.hit", "cache.miss",
+        ]
+
+    def test_close_stops_recording_keeps_events(self):
+        bus = EventBus()
+        recorder = TraceRecorder(bus)
+        bus.publish(CacheHit(seconds=0.0, segment=1, length=1))
+        recorder.close()
+        recorder.close()  # idempotent
+        bus.publish(CacheHit(seconds=1.0, segment=2, length=1))
+        assert len(recorder) == 1
+
+    def test_standalone_recorder_replays(self):
+        recorder = TraceRecorder()
+        for event in sample_stream():
+            recorder.record(event)
+        assert recorder.summary().batch_count == 1
+
+
+class TestSpans:
+    def test_batch_span_fields(self):
+        (span,) = batch_spans(sample_stream())
+        assert span.batch_index == 0
+        assert span.start_seconds == 10.0
+        assert span.end_seconds == 20.0
+        assert span.phase_seconds == span.total_seconds
+        assert span.algorithm == "LOSS"
+
+    def test_orphan_complete_raises(self):
+        orphan = BatchCompleted(
+            seconds=5.0, batch_index=3, algorithm="LOSS", batch_size=1,
+            queue_wait_seconds=0.0, locate_seconds=1.0,
+            transfer_seconds=0.0, rewind_seconds=0.0, total_seconds=1.0,
+            estimated_seconds=None,
+        )
+        with pytest.raises(TraceError, match="without a batch.start"):
+            batch_spans([orphan])
+
+    def test_request_spans(self):
+        spans = request_spans(sample_stream())
+        assert len(spans) == 3
+        assert spans[0].response_seconds == 15.0
+        assert not spans[0].cache_hit
+        assert spans[2].cache_hit  # position -1
+
+
+class TestReconstruction:
+    def test_response_stats_from_events(self):
+        stats = response_stats_from_events(sample_stream())
+        assert stats.count == 3
+        assert stats.mean_seconds == pytest.approx((15 + 18 + 1) / 3)
+
+    def test_cache_stats_from_events(self):
+        stats = cache_stats_from_events(sample_stream())
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.insertions == 1
+        assert stats.prefetch_insertions == 1
+        assert stats.rejections == 1
+        assert stats.evictions == 1
+
+
+class TestExport:
+    def test_jsonl_round_trip_identity(self, tmp_path):
+        stream = sample_stream()
+        path = write_events_jsonl(stream, tmp_path / "trace.jsonl")
+        assert read_events_jsonl(path) == stream
+
+    def test_jsonl_skips_blank_lines(self, tmp_path):
+        stream = sample_stream()
+        path = write_events_jsonl(stream, tmp_path / "trace.jsonl")
+        text = path.read_text()
+        path.write_text(text.replace("\n", "\n\n", 1))
+        assert read_events_jsonl(path) == stream
+
+    def test_jsonl_parse_error_names_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"event": "cache.hit", "seconds": 0.0, '
+            '"segment": 1, "length": 1}\n'
+            "not json\n"
+        )
+        with pytest.raises(TraceError, match=r"bad\.jsonl:2"):
+            read_events_jsonl(path)
+
+    def test_csv_union_of_fields(self, tmp_path):
+        import csv
+
+        stream = sample_stream()
+        path = write_events_csv(stream, tmp_path / "trace.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(stream)
+        assert rows[0]["event"] == "batch.start"
+        # Fields a row does not have are blank, not missing.
+        assert rows[0]["segment"] == ""
+        assert rows[5]["segment"] == "4"
+
+
+class TestSummary:
+    def test_summary_aggregates(self):
+        summary = summarize_events(sample_stream())
+        assert summary.event_count == 12
+        assert summary.batch_count == 1
+        assert summary.request_count == 3
+        assert summary.cache_hit_count == 1
+        assert summary.mean_response_seconds == pytest.approx(34 / 3)
+        assert summary.max_response_seconds == 18.0
+        assert summary.queue_wait_seconds == 17.0
+        assert summary.locate_seconds == 7.0
+        assert summary.transfer_seconds == 3.0
+        assert summary.rewind_seconds == 0.0
+        assert summary.execution_seconds == 10.0
+        assert summary.estimated_execution_seconds == pytest.approx(10.2)
+        assert summary.mean_abs_locate_error_seconds == pytest.approx(0.5)
+
+    def test_empty_stream_summary(self):
+        summary = summarize_events([])
+        assert summary.event_count == 0
+        assert summary.mean_response_seconds is None
+        assert summary.estimated_execution_seconds is None
+
+    def test_summary_speaks_tabular_protocol(self):
+        summary = summarize_events(sample_stream())
+        assert summary.headers() == ["metric", "value"]
+        records = summary.to_dict()
+        assert len(records) == len(summary.rows())
+        assert all(set(r) == {"metric", "value"} for r in records)
+
+    def test_summary_exports_via_write_result(self, tmp_path):
+        from repro.experiments.export import result_to_rows, write_result
+
+        summary = summarize_events(sample_stream())
+        assert result_to_rows(summary) == summary.to_dict()
+        out = write_result(summary, tmp_path / "summary.csv")
+        assert out.exists()

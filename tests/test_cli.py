@@ -58,6 +58,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure4", "--scale", "huge"])
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.experiment == "trace"
+        assert args.trace_jsonl is None
+        assert args.smoke is False
+        assert args.algorithm == "LOSS"
+        assert args.max_batch == 96
+
 
 class TestMain:
     def test_runs_section3(self, capsys):
@@ -108,6 +116,37 @@ class TestMain:
                 "--rate-per-hour", "240",
                 "--cache-capacity", "100",
                 "--hot-set", "500",
+                "--out", str(out_file),
+            ]
+        ) == 0
+        assert out_file.exists()
+        assert "exported to" in capsys.readouterr().out
+
+    def test_runs_trace_smoke(self, capsys, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "trace",
+                "--smoke",
+                "--horizon-hours", "0.1",
+                "--rate-per-hour", "120",
+                "--max-batch", "8",
+                "--trace-jsonl", str(jsonl),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phases reconcile" in out
+        assert "trace mean == stats mean" in out
+        assert jsonl.exists()
+
+    def test_trace_export(self, capsys, tmp_path):
+        out_file = tmp_path / "trace_summary.csv"
+        assert main(
+            [
+                "trace",
+                "--horizon-hours", "0.1",
+                "--rate-per-hour", "120",
+                "--max-batch", "8",
                 "--out", str(out_file),
             ]
         ) == 0

@@ -26,6 +26,8 @@ class TestPublicSurface:
             "repro.online",
             "repro.cache",
             "repro.analysis",
+            "repro.obs",
+            "repro.api",
             "repro.experiments",
         ],
     )
@@ -53,6 +55,47 @@ class TestPublicSurface:
         assert issubclass(repro.CacheError, repro.ReproError)
         assert issubclass(repro.NoSamplesError, repro.MetricsError)
         assert issubclass(repro.MetricsError, repro.ReproError)
+
+    def test_facade_covers_the_documented_surface(self):
+        # docs/API.md promises these through the facade.
+        from repro import api
+
+        for name in (
+            "EventBus", "TraceRecorder", "MetricsRegistry",
+            "bind_standard_metrics", "summarize_events",
+            "response_stats_from_events", "cache_stats_from_events",
+            "write_events_jsonl", "read_events_jsonl",
+            "TertiaryStorageSystem", "CachedTertiaryStorageSystem",
+            "SimulatedDrive", "execute_schedule", "get_scheduler",
+            "generate_tape", "LocateTimeModel", "SegmentCache",
+            "BatchPolicy", "TapeLibrary", "result_to_rows",
+            "write_result",
+        ):
+            assert name in api.__all__, name
+            assert getattr(api, name) is not None
+
+    def test_facade_names_are_canonical_objects(self):
+        # The facade re-exports, never wraps.
+        from repro import api
+        from repro.obs import EventBus
+        from repro.online import TertiaryStorageSystem
+
+        assert api.EventBus is EventBus
+        assert api.TertiaryStorageSystem is TertiaryStorageSystem
+
+    def test_observability_quickstart_runs(self, tiny):
+        # The docs/OBSERVABILITY.md hook-API snippet, on a tiny tape.
+        from repro import api
+        from repro.workload import TimedRequest
+
+        bus = api.EventBus()
+        recorder = api.TraceRecorder(bus)
+        registry = api.bind_standard_metrics(bus)
+        system = api.TertiaryStorageSystem(geometry=tiny, bus=bus)
+        stats = system.run([TimedRequest(0.0, 7), TimedRequest(1.0, 80)])
+        assert stats.count == 2
+        assert recorder.summary().request_count == 2
+        assert registry.histogram("request.response_seconds").count == 2
 
     def test_cache_quickstart_runs(self, tiny):
         # The docs/CACHING.md composition snippet, on a tiny tape.
