@@ -11,7 +11,7 @@ import pytest
 from repro.geometry import generate_tape
 from repro.model import LocateTimeModel, schedule_distance_matrix
 from repro.scheduling import get_scheduler
-from repro.workload import UniformWorkload
+from repro.workload import UniformWorkload, trial_state, trial_workload
 
 
 @pytest.fixture(scope="module")
@@ -33,6 +33,26 @@ def test_distance_matrix_256(benchmark, setup):
     segments = rng.choice(tape.total_segments, 256, replace=False)
     matrix = benchmark(schedule_distance_matrix, model, 0, segments)
     assert matrix.shape == (257, 256)
+
+
+def test_trial_state_derivation_1k(benchmark):
+    # The per-trial seed hash runs once per (trial, length) cell of a
+    # sweep; it must stay negligible next to the scheduling work.
+    states = benchmark(
+        lambda: [trial_state(0, 16, trial) for trial in range(1_000)]
+    )
+    assert len(set(states)) == 1_000
+
+
+def test_trial_workload_batch_16(benchmark, setup):
+    tape, _ = setup
+
+    def one_trial():
+        workload = trial_workload(tape.total_segments, 0, 16, 7)
+        return workload.sample_batch_with_origin(16, False)
+
+    origin, batch = benchmark(one_trial)
+    assert len(batch) == 16
 
 
 @pytest.mark.parametrize(

@@ -56,6 +56,13 @@ _SEED_ONLY = {
     "section3": section3_stats.main,
 }
 
+#: Experiments whose ``main`` accepts a ``workers`` count (the sweeps
+#: the parallel engine fans out).
+_WORKERED = {
+    "figure4", "figure5", "figure6", "figure7", "figure8", "figure9",
+    "figure10",
+}
+
 #: Execution order for ``all``.
 _ALL_ORDER = (
     "figure1", "section3", "figure4", "figure5", "figure6", "figure7",
@@ -102,6 +109,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-length", type=int, default=None,
         help="truncate the schedule-length grid",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help=(
+            "fan trials out over N worker processes (0 = all CPUs); "
+            "statistics are bit-identical for every N (default: 1)"
+        ),
+    )
+    parser.add_argument(
+        "--legacy-seeds", action="store_true",
+        help=(
+            "replay the pre-parallel sequential lrand48 stream "
+            "(serial only) instead of derived per-trial seed streams"
+        ),
     )
     parser.add_argument(
         "--chart", action="store_true",
@@ -180,12 +201,16 @@ def run_experiment(
     config: ExperimentConfig,
     chart: bool = False,
     out: str | None = None,
+    workers: int = 1,
 ) -> None:
     """Dispatch one experiment by name."""
     if name in _SEED_ONLY:
         _SEED_ONLY[name](tape_seed=config.tape_seed)
         return
-    result = _CONFIGURED[name](config)
+    if name in _WORKERED:
+        result = _CONFIGURED[name](config, workers=workers)
+    else:
+        result = _CONFIGURED[name](config)
     if chart and name in ("figure4", "figure5"):
         from repro.experiments.ascii_plot import render_per_locate_result
 
@@ -204,11 +229,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.cache_capacity and any(c < 1 for c in args.cache_capacity):
         parser.error("--cache-capacity must be >= 1 segment")
+    if args.workers < 0:
+        parser.error("--workers must be >= 0 (0 = all CPUs)")
+    if args.legacy_seeds and args.workers not in (0, 1):
+        parser.error(
+            "--legacy-seeds replays one sequential stream and "
+            "requires --workers 1"
+        )
     config = ExperimentConfig(
         tape_seed=args.tape_seed,
         workload_seed=args.workload_seed,
         scale=args.scale,
         max_length=args.max_length,
+        seed_mode="legacy" if args.legacy_seeds else "per-trial",
     )
     if args.experiment == "cache-sim":
         result = cache_sim.main(
@@ -224,6 +257,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             policy=args.cache_policy,
             admission=args.cache_admission,
             prefetch=not args.no_prefetch,
+            workers=args.workers,
         )
         if args.out is not None:
             from repro.experiments.export import write_result
@@ -251,7 +285,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.out is not None and len(names) > 1:
         raise SystemExit("--out works with a single experiment")
     for name in names:
-        run_experiment(name, config, chart=args.chart, out=args.out)
+        run_experiment(
+            name, config, chart=args.chart, out=args.out,
+            workers=args.workers,
+        )
     return 0
 
 

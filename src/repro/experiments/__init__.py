@@ -35,6 +35,14 @@ from repro.experiments.ascii_plot import (
     render_per_locate_result,
     render_series,
 )
+from repro.experiments.parallel import (
+    DEFAULT_CHUNK_TRIALS,
+    ChunkTask,
+    SweepSpec,
+    chunk_plan,
+    resolve_workers,
+    run_per_locate_sweep,
+)
 from repro.experiments.report import format_table, print_table
 from repro.experiments.result import TabularResult
 from repro.experiments.runner import (
@@ -51,17 +59,21 @@ from repro.experiments.validation import (
 )
 
 __all__ = [
+    "ChunkTask",
     "DEFAULT_ALGORITHMS",
+    "DEFAULT_CHUNK_TRIALS",
     "ExperimentConfig",
     "OPT_MAX_LENGTH",
     "PAPER_SCHEDULE_LENGTHS",
     "PerLocateResult",
     "RunningStats",
     "SeriesPoint",
+    "SweepSpec",
     "TabularResult",
     "VALIDATION_LENGTHS",
     "ValidationResult",
     "cache_sim",
+    "chunk_plan",
     "drive_generations",
     "figure1",
     "figure4",
@@ -80,7 +92,9 @@ __all__ = [
     "quick_trials",
     "render_per_locate_result",
     "render_series",
+    "resolve_workers",
     "run_per_locate",
+    "run_per_locate_sweep",
     "run_validation",
     "section3_stats",
     "seed_stability",

@@ -123,6 +123,37 @@ def _simulate(
     return system
 
 
+def _run_capacity_point(
+    tape,
+    requests: list[TimedRequest],
+    capacity: int,
+    max_batch: int,
+    prefetch: bool,
+    policy: str,
+    admission: str,
+) -> CacheSimPoint:
+    """One cache-on run — an independent, picklable work unit.
+
+    The capacity sweep replays the same request stream per capacity,
+    so each point is deterministic in isolation and the sweep
+    parallelizes trivially (identical results for any worker count).
+    """
+    cache = SegmentCache(
+        capacity,
+        policy=get_policy(policy),
+        admission=get_admission(admission),
+    )
+    system = _simulate(tape, requests, cache, max_batch, prefetch)
+    return CacheSimPoint(
+        capacity_segments=capacity,
+        hit_rate=cache.stats.hit_rate,
+        mean_seconds=system.stats.mean_seconds,
+        p99_seconds=system.stats.percentile(99),
+        evictions=cache.stats.evictions,
+        prefetch_insertions=cache.stats.prefetch_insertions,
+    )
+
+
 def run(
     config: ExperimentConfig | None = None,
     capacities: tuple[int, ...] | None = None,
@@ -135,6 +166,7 @@ def run(
     policy: str = "gdsf",
     admission: str = "always",
     prefetch: bool = True,
+    workers: int | None = 1,
 ) -> CacheSimResult:
     """Sweep staging capacity against the cache-off baseline.
 
@@ -142,7 +174,9 @@ def run(
     (``clustered`` placement by default — a hot relation laid out
     sequentially, which is also what makes read-through prefetch
     meaningful), arriving Poisson at ``rate_per_hour``.  The same
-    request stream is replayed for every configuration.
+    request stream is replayed for every configuration, so each
+    capacity point is an independent simulation and ``workers > 1``
+    fans the sweep over a process pool with identical results.
     """
     config = config or ExperimentConfig()
     if horizon_hours is None:
@@ -166,25 +200,37 @@ def run(
         seed=config.workload_seed + 1,
     ).batch(horizon_hours * 3600.0)
 
+    from repro.experiments.parallel import _pool_context, resolve_workers
+
+    workers = resolve_workers(workers)
     baseline = _simulate(tape, requests, None, max_batch, prefetch)
-    points = []
-    for capacity in capacities:
-        cache = SegmentCache(
-            capacity,
-            policy=get_policy(policy),
-            admission=get_admission(admission),
-        )
-        system = _simulate(tape, requests, cache, max_batch, prefetch)
-        points.append(
-            CacheSimPoint(
-                capacity_segments=capacity,
-                hit_rate=cache.stats.hit_rate,
-                mean_seconds=system.stats.mean_seconds,
-                p99_seconds=system.stats.percentile(99),
-                evictions=cache.stats.evictions,
-                prefetch_insertions=cache.stats.prefetch_insertions,
+    if workers == 1 or len(capacities) <= 1:
+        points = [
+            _run_capacity_point(
+                tape, requests, capacity, max_batch, prefetch,
+                policy, admission,
             )
-        )
+            for capacity in capacities
+        ]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(capacities)),
+            mp_context=_pool_context(),
+        ) as pool:
+            points = list(
+                pool.map(
+                    _run_capacity_point,
+                    [tape] * len(capacities),
+                    [requests] * len(capacities),
+                    capacities,
+                    [max_batch] * len(capacities),
+                    [prefetch] * len(capacities),
+                    [policy] * len(capacities),
+                    [admission] * len(capacities),
+                )
+            )
     return CacheSimResult(
         label="cache-sim",
         alpha=alpha,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.exceptions import ExperimentError
 from repro.experiments.config import ExperimentConfig, OPT_MAX_LENGTH
 from repro.experiments.report import print_table
 from repro.experiments.result import TabularResult
@@ -31,6 +32,7 @@ from repro.scheduling.estimator import estimate_schedule_seconds
 from repro.scheduling.loss import LossScheduler
 from repro.scheduling.opt import OptScheduler
 from repro.workload.random_uniform import UniformWorkload
+from repro.workload.seed_stream import trial_workload
 
 #: The paper's error amounts (seconds).
 ERROR_AMOUNTS: tuple[float, ...] = (1.0, 2.0, 3.0, 5.0, 10.0)
@@ -74,9 +76,150 @@ class Figure10Result(TabularResult):
         return rows
 
 
-def run(config: ExperimentConfig | None = None) -> Figure10Result:
-    """Sweep the error amounts over the schedule-length grid."""
+@dataclass(frozen=True)
+class _PerturbSpec:
+    """Worker-rebuildable substrate description for the sweep."""
+
+    tape_seed: int
+    workload_seed: int
+    errors: tuple[float, ...]
+
+
+#: Per-process substrate cache, keyed by the spec.
+_SUBSTRATE_CACHE: dict = {}
+
+
+def _substrate(spec: _PerturbSpec):
+    """Build (or fetch) tape model, schedulers, perturbed models."""
+    hit = _SUBSTRATE_CACHE.get(spec)
+    if hit is None:
+        tape = generate_tape(seed=spec.tape_seed)
+        model = LocateTimeModel(tape)
+        hit = (
+            tape.total_segments,
+            model,
+            LossScheduler(),
+            OptScheduler(),
+            {error: EvenOddPerturbation(model, error)
+             for error in spec.errors},
+        )
+        _SUBSTRATE_CACHE.clear()
+        _SUBSTRATE_CACHE[spec] = hit
+    return hit
+
+
+def _run_chunk(
+    spec: _PerturbSpec, task
+) -> dict[float, tuple[RunningStats, RunningStats]]:
+    """One chunk of perturbation trials; per-error (LOSS, OPT) partials."""
+    total_segments, model, loss, opt, perturbed = _substrate(spec)
+    partial = {
+        error: (RunningStats(), RunningStats()) for error in spec.errors
+    }
+    for trial in range(task.trial_start, task.trial_stop):
+        workload = trial_workload(
+            total_segments,
+            spec.workload_seed,
+            task.length,
+            trial,
+            namespace="figure10",
+        )
+        # Starting position at the beginning of tape, per the paper.
+        _, batch = workload.sample_batch_with_origin(
+            task.length, origin_at_start=True
+        )
+        clean_seconds = loss.schedule(model, 0, batch).estimated_seconds
+        if task.length <= OPT_MAX_LENGTH:
+            opt_clean = opt.schedule(model, 0, batch).estimated_seconds
+        for error in spec.errors:
+            loss_stats, opt_stats = partial[error]
+            noisy_schedule = loss.schedule(perturbed[error], 0, batch)
+            true_seconds = estimate_schedule_seconds(
+                model, noisy_schedule
+            )
+            loss_stats.add(
+                100.0 * (true_seconds - clean_seconds) / clean_seconds
+            )
+            if task.length <= OPT_MAX_LENGTH:
+                opt_noisy = opt.schedule(perturbed[error], 0, batch)
+                opt_true = estimate_schedule_seconds(model, opt_noisy)
+                opt_stats.add(
+                    100.0 * (opt_true - opt_clean) / opt_clean
+                )
+    return partial
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    workers: int | None = 1,
+    bus=None,
+) -> Figure10Result:
+    """Sweep the error amounts over the schedule-length grid.
+
+    Under the default per-trial seed mode the trials are chunked and
+    distributed by :mod:`repro.experiments.parallel`, bit-identical for
+    every ``workers`` value; ``seed_mode="legacy"`` replays the seed
+    repo's sequential stream (serial only).
+    """
     config = config or ExperimentConfig()
+    if config.seed_mode == "legacy":
+        if workers not in (None, 0, 1):
+            raise ExperimentError(
+                "seed_mode='legacy' cannot run on multiple workers"
+            )
+        return _run_legacy(config)
+    from repro.experiments.parallel import ChunkTask, execute_plan
+
+    spec = _PerturbSpec(
+        tape_seed=config.tape_seed,
+        workload_seed=config.workload_seed,
+        errors=ERROR_AMOUNTS,
+    )
+    lengths = config.effective_lengths
+    tasks = []
+    for length in lengths:
+        trials = max(2, config.trials(length) // 2)
+        for chunk_index, start in enumerate(range(0, trials, 25)):
+            tasks.append(
+                ChunkTask(
+                    length=length,
+                    chunk_index=chunk_index,
+                    trial_start=start,
+                    trial_stop=min(start + 25, trials),
+                    opt_budget=trials,
+                )
+            )
+    partials = execute_plan(
+        spec,
+        tasks,
+        chunk_fn=_run_chunk,
+        warm_fn=_substrate,
+        workers=workers,
+        bus=bus,
+        label="figure10",
+    )
+    increase: dict[tuple[float, int], RunningStats] = {}
+    opt_increase: dict[tuple[float, int], RunningStats] = {}
+    for task, partial in zip(tasks, partials):
+        for error in ERROR_AMOUNTS:
+            loss_stats, opt_stats = partial[error]
+            increase.setdefault(
+                (error, task.length), RunningStats()
+            ).merge(loss_stats)
+            if task.length <= OPT_MAX_LENGTH:
+                opt_increase.setdefault(
+                    (error, task.length), RunningStats()
+                ).merge(opt_stats)
+    return Figure10Result(
+        lengths=lengths,
+        errors=ERROR_AMOUNTS,
+        increase=increase,
+        opt_increase=opt_increase,
+    )
+
+
+def _run_legacy(config: ExperimentConfig) -> Figure10Result:
+    """The seed repo's serial loop: one shared ``lrand48`` stream."""
     tape = generate_tape(seed=config.tape_seed)
     model = LocateTimeModel(tape)
     loss = LossScheduler()
@@ -145,8 +288,11 @@ def report(result: Figure10Result) -> None:
     )
 
 
-def main(config: ExperimentConfig | None = None) -> Figure10Result:
+def main(
+    config: ExperimentConfig | None = None,
+    workers: int | None = 1,
+) -> Figure10Result:
     """Run and report."""
-    result = run(config)
+    result = run(config, workers=workers)
     report(result)
     return result

@@ -26,12 +26,14 @@ ORIGIN_AT_START = False
 def run(
     config: ExperimentConfig | None = None,
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    workers: int | None = 1,
 ) -> PerLocateResult:
     """Run the Figure 4 sweep (random initial head position)."""
     return run_per_locate(
         config or ExperimentConfig(),
         origin_at_start=ORIGIN_AT_START,
         algorithms=algorithms,
+        workers=workers,
     )
 
 
@@ -44,8 +46,11 @@ def report(result: PerLocateResult) -> None:
     )
 
 
-def main(config: ExperimentConfig | None = None) -> PerLocateResult:
+def main(
+    config: ExperimentConfig | None = None,
+    workers: int | None = 1,
+) -> PerLocateResult:
     """Run and report."""
-    result = run(config)
+    result = run(config, workers=workers)
     report(result)
     return result

@@ -23,12 +23,14 @@ ORIGIN_AT_START = True
 def run(
     config: ExperimentConfig | None = None,
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    workers: int | None = 1,
 ) -> PerLocateResult:
     """Run the Figure 5 sweep (head at beginning of tape)."""
     return run_per_locate(
         config or ExperimentConfig(),
         origin_at_start=ORIGIN_AT_START,
         algorithms=algorithms,
+        workers=workers,
     )
 
 
@@ -41,8 +43,11 @@ def report(result: PerLocateResult) -> None:
     )
 
 
-def main(config: ExperimentConfig | None = None) -> PerLocateResult:
+def main(
+    config: ExperimentConfig | None = None,
+    workers: int | None = 1,
+) -> PerLocateResult:
     """Run and report."""
-    result = run(config)
+    result = run(config, workers=workers)
     report(result)
     return result

@@ -54,11 +54,13 @@ class Figure7Result(TabularResult):
 def run(
     config: ExperimentConfig | None = None,
     utilizations: tuple[float, ...] = FIGURE7_UTILIZATIONS,
+    workers: int | None = 1,
 ) -> Figure7Result:
     """Measure LOSS positioning costs, derive the utilization curves."""
     config = config or ExperimentConfig()
     per_locate = run_per_locate(
-        config, origin_at_start=False, algorithms=("LOSS",)
+        config, origin_at_start=False, algorithms=("LOSS",),
+        workers=workers,
     )
     locate_seconds: dict[int, float] = {}
     megabytes: dict[tuple[float, int], float] = {}
@@ -95,8 +97,11 @@ def report(result: Figure7Result) -> None:
     )
 
 
-def main(config: ExperimentConfig | None = None) -> Figure7Result:
+def main(
+    config: ExperimentConfig | None = None,
+    workers: int | None = 1,
+) -> Figure7Result:
     """Run and report."""
-    result = run(config)
+    result = run(config, workers=workers)
     report(result)
     return result

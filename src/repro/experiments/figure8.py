@@ -20,7 +20,10 @@ from repro.geometry.generator import generate_tape
 from repro.model.locate import LocateTimeModel
 
 
-def run(config: ExperimentConfig | None = None) -> ValidationResult:
+def run(
+    config: ExperimentConfig | None = None,
+    workers: int | None = 1,
+) -> ValidationResult:
     """Validate model estimates against the ground-truth drive."""
     config = config or ExperimentConfig()
     tape = generate_tape(seed=config.tape_seed)
@@ -29,6 +32,7 @@ def run(config: ExperimentConfig | None = None) -> ValidationResult:
         true_geometry=tape,
         config=config,
         label="figure8",
+        workers=workers,
     )
 
 
@@ -44,8 +48,11 @@ def report(result: ValidationResult) -> None:
     )
 
 
-def main(config: ExperimentConfig | None = None) -> ValidationResult:
+def main(
+    config: ExperimentConfig | None = None,
+    workers: int | None = 1,
+) -> ValidationResult:
     """Run and report."""
-    result = run(config)
+    result = run(config, workers=workers)
     report(result)
     return result

@@ -7,6 +7,16 @@ batch with every algorithm under test, estimates each schedule's
 execution time with the locate-time model, and accumulates mean and
 standard deviation of the total time and the time per locate — exactly
 the paper's experiment, with configurable trial counts.
+
+Two execution paths produce the sweep:
+
+* ``config.seed_mode == "per-trial"`` (default) — every trial draws
+  from its own derived seed stream, which lets
+  :mod:`repro.experiments.parallel` fan trials out over ``workers``
+  processes with bit-identical statistics for every worker count;
+* ``config.seed_mode == "legacy"`` — the seed repo's single sequential
+  ``lrand48`` stream, kept for bit-compatibility with pre-parallel
+  results; serial only.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.constants import SEGMENT_TRANSFER_SECONDS
+from repro.exceptions import ExperimentError
 from repro.experiments.config import ExperimentConfig, OPT_MAX_LENGTH
 from repro.experiments.result import TabularResult
 from repro.experiments.stats import RunningStats
@@ -45,12 +56,29 @@ class SeriesPoint:
 
     @property
     def per_locate_std(self) -> float:
-        """Standard deviation of the per-request time."""
+        """Standard deviation of the *per-request mean* of a trial.
+
+        This is ``std(total) / length`` — the spread of the
+        batch-averaged time across trials — **not** the standard
+        deviation of individual locate times within a batch.  Because a
+        trial's per-request mean averages ``length`` (correlated)
+        locates, this shrinks as schedules grow even when single-locate
+        variability does not.  With fewer than two trials it is 0.0
+        (see :attr:`RunningStats.variance`).
+        """
         return self.total.std / self.length
 
     @property
     def locate_only_mean(self) -> float:
-        """Mean positioning-only seconds (transfers removed)."""
+        """Mean positioning-only seconds (transfers removed).
+
+        Computed as ``mean(total) - length * SEGMENT_TRANSFER_SECONDS``
+        and clamped at 0.0: with no accumulated trials (``mean == 0``)
+        or at scales where the fixed transfer estimate exceeds the
+        simulated total, the subtraction would go negative, which has
+        no physical meaning — the clamp makes the degenerate cells read
+        as "no positioning cost" instead.
+        """
         return max(
             0.0, self.total.mean - self.length * SEGMENT_TRANSFER_SECONDS
         )
@@ -116,13 +144,15 @@ def run_per_locate(
     origin_at_start: bool,
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
     measure_cpu: bool = False,
+    workers: int | None = 1,
+    bus=None,
 ) -> PerLocateResult:
     """Run the Figure 4 (random start) / Figure 5 (BOT start) sweep.
 
     Parameters
     ----------
     config:
-        Grid, seeds, and trial scale.
+        Grid, seeds, trial scale, and seed mode.
     origin_at_start:
         False for Figure 4 (random initial position), True for
         Figure 5 (head at beginning of tape, the fresh-mount scenario).
@@ -131,7 +161,44 @@ def run_per_locate(
         the paper's range (N <= 12).
     measure_cpu:
         Also record scheduling CPU time per call (the Figure 6 data).
+    workers:
+        Process count for the parallel engine (``None``/``0`` = all
+        CPUs).  Any value yields bit-identical statistics under the
+        default ``per-trial`` seed mode; the ``legacy`` seed mode
+        requires ``workers=1``.
+    bus:
+        Optional :class:`~repro.obs.bus.EventBus` receiving
+        ``experiment.*`` progress events.
     """
+    if config.seed_mode == "legacy":
+        if workers not in (None, 0, 1):
+            raise ExperimentError(
+                "seed_mode='legacy' replays one sequential lrand48 "
+                "stream and cannot run on multiple workers; use the "
+                "default per-trial seed mode for workers > 1"
+            )
+        return _run_per_locate_legacy(
+            config, origin_at_start, algorithms, measure_cpu
+        )
+    from repro.experiments.parallel import run_per_locate_sweep
+
+    return run_per_locate_sweep(
+        config,
+        origin_at_start,
+        algorithms=algorithms,
+        measure_cpu=measure_cpu,
+        workers=workers,
+        bus=bus,
+    )
+
+
+def _run_per_locate_legacy(
+    config: ExperimentConfig,
+    origin_at_start: bool,
+    algorithms: tuple[str, ...],
+    measure_cpu: bool,
+) -> PerLocateResult:
+    """The seed repo's serial loop: one shared ``lrand48`` stream."""
     tape = generate_tape(seed=config.tape_seed)
     model = LocateTimeModel(tape)
     schedulers = {name: get_scheduler(name) for name in algorithms}

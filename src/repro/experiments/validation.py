@@ -16,7 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from concurrent.futures import ProcessPoolExecutor
+
 from repro.drive.physical import ground_truth_drive
+from repro.exceptions import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.result import TabularResult
 from repro.experiments.stats import RunningStats
@@ -24,6 +27,7 @@ from repro.geometry.tape import TapeGeometry
 from repro.scheduling.executor import execute_schedule
 from repro.scheduling.loss import LossScheduler
 from repro.workload.random_uniform import UniformWorkload
+from repro.workload.seed_stream import trial_workload
 
 #: Schedule sizes used for the validation runs (Figure 8's x axis).
 VALIDATION_LENGTHS: tuple[int, ...] = (
@@ -79,6 +83,44 @@ class ValidationResult(TabularResult):
         ]
 
 
+def _measure_one_length(
+    schedule_model,
+    true_geometry: TapeGeometry,
+    length: int,
+    trials: int,
+    workload_seed: int,
+    drive_seed: int,
+) -> ValidationPoint:
+    """One grid point under per-trial seed streams.
+
+    Each trial's batch comes from its own derived stream (namespace
+    ``"validation"``), so grid points are independent work units — the
+    parallel path maps this function over the lengths and collects the
+    points in grid order, bit-identical to the serial path.
+    """
+    scheduler = LossScheduler()
+    stats = RunningStats()
+    for trial in range(trials):
+        workload = trial_workload(
+            true_geometry.total_segments,
+            workload_seed,
+            length,
+            trial,
+            namespace="validation",
+        )
+        origin, batch = workload.sample_batch_with_origin(
+            length, origin_at_start=False
+        )
+        schedule = scheduler.schedule(schedule_model, origin, batch)
+        estimate = schedule.estimated_seconds
+        drive = ground_truth_drive(
+            true_geometry, seed=drive_seed, initial_position=origin
+        )
+        measured = execute_schedule(drive, schedule).total_seconds
+        stats.add(100.0 * (estimate - measured) / measured)
+    return ValidationPoint(length=length, percent_error=stats)
+
+
 def run_validation(
     schedule_model,
     true_geometry: TapeGeometry,
@@ -87,6 +129,7 @@ def run_validation(
     trials: int = VALIDATION_TRIALS,
     label: str = "validation",
     drive_seed: int = 0,
+    workers: int | None = 1,
 ) -> ValidationResult:
     """Estimate-vs-measurement comparison for LOSS schedules.
 
@@ -99,16 +142,71 @@ def run_validation(
     true_geometry:
         The cartridge actually in the drive; measurements run on its
         ground-truth drive.
+    workers:
+        Process count (``None``/``0`` = all CPUs).  Under the default
+        per-trial seed mode each length is an independent work unit and
+        the result is bit-identical for every worker count; the legacy
+        seed mode is serial-only.
     """
+    from repro.experiments.parallel import _pool_context, resolve_workers
+
     config = config or ExperimentConfig()
+    workers = resolve_workers(workers)
+    lengths = tuple(
+        n for n in lengths
+        if config.max_length is None or n <= config.max_length
+    )
+    if config.seed_mode == "legacy":
+        if workers != 1:
+            raise ExperimentError(
+                "seed_mode='legacy' replays one sequential lrand48 "
+                "stream and cannot run on multiple workers"
+            )
+        return _run_validation_legacy(
+            schedule_model, true_geometry, config, lengths, trials,
+            label, drive_seed,
+        )
+    if workers == 1 or len(lengths) <= 1:
+        points = [
+            _measure_one_length(
+                schedule_model, true_geometry, length, trials,
+                config.workload_seed, drive_seed,
+            )
+            for length in lengths
+        ]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(lengths)),
+            mp_context=_pool_context(),
+        ) as pool:
+            points = list(
+                pool.map(
+                    _measure_one_length,
+                    [schedule_model] * len(lengths),
+                    [true_geometry] * len(lengths),
+                    lengths,
+                    [trials] * len(lengths),
+                    [config.workload_seed] * len(lengths),
+                    [drive_seed] * len(lengths),
+                )
+            )
+    return ValidationResult(label=label, points=points)
+
+
+def _run_validation_legacy(
+    schedule_model,
+    true_geometry: TapeGeometry,
+    config: ExperimentConfig,
+    lengths: tuple[int, ...],
+    trials: int,
+    label: str,
+    drive_seed: int,
+) -> ValidationResult:
+    """The seed repo's serial loop: one shared ``lrand48`` stream."""
     scheduler = LossScheduler()
     workload = UniformWorkload(
         total_segments=true_geometry.total_segments,
         seed=config.workload_seed,
-    )
-    lengths = tuple(
-        n for n in lengths
-        if config.max_length is None or n <= config.max_length
     )
     points = []
     for length in lengths:

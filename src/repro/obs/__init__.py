@@ -28,6 +28,9 @@ from repro.obs.events import (
     RequestLocated,
     RequestRead,
     ScheduleComputed,
+    SweepChunkCompleted,
+    SweepCompleted,
+    SweepStarted,
     TapeMounted,
     TapeUnmounted,
     event_from_record,
@@ -81,6 +84,9 @@ __all__ = [
     "RequestSpan",
     "ScheduleComputed",
     "Subscription",
+    "SweepChunkCompleted",
+    "SweepCompleted",
+    "SweepStarted",
     "TapeMounted",
     "TapeUnmounted",
     "TraceRecorder",

@@ -335,6 +335,54 @@ class TapeUnmounted(Event):
     rewind_seconds: float
 
 
+# -- experiment layer --------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SweepStarted(Event):
+    """A figure sweep began (``seconds`` is wall-clock 0 for the run).
+
+    ``total_tasks`` counts the work units the sweep will complete —
+    for the parallel per-locate engine, one per trial chunk.
+    """
+
+    name: ClassVar[str] = "experiment.start"
+
+    label: str
+    workers: int
+    total_tasks: int
+
+
+@dataclass(frozen=True, slots=True)
+class SweepChunkCompleted(Event):
+    """One chunk of trials finished (``seconds`` = wall-clock elapsed).
+
+    Published from the coordinating process as worker results arrive,
+    so subscribers see live progress regardless of how many processes
+    the sweep fans out to.
+    """
+
+    name: ClassVar[str] = "experiment.chunk"
+
+    label: str
+    length: int
+    chunk_index: int
+    chunk_trials: int
+    done_tasks: int
+    total_tasks: int
+
+
+@dataclass(frozen=True, slots=True)
+class SweepCompleted(Event):
+    """A figure sweep finished (``seconds`` = wall-clock elapsed)."""
+
+    name: ClassVar[str] = "experiment.complete"
+
+    label: str
+    workers: int
+    total_tasks: int
+
+
 # -- drive layer -------------------------------------------------------------
 
 

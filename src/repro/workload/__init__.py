@@ -8,6 +8,11 @@ from repro.workload.arrivals import (
 )
 from repro.workload.lrand48 import LRand48
 from repro.workload.random_uniform import UniformWorkload
+from repro.workload.seed_stream import (
+    splitmix64,
+    trial_state,
+    trial_workload,
+)
 from repro.workload.trace import (
     load_trace,
     save_trace,
@@ -24,5 +29,8 @@ __all__ = [
     "ZipfWorkload",
     "load_trace",
     "save_trace",
+    "splitmix64",
     "trace_from_batch",
+    "trial_state",
+    "trial_workload",
 ]

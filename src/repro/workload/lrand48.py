@@ -36,6 +36,20 @@ class LRand48:
         """Reseed exactly like POSIX ``srand48``."""
         self._state = (((seed & 0xFFFFFFFF) << 16) | _SRAND48_PAD) & _MASK
 
+    def get_state(self) -> int:
+        """The full 48-bit generator state (for save/restore)."""
+        return self._state
+
+    def set_state(self, state: int) -> None:
+        """Restore a state captured by :meth:`get_state`.
+
+        Unlike :meth:`srand48` (which can only reach the 2**32 states
+        with the ``0x330E`` pad), this addresses the whole 48-bit state
+        space — which is what the derived per-trial seed streams of
+        :mod:`repro.workload.seed_stream` use.
+        """
+        self._state = state & _MASK
+
     def _step(self) -> int:
         self._state = (_A * self._state + _C) & _MASK
         return self._state

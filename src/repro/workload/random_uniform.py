@@ -28,13 +28,20 @@ class UniformWorkload:
     seed:
         ``srand48`` seed; the experiment series repeats with five
         different seeds.
+    raw_state:
+        Optional full 48-bit generator state overriding the seeded
+        state — how :mod:`repro.workload.seed_stream` positions a
+        workload at one trial's derived stream.
     """
 
     total_segments: int = DEFAULT_TOTAL_SEGMENTS
     seed: int = 0
+    raw_state: int | None = None
 
     def __post_init__(self) -> None:
         self._gen = LRand48(self.seed)
+        if self.raw_state is not None:
+            self._gen.set_state(self.raw_state)
 
     def sample_segment(self) -> int:
         """One uniform segment number."""

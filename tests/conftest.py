@@ -41,3 +41,25 @@ def full_model(full_tape):
 def rng():
     """A fresh deterministic RNG per test."""
     return np.random.default_rng(12345)
+
+
+def pytest_addoption(parser):
+    """Golden-fixture regeneration (see tests/experiments/test_golden.py).
+
+    Run ``pytest tests/experiments/test_golden.py --regen-golden`` after
+    an *intentional* output change to rewrite the frozen JSON fixtures;
+    the regenerating run still executes the comparison, so a regen
+    that fails to round-trip fails loudly.
+    """
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/experiments/golden/*.json from the current code",
+    )
+
+
+@pytest.fixture()
+def regen_golden(request):
+    """Whether this run should rewrite the golden fixtures."""
+    return request.config.getoption("--regen-golden")

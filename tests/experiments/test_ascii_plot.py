@@ -69,6 +69,74 @@ class TestRenderSeries:
         for glyph in "ox+":
             assert glyph in chart
 
+    def test_flat_series(self):
+        # A constant series has zero y-span; the span falls back to 1.0
+        # instead of dividing by zero, and the single row is plotted.
+        chart = render_series(
+            [1, 2, 3],
+            {"flat": [5.0, 5.0, 5.0]},
+            width=20,
+            height=5,
+        )
+        rows = [line for line in chart.splitlines() if "|" in line]
+        populated = [row for row in rows if "o" in row]
+        assert len(populated) == 1
+        assert populated[0].count("o") == 3
+
+    def test_single_point(self):
+        # One point also collapses the x-span; both fallbacks at once.
+        chart = render_series([4], {"s": [2.0]}, width=10, height=4)
+        assert chart.count("o") >= 1  # plotted glyph + legend
+
+    def test_linear_axis_labels(self):
+        chart = render_series(
+            [0, 50],
+            {"s": [0.0, 25.0]},
+            width=20,
+            height=5,
+        )
+        lines = chart.splitlines()
+        assert lines[0].strip().startswith("25.0")
+        assert lines[-3].strip().startswith("0.0")
+        # X labels are the raw endpoints, not 10**log10 round-trips.
+        assert "0" in lines[-2] and "50" in lines[-2]
+
+    def test_log_axis_labels_are_delogged(self):
+        chart = render_series(
+            [1, 100],
+            {"s": [1.0, 100.0]},
+            log_x=True,
+            log_y=True,
+            width=20,
+            height=5,
+        )
+        lines = chart.splitlines()
+        assert "100.0" in lines[0]
+        assert lines[-2].rstrip().endswith("100")
+
+    def test_glyphs_cycle_past_eight_series(self):
+        from repro.experiments.ascii_plot import SERIES_GLYPHS
+
+        names = [f"s{i}" for i in range(len(SERIES_GLYPHS) + 2)]
+        chart = render_series(
+            [1, 2],
+            {name: [float(i + 1), float(i + 2)]
+             for i, name in enumerate(names)},
+            width=30,
+            height=12,
+        )
+        legend = chart.splitlines()[-1]
+        # The ninth series reuses the first glyph.
+        assert f"{SERIES_GLYPHS[0]} s0" in legend
+        assert f"{SERIES_GLYPHS[0]} s{len(SERIES_GLYPHS)}" in legend
+
+    def test_no_title_line(self):
+        chart = render_series([1, 2], {"s": [1.0, 2.0]},
+                              width=10, height=4)
+        assert chart.splitlines()[0].lstrip().startswith(
+            "2.0"
+        )  # frame starts immediately
+
 
 class TestRenderPerLocate:
     def test_from_runner_result(self):

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.constants import SEGMENT_TRANSFER_SECONDS
 from repro.experiments import ExperimentConfig, run_per_locate
+from repro.experiments.runner import SeriesPoint
 
 
 @pytest.fixture(scope="module")
@@ -90,3 +92,79 @@ class TestCpuMeasurement:
         point = result.point("SORT", 4)
         assert point.cpu.count == point.total.count
         assert point.cpu.mean >= 0.0
+
+    def test_cpu_recorded_on_parallel_path(self):
+        # Wall-clock samples differ run-to-run, but the *counts* must
+        # match the estimated-seconds cells under any worker fan-out.
+        config = ExperimentConfig(lengths=(4, 8), scale="quick")
+        result = run_per_locate(
+            config,
+            origin_at_start=False,
+            algorithms=("SORT", "OPT"),
+            measure_cpu=True,
+            workers=2,
+        )
+        for length in (4, 8):
+            point = result.point("SORT", length)
+            assert point.cpu.count == point.total.count > 0
+        opt = result.point("OPT", 8)
+        assert opt.cpu.count == opt.total.count
+
+    def test_cpu_off_by_default(self):
+        config = ExperimentConfig(lengths=(4,), scale="quick")
+        result = run_per_locate(
+            config, origin_at_start=False, algorithms=("SORT",),
+        )
+        assert result.point("SORT", 4).cpu.count == 0
+
+
+class TestSeriesPointBoundaries:
+    """Documented edge behaviour of the per-cell metrics."""
+
+    def test_length_one_per_locate_equals_total(self):
+        point = SeriesPoint("FIFO", 1)
+        point.total.extend([10.0, 20.0, 30.0])
+        assert point.per_locate_mean == point.total.mean
+        assert point.per_locate_std == point.total.std
+
+    def test_per_locate_std_is_std_of_trial_mean(self):
+        # std(total)/N — the spread of the batch-averaged time — not
+        # the per-locate spread within a batch.
+        point = SeriesPoint("LOSS", 4)
+        point.total.extend([100.0, 120.0, 80.0])
+        assert point.per_locate_std == pytest.approx(
+            point.total.std / 4
+        )
+
+    def test_zero_variance_cell(self):
+        point = SeriesPoint("SORT", 8)
+        point.total.extend([64.0, 64.0, 64.0])
+        assert point.per_locate_std == 0.0
+        assert point.per_locate_mean == 8.0
+
+    def test_single_trial_has_zero_std(self):
+        point = SeriesPoint("SORT", 8)
+        point.total.add(64.0)
+        assert point.total.count == 1
+        assert point.per_locate_std == 0.0
+
+    def test_empty_cell(self):
+        point = SeriesPoint("OPT", 96)
+        assert point.total.count == 0
+        assert point.per_locate_mean == 0.0
+        assert point.per_locate_std == 0.0
+        assert point.locate_only_mean == 0.0
+
+    def test_locate_only_clamps_at_zero(self):
+        # A mean below the fixed transfer estimate would subtract
+        # negative; the documented clamp reads it as zero positioning.
+        point = SeriesPoint("READ", 10)
+        point.total.add(SEGMENT_TRANSFER_SECONDS)  # one segment's worth
+        assert point.locate_only_mean == 0.0
+
+    def test_locate_only_subtracts_transfer(self):
+        point = SeriesPoint("LOSS", 2)
+        point.total.add(100.0)
+        assert point.locate_only_mean == pytest.approx(
+            100.0 - 2 * SEGMENT_TRANSFER_SECONDS
+        )

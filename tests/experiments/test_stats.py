@@ -55,3 +55,85 @@ class TestRunningStats:
         empty = RunningStats()
         empty.merge(stats)
         assert empty.mean == 4.0
+
+
+class TestMergeOrder:
+    """Chunked merge vs sequential accumulation.
+
+    The parallel engine splits a trial stream into chunks, accumulates
+    each chunk independently, and merges the partials.  Two distinct
+    guarantees are pinned here:
+
+    * merging the chunks **in their stream order** reproduces sequential
+      accumulation to within Chan-update rounding (and the engine's
+      worker-count invariance rests on the merge order being fixed by
+      the plan, never by scheduling — see
+      ``tests/experiments/test_parallel.py`` for the exact-equality
+      end-to-end checks);
+    * merging under **permuted** chunk orders keeps ``count`` exact and
+      mean/std equal to ~1e-12 relative — *not* bitwise, because
+      floating-point addition is not associative, which is exactly why
+      the engine fixes the order instead of merging as results arrive.
+    """
+
+    def _chunks(self, rng, sizes):
+        values = rng.lognormal(3.0, 1.0, sum(sizes))
+        chunks, start = [], 0
+        for size in sizes:
+            chunk = RunningStats()
+            chunk.extend(values[start:start + size])
+            chunks.append(chunk)
+            start += size
+        sequential = RunningStats()
+        sequential.extend(values)
+        return chunks, sequential
+
+    def test_in_order_merge_matches_sequential(self, rng):
+        chunks, sequential = self._chunks(rng, [25, 25, 25, 7])
+        merged = RunningStats()
+        for chunk in chunks:
+            merged.merge(chunk)
+        assert merged.count == sequential.count
+        assert merged.mean == pytest.approx(sequential.mean, rel=1e-12)
+        assert merged.std == pytest.approx(sequential.std, rel=1e-12)
+
+    @pytest.mark.parametrize("permutation_seed", range(6))
+    def test_permuted_merge_orders_agree(self, rng, permutation_seed):
+        chunks, sequential = self._chunks(rng, [25, 25, 25, 25, 13, 1])
+        order = np.random.default_rng(permutation_seed).permutation(
+            len(chunks)
+        )
+        merged = RunningStats()
+        for index in order:
+            merged.merge(chunks[index])
+        # Counts are integer arithmetic: exact under any order.
+        assert merged.count == sequential.count
+        # Moments are floats: equal only up to rounding under
+        # reordering.
+        assert merged.mean == pytest.approx(sequential.mean, rel=1e-12)
+        assert merged.std == pytest.approx(sequential.std, rel=1e-12)
+
+    def test_fixed_order_is_bit_stable(self, rng):
+        """Same chunks, same order -> bitwise-identical accumulator."""
+        chunks, _ = self._chunks(rng, [25, 25, 10])
+        first = RunningStats()
+        second = RunningStats()
+        for chunk in chunks:
+            first.merge(chunk)
+            second.merge(chunk)
+        assert (first.count, first.mean, first.std) == (
+            second.count, second.mean, second.std,
+        )
+
+    def test_merge_single_chunk_is_copy(self):
+        chunk = RunningStats()
+        chunk.extend([1.0, 2.0, 4.0])
+        merged = RunningStats()
+        merged.merge(chunk)
+        assert merged.count == chunk.count
+        assert merged.mean == chunk.mean
+        assert merged.std == chunk.std
+
+    def test_merge_returns_self(self):
+        stats = RunningStats()
+        assert stats.merge(RunningStats()) is stats

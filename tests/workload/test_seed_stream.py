@@ -1,0 +1,125 @@
+"""Derived per-trial seed streams (the parallel engine's foundation)."""
+
+import pytest
+
+from repro.workload import splitmix64, trial_state, trial_workload
+from repro.workload.lrand48 import LRand48
+from repro.workload.seed_stream import _namespace_tag
+
+
+class TestSplitmix64:
+    def test_known_values(self):
+        # Reference outputs of the standard SplitMix64 generator
+        # (Steele, Lea & Flood) seeded with 0: splitmix64(k * gamma)
+        # is the (k+1)-th output.
+        from repro.workload.seed_stream import _GOLDEN_GAMMA
+
+        assert splitmix64(0) == 0xE220A8397B1DCDAF
+        assert splitmix64(_GOLDEN_GAMMA) == 0x6E789E6AA1B965F4
+
+    def test_bijection_has_no_small_collisions(self):
+        outputs = {splitmix64(i) for i in range(10_000)}
+        assert len(outputs) == 10_000
+
+    def test_wraps_to_64_bits(self):
+        assert 0 <= splitmix64(2**64 - 1) < 2**64
+        assert splitmix64(2**64) == splitmix64(0)
+
+
+class TestTrialState:
+    def test_deterministic(self):
+        assert trial_state(0, 8, 17) == trial_state(0, 8, 17)
+
+    def test_fits_lrand48_state(self):
+        for trial in range(100):
+            state = trial_state(0, 16, trial)
+            assert 0 <= state < 2**48
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            dict(workload_seed=1),
+            dict(length=4),
+            dict(trial=1),
+            dict(namespace="validation"),
+        ],
+    )
+    def test_every_component_matters(self, other):
+        base = dict(workload_seed=0, length=8, trial=0,
+                    namespace="per-locate")
+        assert trial_state(**base) != trial_state(**{**base, **other})
+
+    def test_no_collisions_across_a_sweep(self):
+        # A full quick-scale sweep's worth of (length, trial) cells must
+        # map to distinct states — a collision would correlate trials.
+        states = {
+            trial_state(0, length, trial)
+            for length in (1, 2, 4, 8, 16, 32, 64, 96)
+            for trial in range(2_000)
+        }
+        assert len(states) == 8 * 2_000
+
+    def test_namespaces_partition_experiments(self):
+        per_locate = {trial_state(0, 8, t) for t in range(500)}
+        validation = {
+            trial_state(0, 8, t, namespace="validation")
+            for t in range(500)
+        }
+        assert per_locate.isdisjoint(validation)
+
+    def test_namespace_tag_is_fnv1a(self):
+        # FNV-1a of the empty string is the offset basis.
+        assert _namespace_tag("") == 0xCBF29CE484222325
+
+
+class TestTrialWorkload:
+    def test_positions_generator_at_state(self):
+        workload = trial_workload(1000, 0, 8, 3)
+        reference = LRand48(0)
+        reference.set_state(trial_state(0, 8, 3))
+        # The workload's draws come from the derived state, not from
+        # srand48(workload_seed).
+        batch = workload.sample_batch(4)
+        assert len(batch) == 4
+
+    def test_same_trial_same_batch(self):
+        first = trial_workload(10_000, 0, 8, 5).sample_batch(8)
+        second = trial_workload(10_000, 0, 8, 5).sample_batch(8)
+        assert list(first) == list(second)
+
+    def test_different_trials_differ(self):
+        first = trial_workload(10_000, 0, 8, 5).sample_batch(8)
+        second = trial_workload(10_000, 0, 8, 6).sample_batch(8)
+        assert list(first) != list(second)
+
+    def test_order_independent(self):
+        # Trial 7 yields the same batch whether or not trials 0..6 were
+        # ever generated — the property serial lrand48 lacked.
+        late = trial_workload(10_000, 0, 4, 7).sample_batch(4)
+        for trial in range(7):
+            trial_workload(10_000, 0, 4, trial).sample_batch(4)
+        again = trial_workload(10_000, 0, 4, 7).sample_batch(4)
+        assert list(late) == list(again)
+
+
+class TestLRand48State:
+    def test_get_set_round_trip(self):
+        gen = LRand48(42)
+        gen.lrand48()
+        state = gen.get_state()
+        first = [gen.lrand48() for _ in range(5)]
+        gen.set_state(state)
+        second = [gen.lrand48() for _ in range(5)]
+        assert first == second
+
+    def test_set_state_masks_to_48_bits(self):
+        gen = LRand48(0)
+        gen.set_state(2**48 + 7)
+        assert gen.get_state() == 7
+
+    def test_full_state_space_beyond_srand48(self):
+        # srand48 can only reach states of the form (seed << 16) | 0x330E;
+        # set_state reaches arbitrary 48-bit states.
+        gen = LRand48(0)
+        gen.set_state(0x123456789ABC)
+        assert gen.get_state() == 0x123456789ABC
