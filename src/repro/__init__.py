@@ -69,6 +69,12 @@ from repro.online import (
     ResponseStats,
     TertiaryStorageSystem,
 )
+from repro.resilience import (
+    FaultInjector,
+    FaultPlan,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.geometry import (
     TapeGeometry,
     calibrate_key_points,
@@ -120,6 +126,8 @@ __all__ = [
     "EventBus",
     "EvictionPolicy",
     "FIFOPolicy",
+    "FaultInjector",
+    "FaultPlan",
     "FifoScheduler",
     "FrequencyThresholdAdmission",
     "GDSFPolicy",
@@ -135,7 +143,9 @@ __all__ = [
     "ReadEntireTapeScheduler",
     "ReproError",
     "Request",
+    "ResilienceConfig",
     "ResponseStats",
+    "RetryPolicy",
     "ScanScheduler",
     "Schedule",
     "Scheduler",

@@ -36,8 +36,12 @@ from repro.drive.simulated import SimulatedDrive
 from repro.exceptions import (
     CacheError,
     DriveError,
+    DriveFault,
+    DriveReset,
+    LocateFault,
     MetricsError,
     NoSamplesError,
+    ReadFault,
     ReproError,
     SchedulingError,
     TraceError,
@@ -67,6 +71,12 @@ from repro.online.batch_queue import BatchPolicy, BatchQueue
 from repro.online.library import Cartridge, TapeLibrary
 from repro.online.metrics import CacheStats, ResponseStats
 from repro.online.system import BatchRecord, TertiaryStorageSystem
+from repro.resilience import (
+    FaultInjector,
+    FaultPlan,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.scheduling.base import (
     Scheduler,
     get_scheduler,
@@ -91,17 +101,25 @@ __all__ = [
     "CachedTertiaryStorageSystem",
     "Cartridge",
     "DriveError",
+    "DriveFault",
+    "DriveReset",
     "EventBus",
     "ExecutionResult",
     "ExperimentConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "LocateFault",
     "LocateTimeModel",
     "MetricsError",
     "MetricsRegistry",
     "NoSamplesError",
     "PoissonArrivals",
+    "ReadFault",
     "ReproError",
     "Request",
+    "ResilienceConfig",
     "ResponseStats",
+    "RetryPolicy",
     "Schedule",
     "Scheduler",
     "SchedulingError",

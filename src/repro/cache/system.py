@@ -88,17 +88,25 @@ class CachedTertiaryStorageSystem(TertiaryStorageSystem):
         batch, schedule, result = super()._run_batch(now)
         head = self.drive.position
         # Stage what was fetched (demand fill, admission-controlled).
+        # A failed request delivered no data — staging it would serve
+        # future hits from segments that were never read.
+        ok = result.success
         seen: set[int] = set()
         fetched: list[int] = []
-        for request in schedule:
+        for position, request in enumerate(schedule):
+            if ok is not None and not ok[position]:
+                continue
             for segment in range(request.segment, request.end_segment):
                 if segment not in seen:
                     seen.add(segment)
                     fetched.append(segment)
-        costs = self.model.locate_times(head, fetched)
-        self.cache.admit_run(fetched, costs)
-        # Stage what the head passed over anyway (free prefetch).
-        if self.prefetch:
+        if fetched:
+            costs = self.model.locate_times(head, fetched)
+            self.cache.admit_run(fetched, costs)
+        # Stage what the head passed over anyway (free prefetch) — but
+        # only when the batch executed cleanly: after faults the head's
+        # actual path no longer matches the schedule's coalesced gaps.
+        if self.prefetch and (ok is None or result.all_succeeded):
             opportunistic_prefetch(
                 self.cache,
                 self.model,

@@ -16,6 +16,7 @@ from collections.abc import Sequence
 
 from repro.experiments import (
     cache_sim,
+    chaos,
     drive_generations,
     figure1,
     figure4,
@@ -84,12 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(
-            {*_CONFIGURED, *_SEED_ONLY, "cache-sim", "trace", "all"}
+            {*_CONFIGURED, *_SEED_ONLY, "cache-sim", "chaos", "trace",
+             "all"}
         ),
         help=(
             "which figure/table to regenerate, 'cache-sim' for the "
-            "disk staging cache extension, or 'trace' for an "
-            "instrumented run with telemetry cross-checks"
+            "disk staging cache extension, 'chaos' for a fault-"
+            "injection sweep of the hardened serving path, or 'trace' "
+            "for an instrumented run with telemetry cross-checks"
         ),
     )
     parser.add_argument(
@@ -170,6 +173,40 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--horizon-hours", type=float, default=None,
         help="simulated hours (default: set by --scale)",
+    )
+    chaos_group = parser.add_argument_group(
+        "chaos options (ignored by the paper experiments)"
+    )
+    chaos_group.add_argument(
+        "--retry-probability", type=float, action="append",
+        default=None, metavar="P",
+        help=(
+            "per-locate probability of a retryable fault; repeat the "
+            "flag for a sweep (default: 0 0.05 0.1 0.2)"
+        ),
+    )
+    chaos_group.add_argument(
+        "--read-error-probability", type=float, default=0.0,
+        metavar="P",
+        help="per-read probability of a read fault (default: 0)",
+    )
+    chaos_group.add_argument(
+        "--reset-probability", type=float, default=0.0, metavar="P",
+        help=(
+            "per-locate probability of a full drive reset "
+            "(default: 0)"
+        ),
+    )
+    chaos_group.add_argument(
+        "--max-attempts", type=int, default=5,
+        help="in-place retry budget per request (default: 5)",
+    )
+    chaos_group.add_argument(
+        "--max-requeues", type=int, default=2,
+        help=(
+            "times a failed request re-enters the batch queue before "
+            "it is surfaced as failed (default: 2)"
+        ),
     )
     trace = parser.add_argument_group(
         "trace options (ignored by the paper experiments)"
@@ -265,6 +302,40 @@ def main(argv: Sequence[str] | None = None) -> int:
             written = write_result(result, args.out)
             print(f"exported to {written}")
         return 0
+    if args.experiment == "chaos":
+        probabilities = [
+            *(args.retry_probability or ()),
+            args.read_error_probability,
+            args.reset_probability,
+        ]
+        if any(not 0.0 <= p <= 1.0 for p in probabilities):
+            parser.error("fault probabilities must be in [0, 1]")
+        if args.max_attempts < 1:
+            parser.error("--max-attempts must be >= 1")
+        if args.max_requeues < 0:
+            parser.error("--max-requeues must be >= 0")
+        result = chaos.main(
+            config,
+            fault_rates=(
+                tuple(args.retry_probability)
+                if args.retry_probability else None
+            ),
+            read_fault_probability=args.read_error_probability,
+            reset_probability=args.reset_probability,
+            rate_per_hour=args.rate_per_hour,
+            horizon_hours=args.horizon_hours,
+            max_attempts=args.max_attempts,
+            max_requeues=args.max_requeues,
+            max_batch=args.max_batch,
+            algorithm=args.algorithm,
+        )
+        if args.out is not None:
+            from repro.experiments.export import write_result
+
+            written = write_result(result, args.out)
+            print(f"exported to {written}")
+        # Losing a request is a resilience-layer bug, not a statistic.
+        return 0 if result.all_complete else 1
     if args.experiment == "trace":
         result = trace_run.main(
             config,

@@ -16,16 +16,24 @@ from repro.obs import events as _events
 
 _MOVED = ("DriveEvent", "EventKind")
 
+#: Names whose deprecation has already been announced.  The guard
+#: makes the warning fire exactly once per name per process, however
+#: the caller's warning filters are configured — repeated accesses on
+#: a hot path must not spam (or, under ``-W error``, crash) the run.
+_warned: set[str] = set()
+
 
 def __getattr__(name: str):
     if name in _MOVED:
-        warnings.warn(
-            f"repro.drive.events.{name} moved to repro.obs.events; "
-            "this import path is deprecated and will be removed in a "
-            "future release",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        if name not in _warned:
+            _warned.add(name)
+            warnings.warn(
+                f"repro.drive.events.{name} moved to repro.obs.events; "
+                "this import path is deprecated and will be removed in "
+                "a future release",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return getattr(_events, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"

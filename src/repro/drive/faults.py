@@ -27,6 +27,30 @@ from repro.model.perturb import ModelWrapper
 DEFAULT_BACKUP_SECTIONS = 0.5
 
 
+def _as_position_array(values, name: str) -> np.ndarray:
+    """Validate segment positions and return them as uint64.
+
+    A bare ``asarray(..., dtype=np.uint64)`` silently wraps negative
+    values to huge positives and truncates fractional positions, so
+    out-of-range input would produce an arbitrary (but plausible) fault
+    mask instead of an error.  Reject negatives and non-finite values;
+    round fractional positions to the nearest segment explicitly.
+    """
+    array = np.asarray(values)
+    if array.dtype.kind == "f":
+        if not np.all(np.isfinite(array)):
+            raise ValueError(f"{name} must be finite")
+        array = np.rint(array)
+    elif array.dtype.kind not in "iu":
+        raise ValueError(
+            f"{name} must be numeric segment positions, got dtype "
+            f"{array.dtype}"
+        )
+    if np.any(array < 0):
+        raise ValueError(f"{name} must be >= 0")
+    return array.astype(np.uint64)
+
+
 class FaultyModel(ModelWrapper):
     """Locate-time model with deterministic positioning retries."""
 
@@ -49,9 +73,9 @@ class FaultyModel(ModelWrapper):
     def _fault_mask(self, sources, destinations) -> np.ndarray:
         """Deterministic Bernoulli(retry_probability) per (src, dst)."""
         mix = (
-            np.asarray(sources, dtype=np.uint64)
+            _as_position_array(sources, "sources")
             * np.uint64(0x9E3779B97F4A7C15)
-            ^ np.asarray(destinations, dtype=np.uint64)
+            ^ _as_position_array(destinations, "destinations")
             * np.uint64(0xD6E8FEB86659FD93)
             ^ np.uint64(self.seed * 0x2545F491 + 0x9E3779B9)
         )

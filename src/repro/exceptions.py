@@ -64,6 +64,64 @@ class DriveError(ReproError):
     """Invalid operation on a (simulated) tape drive."""
 
 
+class DriveFault(DriveError):
+    """A transient drive mechanism fault (the retryable kind).
+
+    Raised by a fault-injecting drive when an operation fails the way a
+    real DLT mechanism does — a missed position, a bad block checksum, a
+    firmware reset.  Unlike the other :class:`DriveError` subclasses
+    (which mean the *caller* misused the drive), a fault is a property
+    of the mechanism: the same operation may succeed on retry, and the
+    resilience layer (:mod:`repro.resilience`) is built to retry it.
+
+    Attributes
+    ----------
+    segment:
+        The segment the failed operation targeted.
+    position:
+        Head position when the fault hit.
+    penalty_seconds:
+        Mechanism time the failed attempt consumed (already charged to
+        the drive clock when the exception is raised).
+    """
+
+    #: Taxonomy tag (``locate`` / ``read`` / ``reset``); set per subclass.
+    kind = "fault"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        segment: int,
+        position: int,
+        penalty_seconds: float = 0.0,
+    ) -> None:
+        self.segment = int(segment)
+        self.position = int(position)
+        self.penalty_seconds = float(penalty_seconds)
+        super().__init__(
+            f"{message} (segment {segment}, head at {position})"
+        )
+
+
+class LocateFault(DriveFault):
+    """A locate hard-failed: the servo never settled on the target."""
+
+    kind = "locate"
+
+
+class ReadFault(DriveFault):
+    """A read error: the transfer completed but the data was bad."""
+
+    kind = "read"
+
+
+class DriveReset(DriveFault):
+    """The drive reset mid-operation and lost its position (head at 0)."""
+
+    kind = "reset"
+
+
 class NoTapeMounted(DriveError):
     """An I/O operation was issued while no tape was mounted."""
 

@@ -7,6 +7,7 @@ benchmark suite are thin wrappers over these.
 
 from repro.experiments import (
     cache_sim,
+    chaos,
     drive_generations,
     figure1,
     figure4,
@@ -73,6 +74,7 @@ __all__ = [
     "VALIDATION_LENGTHS",
     "ValidationResult",
     "cache_sim",
+    "chaos",
     "chunk_plan",
     "drive_generations",
     "figure1",

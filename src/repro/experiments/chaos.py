@@ -1,0 +1,256 @@
+"""Chaos experiment: sweep fault rates against the hardened system.
+
+``python -m repro chaos`` services a Poisson stream on a
+:class:`~repro.online.system.TertiaryStorageSystem` whose drive is
+wrapped in a :class:`~repro.resilience.FaultInjector`, at each fault
+rate of a sweep.  The headline number is the **eventual completion
+ratio** — the fraction of requests that completed after in-place
+retries and bounded requeues; the resilience layer's contract is that
+it stays 1.0 at any plausible fault rate (a lost request is a bug, not
+a statistic).  Response-time percentiles show what the retries cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import print_table
+from repro.geometry.generator import generate_tape
+from repro.obs.bus import EventBus
+from repro.online.batch_queue import BatchPolicy
+from repro.online.system import TertiaryStorageSystem
+from repro.resilience.injection import FaultPlan
+from repro.resilience.policy import ResilienceConfig, RetryPolicy
+from repro.scheduling.base import get_scheduler
+from repro.workload.arrivals import PoissonArrivals
+
+#: Fault-rate grid when the caller does not pass one.
+DEFAULT_FAULT_RATES = (0.0, 0.05, 0.1, 0.2)
+
+#: Simulated hours per scale (mirrors the trace/cache-sim drivers).
+_HORIZON_HOURS = {"quick": 2.0, "full": 8.0, "paper": 24.0}
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """One fault rate's outcome."""
+
+    fault_rate: float
+    requests: int
+    completed: int
+    failed: int
+    retries: int
+    requeues: int
+    faults_injected: int
+    degraded: bool
+    mean_response_seconds: float | None
+    p50_response_seconds: float | None
+    p90_response_seconds: float | None
+    p99_response_seconds: float | None
+
+    @property
+    def completion_ratio(self) -> float:
+        """Eventually-completed fraction (1.0 = nothing was lost)."""
+        if self.requests == 0:
+            return 1.0
+        return self.completed / self.requests
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """The sweep, in the tabular-result protocol."""
+
+    label: str
+    points: tuple[ChaosPoint, ...]
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`."""
+        return [
+            "fault rate", "requests", "completed", "failed",
+            "completion ratio", "retries", "requeues", "faults",
+            "degraded", "mean (s)", "p50 (s)", "p90 (s)", "p99 (s)",
+        ]
+
+    def rows(self) -> list[list]:
+        """One row per swept fault rate."""
+        return [
+            [
+                point.fault_rate,
+                point.requests,
+                point.completed,
+                point.failed,
+                point.completion_ratio,
+                point.retries,
+                point.requeues,
+                point.faults_injected,
+                point.degraded,
+                point.mean_response_seconds,
+                point.p50_response_seconds,
+                point.p90_response_seconds,
+                point.p99_response_seconds,
+            ]
+            for point in self.points
+        ]
+
+    def to_dict(self) -> list[dict]:
+        """Records for export."""
+        return [dict(zip(self.headers(), row)) for row in self.rows()]
+
+    @property
+    def all_complete(self) -> bool:
+        """Did every swept rate eventually complete every request?"""
+        return all(
+            point.completion_ratio == 1.0 for point in self.points
+        )
+
+
+def run_point(
+    config: ExperimentConfig,
+    fault_rate: float,
+    read_fault_probability: float = 0.0,
+    reset_probability: float = 0.0,
+    rate_per_hour: float = 120.0,
+    horizon_hours: float | None = None,
+    max_attempts: int = 5,
+    max_requeues: int = 2,
+    max_batch: int = 32,
+    algorithm: str = "LOSS",
+) -> ChaosPoint:
+    """Service one instrumented run at one fault rate."""
+    if horizon_hours is None:
+        horizon_hours = _HORIZON_HOURS[config.scale]
+    tape = generate_tape(seed=config.tape_seed)
+    bus = EventBus()
+    retries = bus.collect("request.retry")
+    faults = bus.collect("fault.injected")
+    system = TertiaryStorageSystem(
+        geometry=tape,
+        scheduler=get_scheduler(algorithm),
+        policy=BatchPolicy(max_batch=max_batch),
+        bus=bus,
+        resilience=ResilienceConfig(
+            retry=RetryPolicy(
+                max_attempts=max_attempts, seed=config.workload_seed
+            ),
+            max_requeues=max_requeues,
+        ),
+        fault_plan=FaultPlan(
+            locate_fault_probability=fault_rate,
+            read_fault_probability=read_fault_probability,
+            reset_probability=reset_probability,
+            seed=config.workload_seed,
+        ),
+    )
+    requests = PoissonArrivals(
+        rate_per_hour=rate_per_hour,
+        total_segments=tape.total_segments,
+        seed=config.workload_seed,
+    ).batch(horizon_hours * 3600.0)
+    stats = system.run(requests)
+    has_samples = stats.count > 0
+    return ChaosPoint(
+        fault_rate=fault_rate,
+        requests=len(requests),
+        completed=stats.count,
+        failed=len(system.failed),
+        retries=len(retries),
+        requeues=system.requeues,
+        faults_injected=len(faults),
+        degraded=system.degraded,
+        mean_response_seconds=(
+            stats.mean_seconds if has_samples else None
+        ),
+        p50_response_seconds=(
+            stats.percentile(50) if has_samples else None
+        ),
+        p90_response_seconds=(
+            stats.percentile(90) if has_samples else None
+        ),
+        p99_response_seconds=(
+            stats.percentile(99) if has_samples else None
+        ),
+    )
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    fault_rates=None,
+    read_fault_probability: float = 0.0,
+    reset_probability: float = 0.0,
+    rate_per_hour: float = 120.0,
+    horizon_hours: float | None = None,
+    max_attempts: int = 5,
+    max_requeues: int = 2,
+    max_batch: int = 32,
+    algorithm: str = "LOSS",
+) -> ChaosResult:
+    """Sweep the fault-rate grid."""
+    config = config or ExperimentConfig()
+    if fault_rates is None:
+        fault_rates = DEFAULT_FAULT_RATES
+    points = tuple(
+        run_point(
+            config,
+            fault_rate=rate,
+            read_fault_probability=read_fault_probability,
+            reset_probability=reset_probability,
+            rate_per_hour=rate_per_hour,
+            horizon_hours=horizon_hours,
+            max_attempts=max_attempts,
+            max_requeues=max_requeues,
+            max_batch=max_batch,
+            algorithm=algorithm,
+        )
+        for rate in fault_rates
+    )
+    return ChaosResult(label="chaos", points=points)
+
+
+def report(result: ChaosResult) -> None:
+    """Print the sweep table and the zero-loss verdict."""
+    print_table(
+        result.headers(),
+        result.rows(),
+        precision=3,
+        title=(
+            "Chaos sweep: eventual completion and response times "
+            "under injected drive faults"
+        ),
+    )
+    if result.all_complete:
+        print(
+            "all requests eventually completed at every fault rate "
+            "(completion ratio 1.0)"
+        )
+    else:
+        print("WARNING: requests were lost at some fault rate")
+
+
+def main(
+    config: ExperimentConfig | None = None,
+    fault_rates=None,
+    read_fault_probability: float = 0.0,
+    reset_probability: float = 0.0,
+    rate_per_hour: float = 120.0,
+    horizon_hours: float | None = None,
+    max_attempts: int = 5,
+    max_requeues: int = 2,
+    max_batch: int = 32,
+    algorithm: str = "LOSS",
+) -> ChaosResult:
+    """Run and report."""
+    result = run(
+        config,
+        fault_rates=fault_rates,
+        read_fault_probability=read_fault_probability,
+        reset_probability=reset_probability,
+        rate_per_hour=rate_per_hour,
+        horizon_hours=horizon_hours,
+        max_attempts=max_attempts,
+        max_requeues=max_requeues,
+        max_batch=max_batch,
+        algorithm=algorithm,
+    )
+    report(result)
+    return result

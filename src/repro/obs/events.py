@@ -219,9 +219,12 @@ class BatchCompleted(Event):
     """A batch finished; carries the per-phase time decomposition.
 
     The phases partition the execution exactly:
-    ``locate_seconds + transfer_seconds + rewind_seconds ==
-    total_seconds`` (to float round-off), and ``queue_wait_seconds`` is
-    the summed time the batch's requests waited before execution began.
+    ``locate_seconds + transfer_seconds + rewind_seconds +
+    fault_seconds == total_seconds`` (to float round-off), and
+    ``queue_wait_seconds`` is the summed time the batch's requests
+    waited before execution began.  ``fault_seconds`` — fault penalties
+    plus retry backoff — is zero on a fault-free run, so traces written
+    before it existed still parse.
     """
 
     name: ClassVar[str] = "batch.complete"
@@ -235,6 +238,7 @@ class BatchCompleted(Event):
     rewind_seconds: float
     total_seconds: float
     estimated_seconds: float | None
+    fault_seconds: float = 0.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -259,6 +263,81 @@ class RequestCompleted(Event):
     def response_seconds(self) -> float:
         """Completion minus arrival."""
         return self.completion_seconds - self.arrival_seconds
+
+
+# -- resilience layer --------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjected(Event):
+    """The fault injector raised a drive fault.
+
+    ``kind`` is the taxonomy tag of the raised
+    :class:`~repro.exceptions.DriveFault` subclass (``locate`` /
+    ``read`` / ``reset``); ``penalty_seconds`` the mechanism time the
+    failed attempt consumed (already on the drive clock).
+    """
+
+    name: ClassVar[str] = "fault.injected"
+
+    kind: str
+    segment: int
+    position: int
+    penalty_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class RequestRetried(Event):
+    """The executor caught a fault and is retrying the request in place.
+
+    ``attempt`` is the attempt that just failed (1-based);
+    ``backoff_seconds`` the deterministic-jitter delay charged before
+    the next attempt.
+    """
+
+    name: ClassVar[str] = "request.retry"
+
+    position: int
+    segment: int
+    attempt: int
+    backoff_seconds: float
+    kind: str
+
+
+@dataclass(frozen=True, slots=True)
+class RequestFailed(Event):
+    """A request exhausted its retry or requeue budget.
+
+    Published by the executor when in-place retries run out
+    (``reason`` names the exhausted budget) and by the online system
+    when a request's bounded requeues are spent.  ``attempts`` counts
+    in-place attempts for the former, requeue rounds for the latter.
+    """
+
+    name: ClassVar[str] = "request.failed"
+
+    position: int
+    segment: int
+    attempts: int
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class DegradedMode(Event):
+    """The online system dropped to its fallback scheduler.
+
+    Tripped when computing a schedule (wall clock) or executing a batch
+    (simulated seconds) exceeded the configured budget; subsequent
+    batches use ``to_algorithm`` (SORT by default) instead of
+    ``from_algorithm``.
+    """
+
+    name: ClassVar[str] = "system.degraded"
+
+    batch_index: int
+    reason: str
+    from_algorithm: str
+    to_algorithm: str
 
 
 # -- cache layer -------------------------------------------------------------

@@ -87,9 +87,11 @@ class TraceRecorder:
 class BatchSpan:
     """One batch's reconstructed life cycle.
 
-    ``locate_seconds + transfer_seconds + rewind_seconds`` equals
-    ``total_seconds`` up to float round-off — the per-phase accounting
-    the paper's figures decompose response time with.
+    ``locate_seconds + transfer_seconds + rewind_seconds +
+    fault_seconds`` equals ``total_seconds`` up to float round-off —
+    the per-phase accounting the paper's figures decompose response
+    time with.  ``fault_seconds`` (fault penalties plus retry backoff)
+    is zero on a fault-free run.
     """
 
     batch_index: int
@@ -102,6 +104,7 @@ class BatchSpan:
     rewind_seconds: float
     total_seconds: float
     estimated_seconds: float | None
+    fault_seconds: float = 0.0
 
     @property
     def phase_seconds(self) -> float:
@@ -110,6 +113,7 @@ class BatchSpan:
             self.locate_seconds
             + self.transfer_seconds
             + self.rewind_seconds
+            + self.fault_seconds
         )
 
     @property
@@ -165,6 +169,7 @@ def batch_spans(events: Iterable[Event]) -> list[BatchSpan]:
                     rewind_seconds=event.rewind_seconds,
                     total_seconds=event.total_seconds,
                     estimated_seconds=event.estimated_seconds,
+                    fault_seconds=event.fault_seconds,
                 )
             )
     return spans

@@ -10,6 +10,7 @@ the drive goes idle.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.obs.bus import EventBus
@@ -40,8 +41,18 @@ class BatchPolicy:
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if math.isnan(self.max_wait_seconds):
+            # NaN would slip past the <= 0 check and silently disable
+            # the deadline (every comparison against NaN is False).
+            raise ValueError(
+                "max_wait_seconds must not be NaN; use float('inf') "
+                "to disable the deadline"
+            )
         if self.max_wait_seconds <= 0:
-            raise ValueError("max_wait_seconds must be positive")
+            raise ValueError(
+                "max_wait_seconds must be positive (float('inf') "
+                "disables the deadline)"
+            )
 
 
 @dataclass
@@ -77,8 +88,16 @@ class BatchQueue:
 
     @property
     def oldest_arrival(self) -> float | None:
-        """Arrival time of the oldest queued request, if any."""
-        return self._pending[0].arrival_seconds if self._pending else None
+        """Arrival time of the oldest queued request, if any.
+
+        The minimum over the queue, not the head: pushes usually come
+        in arrival order, but a *requeued* request (resilience layer)
+        re-enters at the tail with its original — older — arrival time,
+        and the deadline must key off the oldest arrival regardless.
+        """
+        if not self._pending:
+            return None
+        return min(item.arrival_seconds for item in self._pending)
 
     def ready(self, now_seconds: float, drive_idle: bool) -> bool:
         """Should the queue flush at time ``now_seconds``?"""
@@ -86,13 +105,18 @@ class BatchQueue:
             return False
         if len(self._pending) >= self.policy.max_batch:
             return True
-        oldest = self._pending[0].arrival_seconds
-        if now_seconds - oldest >= self.policy.max_wait_seconds:
+        if (
+            now_seconds - self.oldest_arrival
+            >= self.policy.max_wait_seconds
+        ):
             return True
         return drive_idle and self.policy.flush_when_idle
 
     def flush(self) -> list[TimedRequest]:
         """Release up to ``max_batch`` requests, oldest first."""
+        # Stable sort: a no-op for in-order pushes, and it moves
+        # requeued (older) requests ahead of newer arrivals.
+        self._pending.sort(key=lambda item: item.arrival_seconds)
         batch = self._pending[: self.policy.max_batch]
         self._pending = self._pending[self.policy.max_batch:]
         if batch and self.bus is not None:

@@ -21,6 +21,7 @@ locate, read, rewind — partition the measured execution exactly.  See
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -31,12 +32,16 @@ from repro.obs.bus import EventBus
 from repro.obs.events import (
     BatchCompleted,
     BatchStarted,
+    DegradedMode,
     RequestCompleted,
+    RequestFailed,
     ScheduleComputed,
 )
 from repro.online.batch_queue import BatchPolicy, BatchQueue
 from repro.online.metrics import ResponseStats
-from repro.scheduling.base import Scheduler
+from repro.resilience.injection import FaultInjector, FaultPlan
+from repro.resilience.policy import ResilienceConfig
+from repro.scheduling.base import Scheduler, get_scheduler
 from repro.scheduling.estimator import locate_sequence_times
 from repro.scheduling.executor import ExecutionResult, execute_schedule
 from repro.scheduling.loss import LossScheduler
@@ -66,6 +71,8 @@ class BatchRecord:
     transfer_seconds: float = 0.0
     rewind_seconds: float = 0.0
     estimated_seconds: float | None = None
+    fault_seconds: float = 0.0
+    failed: int = 0
 
     @property
     def phase_seconds(self) -> float:
@@ -74,6 +81,7 @@ class BatchRecord:
             self.locate_seconds
             + self.transfer_seconds
             + self.rewind_seconds
+            + self.fault_seconds
         )
 
 
@@ -93,20 +101,80 @@ class TertiaryStorageSystem:
         Optional :class:`~repro.obs.bus.EventBus`; wires the queue,
         drive, executor, and this system's own batch/request events
         onto one stream.  ``None`` (the default) adds no overhead.
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceConfig`.  Turns on
+        the failure-hardened path: the executor retries faults in
+        place, requests that still fail are requeued into the next
+        batch up to ``max_requeues`` times (then surfaced on
+        :attr:`failed`), and blowing a schedule/execution time budget
+        drops the scheduler to the configured fallback.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan`; wraps the drive
+        in a :class:`~repro.resilience.FaultInjector` (chaos testing).
+        Implies a default ``resilience`` config if none was given —
+        injected faults without a retry layer would crash the run.
     """
 
     geometry: TapeGeometry
     scheduler: Scheduler = field(default_factory=LossScheduler)
     policy: BatchPolicy = field(default_factory=BatchPolicy)
     bus: EventBus | None = None
+    resilience: ResilienceConfig | None = None
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         self.model = LocateTimeModel(self.geometry)
         self.drive = SimulatedDrive(self.model, bus=self.bus)
+        if self.fault_plan is not None and self.fault_plan.any_faults:
+            self.drive = FaultInjector(
+                self.drive, self.fault_plan, bus=self.bus
+            )
+            if self.resilience is None:
+                self.resilience = ResilienceConfig()
         self.queue = BatchQueue(policy=self.policy, bus=self.bus)
         self.stats = ResponseStats()
         self.batches: list[BatchRecord] = []
         self._drive_free_at = 0.0
+        #: Requests that exhausted their requeue budget, in failure
+        #: order (empty without a resilience config, where execution
+        #: either completes every request or raises).
+        self.failed: list[TimedRequest] = []
+        #: Times a failed request re-entered the queue.
+        self.requeues: int = 0
+        self._requeue_counts: dict[int, int] = {}
+        self._degraded = False
+        self._fallback_scheduler: Scheduler | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """Has the system dropped to its fallback scheduler?"""
+        return self._degraded
+
+    def _active_scheduler(self) -> Scheduler:
+        """The scheduler for the next batch (fallback once degraded)."""
+        if self._degraded:
+            if self._fallback_scheduler is None:
+                self._fallback_scheduler = get_scheduler(
+                    self.resilience.fallback_algorithm
+                )
+            return self._fallback_scheduler
+        return self.scheduler
+
+    def _enter_degraded(self, reason: str, now: float) -> None:
+        """Trip degraded mode (sticky for the rest of the run)."""
+        if self._degraded:
+            return
+        self._degraded = True
+        if self.bus is not None:
+            self.bus.publish(
+                DegradedMode(
+                    seconds=now,
+                    batch_index=len(self.batches) - 1,
+                    reason=reason,
+                    from_algorithm=self.scheduler.name,
+                    to_algorithm=self.resilience.fallback_algorithm,
+                )
+            )
 
     def run(self, requests: Iterable[TimedRequest]) -> ResponseStats:
         """Service a timed request stream to completion.
@@ -178,9 +246,11 @@ class TertiaryStorageSystem:
     ) -> tuple[list[TimedRequest], Schedule, ExecutionResult]:
         batch = self.queue.flush()
         requests = [Request(item.segment, item.length) for item in batch]
-        schedule = self.scheduler.schedule(
+        schedule_started = time.perf_counter()
+        schedule = self._active_scheduler().schedule(
             self.model, self.drive.position, requests
         )
+        schedule_wall = time.perf_counter() - schedule_started
         batch_index = len(self.batches)
         estimated_locates = None
         if self.bus is not None:
@@ -213,6 +283,9 @@ class TertiaryStorageSystem:
             bus=self.bus,
             estimated_locate_seconds=estimated_locates,
             base_seconds=now,
+            policy=(
+                None if self.resilience is None else self.resilience.retry
+            ),
         )
         queue_wait = sum(now - item.arrival_seconds for item in batch)
         self.batches.append(
@@ -228,22 +301,29 @@ class TertiaryStorageSystem:
                 transfer_seconds=result.transfer_seconds,
                 rewind_seconds=result.rewind_seconds,
                 estimated_seconds=schedule.estimated_seconds,
+                fault_seconds=result.fault_seconds,
+                failed=result.failed_count,
             )
         )
+        self._drive_free_at = now + result.total_seconds
         # Completion time of each request = batch start + offset of its
         # scheduled position (stamped at its read event, not at batch
-        # end).  Map scheduled order back to arrivals.
+        # end).  Map scheduled order back to arrivals; failed requests
+        # are requeued (bounded) instead of completed.
         by_key: dict[tuple[int, int], list[TimedRequest]] = {}
         for item in batch:
             by_key.setdefault((item.segment, item.length), []).append(item)
         for position, request in enumerate(schedule):
             item = by_key[(request.segment, request.length)].pop(0)
-            self._complete(
-                item,
-                now + float(result.completion_seconds[position]),
-                position,
-            )
-        self._drive_free_at = now + result.total_seconds
+            if result.success is None or result.success[position]:
+                self._requeue_counts.pop(id(item), None)
+                self._complete(
+                    item,
+                    now + float(result.completion_seconds[position]),
+                    position,
+                )
+            else:
+                self._handle_failure(item, position)
         if self.bus is not None:
             record = self.batches[-1]
             self.bus.publish(
@@ -258,7 +338,49 @@ class TertiaryStorageSystem:
                     rewind_seconds=record.rewind_seconds,
                     total_seconds=record.execution_seconds,
                     estimated_seconds=record.estimated_seconds,
+                    fault_seconds=record.fault_seconds,
                 )
             )
             self.bus.set_time(self._drive_free_at)
+        if self.resilience is not None:
+            if schedule_wall > self.resilience.schedule_wall_budget_seconds:
+                self._enter_degraded(
+                    f"scheduling took {schedule_wall:.3f} s of wall "
+                    "clock, over budget",
+                    self._drive_free_at,
+                )
+            elif (
+                result.total_seconds
+                > self.resilience.execution_budget_seconds
+            ):
+                self._enter_degraded(
+                    f"batch execution took {result.total_seconds:.1f} "
+                    "simulated s, over budget",
+                    self._drive_free_at,
+                )
         return batch, schedule, result
+
+    def _handle_failure(self, item: TimedRequest, position: int) -> None:
+        """Requeue a failed request, or surface it once the budget is
+        spent."""
+        count = self._requeue_counts.get(id(item), 0)
+        if (
+            self.resilience is not None
+            and count < self.resilience.max_requeues
+        ):
+            self._requeue_counts[id(item)] = count + 1
+            self.requeues += 1
+            self.queue.push(item)
+            return
+        self._requeue_counts.pop(id(item), None)
+        self.failed.append(item)
+        if self.bus is not None:
+            self.bus.publish(
+                RequestFailed(
+                    seconds=self._drive_free_at,
+                    position=position,
+                    segment=item.segment,
+                    attempts=count + 1,
+                    reason="requeue budget exhausted",
+                )
+            )

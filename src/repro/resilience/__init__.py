@@ -1,0 +1,44 @@
+"""repro.resilience — the failure-hardened serving path.
+
+The paper's validation exists because real DLT mechanisms miss
+positions and retry; production tape systems likewise treat a schedule
+as a *plan* that execution may deviate from.  This package supplies the
+pieces that make the serving path survive those deviations:
+
+* a typed **fault taxonomy** (:class:`~repro.exceptions.DriveFault`
+  and its ``locate`` / ``read`` / ``reset`` subclasses) raised with
+  segment/position context;
+* a deterministic **fault injector** (:class:`FaultInjector` +
+  :class:`FaultPlan`) that wraps any drive and raises those faults at
+  configured rates, charging realistic mechanism time;
+* a **retry policy** (:class:`RetryPolicy`: bounded attempts,
+  exponential backoff with deterministic jitter, per-request timeout)
+  consumed by the hardened
+  :func:`~repro.scheduling.executor.execute_schedule`;
+* a **degradation config** (:class:`ResilienceConfig`) for the online
+  system: bounded requeue of failed requests and a scheduler fallback
+  (LOSS -> SORT) when scheduling or execution blows a time budget.
+
+See ``docs/RESILIENCE.md`` for the full story and the ``repro chaos``
+CLI experiment.
+"""
+
+from repro.exceptions import (
+    DriveFault,
+    DriveReset,
+    LocateFault,
+    ReadFault,
+)
+from repro.resilience.injection import FaultInjector, FaultPlan
+from repro.resilience.policy import ResilienceConfig, RetryPolicy
+
+__all__ = [
+    "DriveFault",
+    "DriveReset",
+    "FaultInjector",
+    "FaultPlan",
+    "LocateFault",
+    "ReadFault",
+    "ResilienceConfig",
+    "RetryPolicy",
+]

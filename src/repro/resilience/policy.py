@@ -1,0 +1,153 @@
+"""Retry and degradation policies for the failure-hardened path.
+
+A :class:`RetryPolicy` bounds how hard the executor fights for one
+request: a maximum number of in-place attempts, exponential backoff
+between them (with *deterministic* jitter, so a simulated run is
+reproducible bit for bit), and a per-request timeout measured on the
+simulation clock.
+
+A :class:`ResilienceConfig` extends that to the online system: failed
+requests are requeued into the next batch up to ``max_requeues``
+times before being surfaced as failed, and the system drops from its
+configured scheduler to a cheap fallback (SORT by default) when
+computing a schedule or executing a batch exceeds a time budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def _unit_hash(seed: int, attempt: int, segment: int) -> float:
+    """Deterministic value in [0, 1) from (seed, attempt, segment).
+
+    SplitMix64-style mixing, matching the per-pair hashes used by the
+    perturbation wrappers: the jitter of a given retry is a fixed
+    property of the run, like everything else in the simulation.
+    """
+    mix = (
+        (seed & 0xFFFFFFFFFFFFFFFF) * 0x9E3779B97F4A7C15
+        ^ (attempt & 0xFFFFFFFFFFFFFFFF) * 0xBF58476D1CE4E5B9
+        ^ (segment & 0xFFFFFFFFFFFFFFFF) * 0x94D049BB133111EB
+    ) & 0xFFFFFFFFFFFFFFFF
+    mix ^= mix >> 33
+    mix = (mix * 0xC2B2AE3D27D4EB4F) & 0xFFFFFFFFFFFFFFFF
+    mix ^= mix >> 29
+    return mix / float(2**64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded in-place retry with deterministic exponential backoff.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per request (1 = no retry).
+    backoff_base_seconds:
+        Delay before the second attempt.
+    backoff_multiplier:
+        Growth factor per further attempt.
+    backoff_cap_seconds:
+        Upper bound on any single delay.
+    jitter_fraction:
+        Each delay is shrunk by up to this fraction, deterministically
+        per (seed, attempt, segment) — de-synchronizing retries without
+        sacrificing reproducibility.
+    request_timeout_seconds:
+        Give up on a request once it has consumed this much simulated
+        time across attempts (``inf`` disables the timeout).
+    seed:
+        Jitter hash seed.
+    """
+
+    max_attempts: int = 5
+    backoff_base_seconds: float = 1.0
+    backoff_multiplier: float = 2.0
+    backoff_cap_seconds: float = 60.0
+    jitter_fraction: float = 0.1
+    request_timeout_seconds: float = math.inf
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_seconds < 0:
+            raise ValueError("backoff_base_seconds must be >= 0")
+        if self.backoff_multiplier < 1:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.backoff_cap_seconds < 0:
+            raise ValueError("backoff_cap_seconds must be >= 0")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+        if math.isnan(self.request_timeout_seconds):
+            raise ValueError(
+                "request_timeout_seconds must not be NaN; use "
+                "float('inf') to disable the timeout"
+            )
+        if self.request_timeout_seconds <= 0:
+            raise ValueError(
+                "request_timeout_seconds must be positive "
+                "(float('inf') disables the timeout)"
+            )
+
+    def backoff_seconds(self, attempt: int, segment: int = 0) -> float:
+        """Delay before the attempt after ``attempt`` (1-based) failed."""
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        raw = min(
+            self.backoff_base_seconds
+            * self.backoff_multiplier ** (attempt - 1),
+            self.backoff_cap_seconds,
+        )
+        if self.jitter_fraction == 0.0 or raw == 0.0:
+            return raw
+        unit = _unit_hash(self.seed, attempt, segment)
+        return raw * (1.0 - self.jitter_fraction * unit)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """How the online system degrades instead of breaking.
+
+    Attributes
+    ----------
+    retry:
+        In-place retry policy handed to the executor.
+    max_requeues:
+        How many times a request that exhausted its in-place retries is
+        put back into the batch queue before being surfaced as failed
+        (0 = never requeue).
+    schedule_wall_budget_seconds:
+        Wall-clock budget for *computing* one schedule; exceeding it
+        trips degraded mode for subsequent batches.
+    execution_budget_seconds:
+        Simulated-seconds budget for *executing* one batch; exceeding
+        it likewise trips degraded mode.
+    fallback_algorithm:
+        Scheduler used once degraded (SORT: cheap to compute, one pass
+        per visited track to execute).
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    max_requeues: int = 2
+    schedule_wall_budget_seconds: float = math.inf
+    execution_budget_seconds: float = math.inf
+    fallback_algorithm: str = "SORT"
+
+    def __post_init__(self) -> None:
+        if self.max_requeues < 0:
+            raise ValueError("max_requeues must be >= 0")
+        for name in (
+            "schedule_wall_budget_seconds",
+            "execution_budget_seconds",
+        ):
+            value = getattr(self, name)
+            if math.isnan(value):
+                raise ValueError(
+                    f"{name} must not be NaN; use float('inf') to "
+                    "disable the budget"
+                )
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0")

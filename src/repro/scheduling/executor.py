@@ -11,6 +11,15 @@ With a ``bus`` attached, execution publishes one
 also passes the estimator's per-hop locate times
 (``estimated_locate_seconds``), the locate events carry *estimated vs
 actual* seconds — the per-hop model-error signal behind Figures 9–10.
+
+With a :class:`~repro.resilience.RetryPolicy` (``policy=``), execution
+is *failure-hardened*: a drive that raises typed
+:class:`~repro.exceptions.DriveFault` exceptions (see
+:class:`~repro.resilience.FaultInjector`) is retried in place with
+deterministic backoff, and on exhaustion the result carries honest
+per-request ``success`` flags — a failed request's completion time is
+NaN, never fabricated.  Without a policy (the default) the code path
+is byte-identical to the pre-resilience executor.
 """
 
 from __future__ import annotations
@@ -24,7 +33,13 @@ from repro.drive.simulated import (
     SimulatedDrive,
     TRACK_TURNAROUND_SECONDS,
 )
-from repro.obs.events import RequestLocated, RequestRead
+from repro.exceptions import DriveFault, NoSamplesError
+from repro.obs.events import (
+    RequestFailed,
+    RequestLocated,
+    RequestRead,
+    RequestRetried,
+)
 from repro.scheduling.schedule import Schedule
 
 
@@ -36,18 +51,28 @@ class ExecutionResult:
     ----------
     total_seconds:
         Wall time from schedule start to the last byte of the last
-        request.
+        request (including fault penalties and retry backoff, if any).
     locate_seconds, transfer_seconds:
         Decomposition of the total (for the whole-tape READ plan the
         rewinds and turnarounds count as "locate").
     completion_seconds:
         Per-request completion times, in schedule order (feeds the
-        response-time metrics of the online system).
+        response-time metrics of the online system).  NaN for requests
+        that failed permanently.
     rewind_seconds:
         Rewind time contained in ``locate_seconds`` (nonzero only for
         the whole-tape READ plan: lead-in plus final rewind), so
         positioning can be reported net of rewinds:
         ``(locate - rewind) + transfer + rewind == total``.
+    success:
+        Per-request success flags in schedule order; ``None`` on the
+        non-hardened path, where every serviced request succeeded by
+        construction.
+    attempts:
+        Per-request attempt counts (``None`` on the non-hardened path).
+    fault_seconds:
+        Time lost to fault penalties and retry backoff — the part of
+        ``total_seconds`` that is neither locating nor transferring.
     """
 
     total_seconds: float
@@ -55,16 +80,52 @@ class ExecutionResult:
     transfer_seconds: float
     completion_seconds: np.ndarray
     rewind_seconds: float = 0.0
+    success: np.ndarray | None = None
+    attempts: np.ndarray | None = None
+    fault_seconds: float = 0.0
 
     @property
     def request_count(self) -> int:
-        """Number of requests serviced."""
+        """Number of requests in the executed schedule."""
         return int(self.completion_seconds.size)
 
     @property
+    def completed_count(self) -> int:
+        """Requests that actually completed."""
+        if self.success is None:
+            return self.request_count
+        return int(np.count_nonzero(self.success))
+
+    @property
+    def failed_count(self) -> int:
+        """Requests that exhausted their retry budget."""
+        return self.request_count - self.completed_count
+
+    @property
+    def all_succeeded(self) -> bool:
+        """Did every request complete?"""
+        return self.failed_count == 0
+
+    def failed_positions(self) -> np.ndarray:
+        """Schedule positions of the failed requests."""
+        if self.success is None:
+            return np.empty(0, dtype=np.int64)
+        return np.flatnonzero(~self.success).astype(np.int64)
+
+    @property
     def seconds_per_request(self) -> float:
-        """The paper's "time per locate" metric."""
-        return self.total_seconds / max(1, self.request_count)
+        """The paper's "time per locate" metric.
+
+        Raises :class:`~repro.exceptions.NoSamplesError` for an empty
+        execution — an average over zero requests is undefined, and
+        silently reporting the raw total has hidden misconfigured
+        experiments before (consistent with ``online.metrics``).
+        """
+        if self.request_count == 0:
+            raise NoSamplesError(
+                "no requests executed; seconds per request is undefined"
+            )
+        return self.total_seconds / self.request_count
 
 
 def execute_schedule(
@@ -73,6 +134,7 @@ def execute_schedule(
     bus=None,
     estimated_locate_seconds=None,
     base_seconds: float | None = None,
+    policy=None,
 ) -> ExecutionResult:
     """Run a schedule on a drive, returning the measured times.
 
@@ -96,6 +158,15 @@ def execute_schedule(
         Simulation time corresponding to the drive clock at call time;
         published events are stamped ``base_seconds + elapsed``.
         Defaults to the drive clock itself.
+    policy:
+        Optional :class:`~repro.resilience.RetryPolicy`.  With a
+        policy, :class:`~repro.exceptions.DriveFault` exceptions from
+        the drive are retried in place (bounded attempts, backoff,
+        per-request timeout) and exhaustion is reported through the
+        result's ``success`` flags.  Without one (the default), faults
+        propagate and the code path is unchanged from the
+        pre-resilience executor.  Ignored for whole-tape READ plans,
+        whose single streaming pass has no per-request retry point.
     """
     if drive.position != schedule.origin:
         raise ValueError(
@@ -112,6 +183,11 @@ def execute_schedule(
         )
     if schedule.whole_tape:
         return _execute_whole_tape(drive, schedule, bus, base_seconds)
+    if policy is not None:
+        return _execute_hardened(
+            drive, schedule, policy, bus, estimated_locate_seconds,
+            base_seconds,
+        )
 
     start = drive.clock_seconds
     base = start if base_seconds is None else base_seconds
@@ -154,6 +230,131 @@ def execute_schedule(
         locate_seconds=locate_total,
         transfer_seconds=transfer_total,
         completion_seconds=completions,
+    )
+
+
+def _wait(drive, seconds: float) -> None:
+    """Charge backoff time to a drive that can model idle time."""
+    wait = getattr(drive, "wait", None)
+    if wait is not None and seconds > 0.0:
+        wait(seconds)
+
+
+def _execute_hardened(
+    drive,
+    schedule: Schedule,
+    policy,
+    bus=None,
+    estimated_locate_seconds=None,
+    base_seconds: float | None = None,
+) -> ExecutionResult:
+    """Retry-in-place execution against a fault-raising drive.
+
+    On a drive that never raises, the arithmetic is identical to the
+    plain path: every request locates once and reads once, in order.
+    """
+    start = drive.clock_seconds
+    base = start if base_seconds is None else base_seconds
+    locate_total = 0.0
+    transfer_total = 0.0
+    completions = np.full(len(schedule), np.nan, dtype=np.float64)
+    success = np.zeros(len(schedule), dtype=bool)
+    attempts_taken = np.zeros(len(schedule), dtype=np.int64)
+    for index, request in enumerate(schedule):
+        request_start = drive.clock_seconds
+        attempts = 0
+        # The first attempt always locates (even when already at the
+        # segment, matching the plain path); after a fault the head may
+        # or may not still be on target.
+        needs_locate = True
+        while True:
+            attempts += 1
+            try:
+                if needs_locate:
+                    source = drive.position
+                    locate_seconds = drive.locate(request.segment)
+                    locate_total += locate_seconds
+                    needs_locate = False
+                    if bus is not None:
+                        bus.publish(
+                            RequestLocated(
+                                seconds=base
+                                + (drive.clock_seconds - start),
+                                position=index,
+                                source=source,
+                                segment=request.segment,
+                                actual_seconds=locate_seconds,
+                                estimated_seconds=(
+                                    None
+                                    if estimated_locate_seconds is None
+                                    else float(
+                                        estimated_locate_seconds[index]
+                                    )
+                                ),
+                            )
+                        )
+                read_seconds = drive.read(request.length)
+                transfer_total += read_seconds
+                completions[index] = drive.clock_seconds - start
+                success[index] = True
+                if bus is not None:
+                    bus.publish(
+                        RequestRead(
+                            seconds=base + float(completions[index]),
+                            position=index,
+                            segment=request.segment,
+                            length=request.length,
+                            actual_seconds=read_seconds,
+                        )
+                    )
+                break
+            except DriveFault as fault:
+                needs_locate = drive.position != request.segment
+                elapsed = drive.clock_seconds - request_start
+                exhausted = attempts >= policy.max_attempts
+                timed_out = elapsed >= policy.request_timeout_seconds
+                if exhausted or timed_out:
+                    if bus is not None:
+                        bus.publish(
+                            RequestFailed(
+                                seconds=base
+                                + (drive.clock_seconds - start),
+                                position=index,
+                                segment=request.segment,
+                                attempts=attempts,
+                                reason=(
+                                    "retry budget exhausted"
+                                    if exhausted
+                                    else "request timeout"
+                                ),
+                            )
+                        )
+                    break
+                backoff = policy.backoff_seconds(
+                    attempts, request.segment
+                )
+                _wait(drive, backoff)
+                if bus is not None:
+                    bus.publish(
+                        RequestRetried(
+                            seconds=base + (drive.clock_seconds - start),
+                            position=index,
+                            segment=request.segment,
+                            attempt=attempts,
+                            backoff_seconds=backoff,
+                            kind=fault.kind,
+                        )
+                    )
+        attempts_taken[index] = attempts
+    total = drive.clock_seconds - start
+    return ExecutionResult(
+        total_seconds=total,
+        locate_seconds=locate_total,
+        transfer_seconds=transfer_total,
+        completion_seconds=completions,
+        success=success,
+        attempts=attempts_taken,
+        fault_seconds=max(0.0, total - locate_total - transfer_total),
     )
 
 

@@ -60,6 +60,57 @@ class TestFaultyModel:
         )
 
 
+class TestFaultMaskValidation:
+    """Regression: ``asarray(..., dtype=uint64)`` used to wrap negative
+    positions to huge positives and truncate fractional ones, yielding a
+    plausible-looking but arbitrary fault mask instead of an error."""
+
+    def test_negative_source_raises(self, tiny_model):
+        faulty = FaultyModel(tiny_model, retry_probability=0.2, seed=1)
+        with pytest.raises(ValueError, match="sources must be >= 0"):
+            faulty._fault_mask([-1], [5])
+
+    def test_negative_destination_raises(self, tiny_model):
+        faulty = FaultyModel(tiny_model, retry_probability=0.2, seed=1)
+        with pytest.raises(ValueError, match="destinations must be >= 0"):
+            faulty._fault_mask([3], np.array([-7]))
+
+    def test_non_finite_raises(self, tiny_model):
+        faulty = FaultyModel(tiny_model, retry_probability=0.2, seed=1)
+        with pytest.raises(ValueError, match="finite"):
+            faulty._fault_mask([np.nan], [5])
+        with pytest.raises(ValueError, match="finite"):
+            faulty._fault_mask([1.0], [np.inf])
+
+    def test_non_numeric_raises(self, tiny_model):
+        faulty = FaultyModel(tiny_model, retry_probability=0.2, seed=1)
+        with pytest.raises(ValueError, match="numeric"):
+            faulty._fault_mask(["3"], [5])
+
+    def test_fractional_positions_round_not_truncate(self, tiny_model):
+        faulty = FaultyModel(tiny_model, retry_probability=0.3, seed=2)
+        exact = faulty._fault_mask([7, 12], [40, 41])
+        # 6.6 must hash as segment 7, not truncate to 6.
+        rounded = faulty._fault_mask([6.6, 12.4], [39.9, 41.2])
+        np.testing.assert_array_equal(exact, rounded)
+
+    def test_float_positions_match_int_positions(self, tiny_model):
+        faulty = FaultyModel(tiny_model, retry_probability=0.3, seed=2)
+        np.testing.assert_array_equal(
+            faulty._fault_mask([1.0, 2.0, 3.0], [9.0, 8.0, 7.0]),
+            faulty._fault_mask([1, 2, 3], [9, 8, 7]),
+        )
+
+    def test_locate_times_still_accept_float_destinations(
+        self, tiny_model
+    ):
+        faulty = FaultyModel(tiny_model, retry_probability=0.3, seed=2)
+        np.testing.assert_array_equal(
+            faulty.locate_times(0, np.array([5.0, 9.0])),
+            faulty.locate_times(0, np.array([5, 9])),
+        )
+
+
 class TestRobustnessUnderFaults:
     def test_schedules_complete_and_loss_still_wins(self, full_model,
                                                     rng):

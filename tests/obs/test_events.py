@@ -32,6 +32,10 @@ EXPECTED_NAMES = {
     "library.mount",
     "library.unmount",
     "drive.op",
+    "fault.injected",
+    "request.retry",
+    "request.failed",
+    "system.degraded",
 }
 
 
@@ -125,19 +129,45 @@ class TestDerivedProperties:
 
 
 class TestDeprecationShim:
-    def test_old_drive_event_path_warns_once(self):
+    @pytest.fixture()
+    def fresh_shim(self, monkeypatch):
+        """The shim with its warned-once memory cleared."""
         import repro.drive.events as shim
 
+        monkeypatch.setattr(shim, "_warned", set())
+        return shim
+
+    def test_old_drive_event_path_warns_once(self, fresh_shim):
         with pytest.warns(DeprecationWarning, match="repro.obs.events"):
-            cls = shim.DriveEvent
+            cls = fresh_shim.DriveEvent
         assert cls is DriveEvent
 
-    def test_old_event_kind_path_warns(self):
-        import repro.drive.events as shim
-
+    def test_old_event_kind_path_warns(self, fresh_shim):
         with pytest.warns(DeprecationWarning, match="repro.obs.events"):
-            kind = shim.EventKind
+            kind = fresh_shim.EventKind
         assert kind is EventKind
+
+    def test_every_moved_name_resolves(self, fresh_shim):
+        from repro.obs import events as canonical
+
+        for name in fresh_shim._MOVED:
+            with pytest.warns(DeprecationWarning, match=name):
+                resolved = getattr(fresh_shim, name)
+            assert resolved is getattr(canonical, name)
+        assert sorted(fresh_shim._MOVED) == dir(fresh_shim)
+
+    def test_warns_exactly_once_per_name(self, fresh_shim):
+        with pytest.warns(DeprecationWarning) as caught:
+            fresh_shim.DriveEvent
+        assert len(caught) == 1
+        # Second access: silent, even under -W error.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert fresh_shim.DriveEvent is DriveEvent
+        # A different name still gets its own (single) warning.
+        with pytest.warns(DeprecationWarning) as caught:
+            fresh_shim.EventKind
+        assert len(caught) == 1
 
     def test_shim_unknown_attribute_raises(self):
         import repro.drive.events as shim

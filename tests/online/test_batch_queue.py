@@ -20,6 +20,22 @@ class TestPolicyValidation:
         with pytest.raises(ValueError):
             BatchPolicy(max_wait_seconds=0)
 
+    def test_nan_deadline_rejected_with_inf_hint(self):
+        # Regression: NaN slipped past the <= 0 check (every comparison
+        # against NaN is False) and silently disabled the deadline.
+        with pytest.raises(ValueError, match="float\\('inf'\\)"):
+            BatchPolicy(max_wait_seconds=float("nan"))
+
+    def test_nonpositive_deadline_message_mentions_inf(self):
+        with pytest.raises(ValueError, match="float\\('inf'\\)"):
+            BatchPolicy(max_wait_seconds=-3.0)
+
+    def test_inf_deadline_is_the_escape_hatch(self):
+        policy = BatchPolicy(max_wait_seconds=float("inf"))
+        queue = BatchQueue(policy)
+        queue.push(TimedRequest(0.0, 1))
+        assert not queue.ready(1e12, drive_idle=False)
+
 
 class TestReady:
     def test_empty_never_ready(self):
@@ -69,3 +85,49 @@ class TestFlush:
         queue.flush()
         assert len(queue) == 0
         assert queue.oldest_arrival is None
+
+
+class TestRequeuedArrivals:
+    """A requeued request re-enters at the tail with an *older* arrival;
+    the deadline and flush order must key off arrival time, not push
+    order."""
+
+    def test_oldest_arrival_is_the_minimum_not_the_head(self):
+        queue = BatchQueue(BatchPolicy(max_batch=10))
+        queue.push(TimedRequest(100.0, 1))
+        queue.push(TimedRequest(20.0, 2))  # requeued, older arrival
+        assert queue.oldest_arrival == 20.0
+
+    def test_deadline_keys_off_oldest_queued_arrival(self):
+        queue = BatchQueue(
+            BatchPolicy(
+                max_batch=100, max_wait_seconds=60.0,
+                flush_when_idle=False,
+            )
+        )
+        queue.push(TimedRequest(100.0, 1))
+        queue.push(TimedRequest(20.0, 2))
+        # 60 s after the *newer* arrival but only after the boundary of
+        # the older one should it be ready: 20 + 60 = 80.
+        assert not queue.ready(79.9, drive_idle=False)
+        assert queue.ready(80.0, drive_idle=False)
+
+    def test_deadline_boundary_is_inclusive(self):
+        queue = BatchQueue(
+            BatchPolicy(
+                max_batch=100, max_wait_seconds=60.0,
+                flush_when_idle=False,
+            )
+        )
+        queue.push(TimedRequest(5.0, 1))
+        assert not queue.ready(64.999, drive_idle=False)
+        assert queue.ready(65.0, drive_idle=False)
+
+    def test_flush_releases_requeued_request_first(self):
+        queue = BatchQueue(BatchPolicy(max_batch=2))
+        queue.push(TimedRequest(10.0, segment=1))
+        queue.push(TimedRequest(30.0, segment=2))
+        queue.push(TimedRequest(5.0, segment=3))  # requeued
+        batch = queue.flush()
+        assert [r.segment for r in batch] == [3, 1]
+        assert queue.oldest_arrival == 30.0

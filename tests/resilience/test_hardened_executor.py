@@ -1,0 +1,234 @@
+"""The failure-hardened execution path."""
+
+import numpy as np
+import pytest
+
+from repro.drive import SimulatedDrive
+from repro.obs import EventBus
+from repro.resilience import FaultInjector, FaultPlan, RetryPolicy
+from repro.scheduling import LossScheduler, SortScheduler, execute_schedule
+
+
+def _schedule(model, rng, count=12, origin=0):
+    batch = rng.choice(
+        model.geometry.total_segments, count, replace=False
+    ).tolist()
+    return SortScheduler().schedule(model, origin, batch)
+
+
+class TestCleanDriveEquivalence:
+    def test_identical_to_plain_path_without_faults(
+        self, tiny_model, rng
+    ):
+        schedule = _schedule(tiny_model, rng)
+        plain = execute_schedule(SimulatedDrive(tiny_model), schedule)
+        hardened = execute_schedule(
+            SimulatedDrive(tiny_model), schedule, policy=RetryPolicy()
+        )
+        assert hardened.total_seconds == plain.total_seconds
+        assert hardened.locate_seconds == plain.locate_seconds
+        assert hardened.transfer_seconds == plain.transfer_seconds
+        np.testing.assert_array_equal(
+            hardened.completion_seconds, plain.completion_seconds
+        )
+        assert hardened.fault_seconds == 0.0
+        assert hardened.success.all()
+        assert (hardened.attempts == 1).all()
+        assert hardened.all_succeeded
+        assert hardened.failed_count == 0
+        assert hardened.failed_positions().size == 0
+
+    def test_identical_through_a_zero_rate_injector(
+        self, tiny_model, rng
+    ):
+        schedule = _schedule(tiny_model, rng)
+        plain = execute_schedule(SimulatedDrive(tiny_model), schedule)
+        injected = execute_schedule(
+            FaultInjector(SimulatedDrive(tiny_model), FaultPlan()),
+            schedule,
+            policy=RetryPolicy(),
+        )
+        assert injected.total_seconds == plain.total_seconds
+        np.testing.assert_array_equal(
+            injected.completion_seconds, plain.completion_seconds
+        )
+
+    def test_same_events_as_plain_path(self, tiny_model, rng):
+        schedule = _schedule(tiny_model, rng, count=6)
+        plain_bus, hardened_bus = EventBus(), EventBus()
+        plain_events = plain_bus.collect()
+        hardened_events = hardened_bus.collect()
+        execute_schedule(
+            SimulatedDrive(tiny_model), schedule, bus=plain_bus
+        )
+        execute_schedule(
+            SimulatedDrive(tiny_model),
+            schedule,
+            bus=hardened_bus,
+            policy=RetryPolicy(),
+        )
+        assert hardened_events == plain_events
+
+
+class TestRetries:
+    def _run(self, model, rng, plan_kwargs, policy=None, bus=None,
+             count=24):
+        schedule = _schedule(model, rng, count=count)
+        drive = FaultInjector(
+            SimulatedDrive(model), FaultPlan(**plan_kwargs), bus=bus
+        )
+        result = execute_schedule(
+            drive, schedule, bus=bus, policy=policy or RetryPolicy()
+        )
+        return drive, result
+
+    def test_faults_are_retried_to_completion(self, tiny_model, rng):
+        drive, result = self._run(
+            tiny_model, rng,
+            {"locate_fault_probability": 0.2, "seed": 1},
+            policy=RetryPolicy(max_attempts=10),
+        )
+        assert drive.faults_injected > 0
+        assert result.all_succeeded
+        assert (result.attempts >= 1).all()
+        assert result.attempts.max() > 1
+        assert result.fault_seconds > 0
+
+    def test_completion_times_include_penalties_and_backoff(
+        self, tiny_model, rng
+    ):
+        schedule = _schedule(tiny_model, rng, count=24)
+        plain = execute_schedule(SimulatedDrive(tiny_model), schedule)
+        drive = FaultInjector(
+            SimulatedDrive(tiny_model),
+            FaultPlan(locate_fault_probability=0.2, seed=1),
+        )
+        faulted = execute_schedule(
+            drive, schedule, policy=RetryPolicy()
+        )
+        assert faulted.total_seconds > plain.total_seconds
+        assert faulted.total_seconds == pytest.approx(
+            drive.clock_seconds
+        )
+        assert faulted.total_seconds == pytest.approx(
+            faulted.locate_seconds
+            + faulted.transfer_seconds
+            + faulted.fault_seconds
+        )
+
+    def test_exhaustion_reports_failure_honestly(self, tiny_model, rng):
+        _, result = self._run(
+            tiny_model, rng,
+            {"locate_fault_probability": 0.45, "seed": 2},
+            policy=RetryPolicy(max_attempts=1),
+        )
+        assert not result.all_succeeded
+        failed = result.failed_positions()
+        assert failed.size == result.failed_count > 0
+        assert np.isnan(result.completion_seconds[failed]).all()
+        completed = np.flatnonzero(result.success)
+        assert np.isfinite(result.completion_seconds[completed]).all()
+        assert result.completed_count + result.failed_count == len(
+            result.completion_seconds
+        )
+
+    def test_retry_and_failure_events_published(self, tiny_model, rng):
+        bus = EventBus()
+        retried = bus.collect("request.retry")
+        failed = bus.collect("request.failed")
+        _, result = self._run(
+            tiny_model, rng,
+            {"locate_fault_probability": 0.4, "seed": 3},
+            policy=RetryPolicy(max_attempts=2),
+            bus=bus,
+        )
+        assert len(failed) == result.failed_count > 0
+        assert len(retried) > 0
+        assert all(e.kind == "locate" for e in retried)
+        assert all(e.backoff_seconds >= 0 for e in retried)
+        assert all(
+            e.reason == "retry budget exhausted" for e in failed
+        )
+        assert all(e.attempts == 2 for e in failed)
+
+    def test_timeout_gives_up_mid_request(self, tiny_model, rng):
+        bus = EventBus()
+        failed = bus.collect("request.failed")
+        _, result = self._run(
+            tiny_model, rng,
+            {"locate_fault_probability": 0.45, "seed": 2},
+            policy=RetryPolicy(
+                max_attempts=100, request_timeout_seconds=1.0
+            ),
+            bus=bus,
+        )
+        assert result.failed_count > 0
+        assert all(e.reason == "request timeout" for e in failed)
+
+    def test_read_faults_also_retried(self, tiny_model, rng):
+        drive, result = self._run(
+            tiny_model, rng,
+            {"read_fault_probability": 0.3, "seed": 4},
+        )
+        assert drive.fault_counts["read"] > 0
+        assert result.all_succeeded
+
+    def test_reset_relocates_from_bot(self, tiny_model, rng):
+        drive, result = self._run(
+            tiny_model, rng, {"reset_probability": 0.15, "seed": 5}
+        )
+        assert drive.fault_counts["reset"] > 0
+        assert result.all_succeeded
+
+    def test_deterministic_under_faults(self, tiny_model, rng):
+        schedule = _schedule(tiny_model, np.random.default_rng(77))
+
+        def run():
+            drive = FaultInjector(
+                SimulatedDrive(tiny_model),
+                FaultPlan(locate_fault_probability=0.25, seed=6),
+            )
+            result = execute_schedule(
+                drive, schedule, policy=RetryPolicy(seed=6)
+            )
+            return (
+                result.total_seconds,
+                result.completion_seconds.tolist(),
+                result.attempts.tolist(),
+            )
+
+        assert run() == run()
+
+    def test_policy_ignored_for_whole_tape_plans(self, tiny_model, rng):
+        from repro.scheduling import ReadEntireTapeScheduler
+
+        batch = rng.choice(
+            tiny_model.geometry.total_segments, 6, replace=False
+        ).tolist()
+        schedule = ReadEntireTapeScheduler().schedule(
+            tiny_model, 0, batch
+        )
+        plain = execute_schedule(SimulatedDrive(tiny_model), schedule)
+        with_policy = execute_schedule(
+            SimulatedDrive(tiny_model), schedule, policy=RetryPolicy()
+        )
+        assert with_policy.success is None
+        assert with_policy.total_seconds == plain.total_seconds
+
+
+class TestGoldenPathUnchanged:
+    def test_loss_schedule_times_match_plain_executor(
+        self, full_model, rng
+    ):
+        batch = rng.choice(
+            full_model.geometry.total_segments, 48, replace=False
+        ).tolist()
+        schedule = LossScheduler().schedule(full_model, 0, batch)
+        plain = execute_schedule(SimulatedDrive(full_model), schedule)
+        hardened = execute_schedule(
+            SimulatedDrive(full_model), schedule, policy=RetryPolicy()
+        )
+        assert hardened.total_seconds == plain.total_seconds
+        np.testing.assert_array_equal(
+            hardened.completion_seconds, plain.completion_seconds
+        )

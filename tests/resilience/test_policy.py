@@ -1,0 +1,117 @@
+"""Retry and degradation policy objects."""
+
+import math
+
+import pytest
+
+from repro.resilience import ResilienceConfig, RetryPolicy
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 5
+        assert math.isinf(policy.request_timeout_seconds)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base_seconds": -1.0},
+            {"backoff_multiplier": 0.5},
+            {"backoff_cap_seconds": -0.1},
+            {"jitter_fraction": -0.1},
+            {"jitter_fraction": 1.5},
+            {"request_timeout_seconds": 0.0},
+            {"request_timeout_seconds": -5.0},
+        ],
+    )
+    def test_invalid_fields_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_nan_timeout_raises_and_mentions_inf(self):
+        with pytest.raises(ValueError, match="float\\('inf'\\)"):
+            RetryPolicy(request_timeout_seconds=float("nan"))
+
+
+class TestBackoff:
+    def test_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            backoff_base_seconds=1.0,
+            backoff_multiplier=2.0,
+            backoff_cap_seconds=1000.0,
+            jitter_fraction=0.0,
+        )
+        delays = [policy.backoff_seconds(a) for a in (1, 2, 3, 4)]
+        assert delays == [1.0, 2.0, 4.0, 8.0]
+
+    def test_cap_bounds_every_delay(self):
+        policy = RetryPolicy(
+            backoff_base_seconds=10.0,
+            backoff_multiplier=3.0,
+            backoff_cap_seconds=25.0,
+            jitter_fraction=0.0,
+        )
+        assert policy.backoff_seconds(1) == 10.0
+        assert policy.backoff_seconds(2) == 25.0
+        assert policy.backoff_seconds(9) == 25.0
+
+    def test_jitter_shrinks_within_fraction(self):
+        policy = RetryPolicy(jitter_fraction=0.25)
+        for attempt in range(1, 6):
+            for segment in (0, 17, 4096):
+                raw = RetryPolicy(jitter_fraction=0.0).backoff_seconds(
+                    attempt
+                )
+                jittered = policy.backoff_seconds(attempt, segment)
+                assert raw * 0.75 <= jittered <= raw
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(jitter_fraction=0.5, seed=11)
+        twin = RetryPolicy(jitter_fraction=0.5, seed=11)
+        assert policy.backoff_seconds(3, 42) == twin.backoff_seconds(
+            3, 42
+        )
+
+    def test_jitter_varies_with_seed_and_segment(self):
+        policy = RetryPolicy(jitter_fraction=0.5, seed=1)
+        other_seed = RetryPolicy(jitter_fraction=0.5, seed=2)
+        assert policy.backoff_seconds(2, 7) != other_seed.backoff_seconds(
+            2, 7
+        )
+        assert policy.backoff_seconds(2, 7) != policy.backoff_seconds(
+            2, 8
+        )
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_seconds(0)
+
+    def test_zero_base_backoff_stays_zero(self):
+        policy = RetryPolicy(
+            backoff_base_seconds=0.0, jitter_fraction=0.3
+        )
+        assert policy.backoff_seconds(1) == 0.0
+
+
+class TestResilienceConfig:
+    def test_defaults(self):
+        config = ResilienceConfig()
+        assert config.max_requeues == 2
+        assert config.fallback_algorithm == "SORT"
+        assert math.isinf(config.schedule_wall_budget_seconds)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_requeues": -1},
+            {"schedule_wall_budget_seconds": -1.0},
+            {"execution_budget_seconds": -1.0},
+            {"schedule_wall_budget_seconds": float("nan")},
+            {"execution_budget_seconds": float("nan")},
+        ],
+    )
+    def test_invalid_fields_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            ResilienceConfig(**kwargs)

@@ -49,6 +49,22 @@ class TestExecute:
         )
         assert result.request_count == 2
 
+    def test_empty_execution_has_no_per_request_time(self):
+        # Regression: total/max(1, n) used to report the full total
+        # for an empty execution instead of failing loudly.
+        from repro.exceptions import NoSamplesError
+        from repro.scheduling import ExecutionResult
+
+        result = ExecutionResult(
+            total_seconds=12.0,
+            locate_seconds=10.0,
+            transfer_seconds=2.0,
+            completion_seconds=np.empty(0, dtype=np.float64),
+        )
+        assert result.request_count == 0
+        with pytest.raises(NoSamplesError, match="no requests"):
+            result.seconds_per_request
+
 
 class TestWholeTape:
     def test_completions_follow_stream_order(self, tiny_model, rng):
