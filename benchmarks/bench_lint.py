@@ -1,0 +1,48 @@
+"""Lint-speed guard: the gate must stay cheap enough to run always.
+
+A static-analysis pass only ratchets anything if developers actually
+run it, and they only run it if it is fast.  The pytest-benchmark
+case tracks the full-tree wall time in reports; the timed guard
+pins the hard ceiling from the PR contract: linting all of
+``src/repro`` — parse, six rules, cross-module passes, suppression
+filtering — must finish in under 10 seconds.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+
+#: Hard wall-time ceiling for one full-tree run (seconds).
+FULL_TREE_BUDGET_SECONDS = 10.0
+
+
+@pytest.fixture(scope="module")
+def warm():
+    """One throwaway run so import costs stay out of the measurement."""
+    return run_lint([SRC], root=REPO_ROOT)
+
+
+def test_full_tree_lint(benchmark, warm):
+    run = benchmark(run_lint, [SRC], root=REPO_ROOT)
+    assert run.files_checked == warm.files_checked
+
+
+def test_full_tree_lint_under_budget(warm):
+    """Timed guard (no pytest-benchmark): best of 3 under 10 s."""
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        run = run_lint([SRC], root=REPO_ROOT)
+        best = min(best, time.perf_counter() - start)
+    assert run.files_checked > 100
+    assert best < FULL_TREE_BUDGET_SECONDS, (
+        f"full-tree lint took {best:.2f}s — over the "
+        f"{FULL_TREE_BUDGET_SECONDS:.0f}s budget; profile the rules "
+        "before raising this ceiling"
+    )

@@ -24,7 +24,9 @@ The facade groups:
   staging-cache front-end;
 * **observability** — the event bus, metrics, and trace tooling of
   :mod:`repro.obs`;
-* **experiments** — config plus the tabular-result export helpers.
+* **experiments** — config plus the tabular-result export helpers;
+* **static analysis** — the :mod:`repro.lint` engine behind
+  ``repro lint`` (see ``docs/STATIC_ANALYSIS.md``).
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ from repro.exceptions import (
     DriveError,
     DriveFault,
     DriveReset,
+    LintError,
     LocateFault,
     MetricsError,
     NoSamplesError,
@@ -46,6 +49,7 @@ from repro.exceptions import (
     SchedulingError,
     TraceError,
 )
+from repro.lint import Finding, LintRun, run_lint
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.export import result_to_rows, write_result
 from repro.experiments.result import TabularResult
@@ -108,6 +112,9 @@ __all__ = [
     "ExperimentConfig",
     "FaultInjector",
     "FaultPlan",
+    "Finding",
+    "LintError",
+    "LintRun",
     "LocateFault",
     "LocateTimeModel",
     "MetricsError",
@@ -146,6 +153,7 @@ __all__ = [
     "read_events_jsonl",
     "response_stats_from_events",
     "result_to_rows",
+    "run_lint",
     "scheduler_names",
     "summarize_events",
     "tiny_tape",

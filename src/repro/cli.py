@@ -81,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
             "'Random I/O Scheduling in Online Tertiary Storage "
             "Systems' (SIGMOD 1996)."
         ),
+        epilog=(
+            "Additionally, 'repro lint [PATH...]' runs the "
+            "repo-aware static-analysis gate (RPR001-RPR006); see "
+            "'repro lint --help' and docs/STATIC_ANALYSIS.md."
+        ),
     )
     parser.add_argument(
         "experiment",
@@ -262,8 +267,15 @@ def run_experiment(
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # The static-analysis gate has its own option surface; hand
+        # off before the experiment parser rejects its flags.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     if args.cache_capacity and any(c < 1 for c in args.cache_capacity):
         parser.error("--cache-capacity must be >= 1 segment")
     if args.workers < 0:

@@ -140,3 +140,7 @@ class ExperimentError(ReproError):
 
 class TraceError(ReproError):
     """A telemetry trace was malformed or inconsistent."""
+
+
+class LintError(ReproError):
+    """The static-analysis pass was misconfigured or hit a broken input."""

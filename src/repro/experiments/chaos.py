@@ -101,7 +101,7 @@ class ChaosResult:
     def all_complete(self) -> bool:
         """Did every swept rate eventually complete every request?"""
         return all(
-            point.completion_ratio == 1.0 for point in self.points
+            point.completed == point.requests for point in self.points
         )
 
 

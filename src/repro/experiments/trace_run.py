@@ -121,6 +121,9 @@ def run(
     trace_stats = response_stats_from_events(recorder.events)
     mean_matches = (
         trace_stats.count == stats.count
+        # repro: noqa RPR002 -- the smoke contract IS bit-exactness:
+        # the trace-derived mean must equal the stats mean to the
+        # last bit, so a tolerance here would hide real drift
         and trace_stats.mean_seconds == stats.mean_seconds
     )
     if trace_jsonl is not None:

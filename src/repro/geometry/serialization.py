@@ -83,5 +83,7 @@ def load_geometry(path: str | Path) -> TapeGeometry:
     try:
         payload = json.loads(path.read_text())
     except json.JSONDecodeError as error:
-        raise GeometryError(f"corrupt geometry file {path}: {error}")
+        raise GeometryError(
+            f"corrupt geometry file {path}: {error}"
+        ) from error
     return geometry_from_dict(payload)

@@ -1,0 +1,50 @@
+"""``repro.lint`` — repo-aware static analysis for the reproduction.
+
+A pluggable AST-based rule engine that mechanically enforces the
+conventions the reproduction's correctness rests on: determinism
+(RPR001), float discipline (RPR002), the exception taxonomy (RPR003),
+the obs-event registry (RPR004), API/shim integrity (RPR005), and
+second-based unit naming (RPR006).  Run it as ``python -m repro lint
+src/repro``; see ``docs/STATIC_ANALYSIS.md`` for the catalog,
+suppression syntax, and the baseline-ratchet workflow.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import (
+    BaselineDiff,
+    diff_baseline,
+    finding_counts,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.core import Finding, ModuleContext, ProjectContext
+from repro.lint.engine import LintRun, run_lint
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import (
+    REGISTRY,
+    Rule,
+    default_rules,
+    register,
+    rule_catalog,
+)
+
+__all__ = [
+    "BaselineDiff",
+    "Finding",
+    "LintRun",
+    "ModuleContext",
+    "ProjectContext",
+    "REGISTRY",
+    "Rule",
+    "default_rules",
+    "diff_baseline",
+    "finding_counts",
+    "load_baseline",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+    "run_lint",
+    "save_baseline",
+]

@@ -1,0 +1,114 @@
+"""The findings baseline: a ratchet that only turns one way.
+
+The committed baseline (``tools/lint_baseline.json``) records how many
+findings of each ``path::code`` bucket existed when a rule landed.
+The gate then enforces two directions:
+
+* **never up** — any bucket exceeding its baseline count is a *new*
+  finding and fails the run;
+* **only down** — a bucket whose live count dropped below its baseline
+  is *stale*; the baseline must be rewritten (``--update-baseline``)
+  so the fixed findings can never quietly come back.
+
+Counts are used instead of line numbers so an unrelated edit that
+shifts a legacy finding by a few lines does not dirty the gate, while
+introducing a *second* violation in the same file still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import LintError
+from repro.lint.core import Finding
+
+#: Schema version of the baseline file.
+_VERSION = 1
+
+
+def finding_counts(findings: list[Finding]) -> dict[str, int]:
+    """Bucket findings by ``path::code``."""
+    return dict(Counter(finding.key for finding in findings))
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Read a committed baseline file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise LintError(
+            f"baseline file {path} does not exist; create it with "
+            "--update-baseline"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise LintError(f"corrupt baseline file {path}: {error}") from None
+    if payload.get("version") != _VERSION:
+        raise LintError(
+            f"baseline file {path} has unsupported version "
+            f"{payload.get('version')!r}"
+        )
+    counts = payload.get("counts", {})
+    if not all(
+        isinstance(key, str) and isinstance(value, int) and value > 0
+        for key, value in counts.items()
+    ):
+        raise LintError(f"baseline file {path} has malformed counts")
+    return dict(counts)
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write the current findings as the new baseline."""
+    payload = {
+        "version": _VERSION,
+        "counts": dict(sorted(finding_counts(findings).items())),
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+@dataclass
+class BaselineDiff:
+    """Live findings compared against a committed baseline."""
+
+    #: Findings in buckets that exceed their baseline allowance.
+    new: list[Finding] = field(default_factory=list)
+    #: Buckets whose live count dropped below the baseline (the
+    #: baseline is stale and must be tightened).
+    stale: dict[str, int] = field(default_factory=dict)
+    #: Findings tolerated by the baseline.
+    tolerated: list[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No new findings (stale entries warn but do not fail)."""
+        return not self.new
+
+
+def diff_baseline(
+    findings: list[Finding], baseline: dict[str, int]
+) -> BaselineDiff:
+    """Split live findings into new vs. tolerated, and spot staleness."""
+    live = finding_counts(findings)
+    result = BaselineDiff()
+    for key, allowed in baseline.items():
+        current = live.get(key, 0)
+        if current < allowed:
+            result.stale[key] = allowed - current
+    overflow = {
+        key: count - baseline.get(key, 0)
+        for key, count in live.items()
+        if count > baseline.get(key, 0)
+    }
+    remaining = dict(overflow)
+    for finding in findings:
+        if remaining.get(finding.key, 0) > 0:
+            remaining[finding.key] -= 1
+            result.new.append(finding)
+        else:
+            result.tolerated.append(finding)
+    return result

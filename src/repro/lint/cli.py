@@ -1,0 +1,128 @@
+"""``repro lint`` — the CLI of the static-analysis gate.
+
+Examples::
+
+    python -m repro lint src/repro
+    python -m repro lint src/repro --json > lint-report.json
+    python -m repro lint src/repro --baseline tools/lint_baseline.json
+    python -m repro lint --list-rules
+
+Exit status: 0 when clean (or clean modulo the baseline), 1 when any
+new finding exists, 2 on usage or input errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.exceptions import LintError
+from repro.lint.baseline import (
+    diff_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.engine import run_lint
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import rule_catalog
+
+
+def _default_paths() -> list[Path]:
+    """Lint the installed ``repro`` package when no path is given."""
+    import repro
+
+    return [Path(repro.__file__).parent]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Repo-aware static analysis: determinism, float "
+            "discipline, exception taxonomy, obs-event registry, "
+            "API/shim integrity, unit naming (RPR001-RPR006)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help=(
+            "files or directories to lint (default: the installed "
+            "repro package)"
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report on stdout",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=(
+            "compare findings against a committed baseline; only "
+            "new findings fail the run"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help=(
+            "rewrite --baseline FILE from the current findings "
+            "(the ratchet: run it after fixing, never to admit "
+            "new findings)"
+        ),
+    )
+    parser.add_argument(
+        "--strict-baseline", action="store_true",
+        help=(
+            "also fail when the baseline is stale (live findings "
+            "dropped below it) — keeps the committed ratchet tight"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``repro lint`` entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in rule_catalog():
+            print(f"{rule['code']} {rule['name']}: {rule['rationale']}")
+        return 0
+    if args.update_baseline and args.baseline is None:
+        parser.error("--update-baseline requires --baseline FILE")
+    paths = (
+        [Path(p) for p in args.paths]
+        if args.paths
+        else _default_paths()
+    )
+    try:
+        run = run_lint(paths)
+        if args.update_baseline:
+            save_baseline(Path(args.baseline), run.findings)
+            print(
+                f"baseline written to {args.baseline} "
+                f"({len(run.findings)} finding(s))"
+            )
+            return 0
+        diff = None
+        if args.baseline is not None:
+            diff = diff_baseline(
+                run.findings, load_baseline(Path(args.baseline))
+            )
+    except LintError as error:
+        print(f"repro lint: error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json(run, diff))
+    else:
+        print(render_text(run, diff))
+    failed = bool(run.findings) if diff is None else not diff.clean
+    if diff is not None and args.strict_baseline and diff.stale:
+        failed = True
+    return 1 if failed else 0

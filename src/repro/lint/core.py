@@ -1,0 +1,294 @@
+"""Shared data model of the ``repro.lint`` static-analysis pass.
+
+The engine parses every module once into a :class:`ModuleContext`
+(source, AST, import map, inline suppressions) and hands the contexts
+to each rule; rules report :class:`Finding` objects, which the engine
+de-duplicates against suppressions and the committed baseline.
+
+Inline suppressions use the repo's own syntax — *not* ``# noqa`` — so
+they can never be confused with (or eaten by) ruff::
+
+    risky_line()  # repro: noqa RPR001 -- wall clock feeds the UI only
+
+A suppression names one or more rule codes and **must** carry a
+``-- reason``; a reasonless or malformed suppression is itself a
+finding (``RPR000``), so silencing the linter always leaves a written
+justification behind.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Matches an inline suppression comment anywhere in a source line.
+SUPPRESSION_RE = re.compile(r"#\s*repro:\s*noqa\b(?P<rest>[^#\n]*)")
+
+#: The codes + reason tail of a well-formed suppression.
+_REST_RE = re.compile(
+    r"^\s+(?P<codes>RPR\d{3}(?:\s*,\s*RPR\d{3})*)\s*--\s*(?P<reason>\S.*)$"
+)
+
+#: Shape of a valid rule code.
+CODE_RE = re.compile(r"^RPR\d{3}$")
+
+#: Engine-level findings (parse errors, malformed suppressions).
+ENGINE_CODE = "RPR000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Baseline bucket: findings ratchet per ``path::code``."""
+        return f"{self.path}::{self.code}"
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-safe record for ``--json`` reports."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """Human one-liner (``path:line:col CODE message``)."""
+        return (
+            f"{self.path}:{self.line}:{self.column} "
+            f"{self.code} {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A well-formed inline suppression.
+
+    A trailing comment suppresses its own line; a comment-only line
+    suppresses the next line that carries code, so a suppression (and
+    its reason) can sit in a comment block above a long statement.
+    ``line`` is where the comment lives, ``target_line`` the code line
+    it silences.
+    """
+
+    line: int
+    target_line: int
+    codes: frozenset[str]
+    reason: str
+
+
+def _comment_tokens(source: str) -> list[tuple[int, int, str]]:
+    """(line, column, text) of every comment token in the source.
+
+    Tokenizing (rather than scanning text lines) keeps suppressions
+    that merely appear *inside string literals* — docstrings, error
+    messages, this linter's own fixtures — from being parsed as real.
+    Sources that fail to tokenize yield no comments; the engine
+    reports the syntax error separately.
+    """
+    comments = []
+    try:
+        for token in tokenize.generate_tokens(
+            io.StringIO(source).readline
+        ):
+            if token.type == tokenize.COMMENT:
+                comments.append(
+                    (token.start[0], token.start[1], token.string)
+                )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+def _suppression_target(lines: list[str], number: int) -> int:
+    """The code line a suppression on ``number`` applies to."""
+    stripped = lines[number - 1].strip() if number <= len(lines) else ""
+    if not stripped.startswith("#"):
+        return number  # trailing comment on a code line
+    for candidate in range(number + 1, len(lines) + 1):
+        text = lines[candidate - 1].strip()
+        if text and not text.startswith("#"):
+            return candidate
+    return number
+
+
+def parse_suppressions(
+    source: str, path: str
+) -> tuple[dict[int, Suppression], list[Finding]]:
+    """Extract inline suppressions; malformed ones become findings.
+
+    The returned dict is keyed by *target* line (the line the
+    suppression silences), so the engine's filter is a single lookup.
+    """
+    lines = source.splitlines()
+    suppressions: dict[int, Suppression] = {}
+    problems: list[Finding] = []
+    for number, offset, text in _comment_tokens(source):
+        match = SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        column = offset + match.start() + 1
+        rest = _REST_RE.match(match.group("rest"))
+        if rest is None:
+            problems.append(
+                Finding(
+                    path=path,
+                    line=number,
+                    column=column,
+                    code=ENGINE_CODE,
+                    message=(
+                        "malformed suppression: expected "
+                        "'# repro: noqa RPRnnn -- reason'"
+                    ),
+                )
+            )
+            continue
+        codes = frozenset(
+            code.strip()
+            for code in rest.group("codes").split(",")
+        )
+        target = _suppression_target(lines, number)
+        existing = suppressions.get(target)
+        if existing is not None:
+            codes = codes | existing.codes
+        suppressions[target] = Suppression(
+            line=number,
+            target_line=target,
+            codes=codes,
+            reason=rest.group("reason").strip(),
+        )
+    return suppressions, problems
+
+
+def build_import_map(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted origin they were imported from.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    time as now`` maps ``now -> time.time``.  Names bound by plain
+    ``import a.b`` map the root (``a -> a``), which is how attribute
+    chains rooted there resolve.
+    """
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = ("." * node.level) + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+    return imports
+
+
+def dotted_parts(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` expression -> ``["a", "b", "c"]`` (None if not a chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def resolve_origin(node: ast.AST, imports: dict[str, str]) -> str | None:
+    """Resolve an expression to the dotted name it was imported as.
+
+    Returns ``None`` for chains rooted at local (non-imported) names —
+    the caller cannot know what those are, so rules must not guess.
+    """
+    parts = dotted_parts(node)
+    if parts is None:
+        return None
+    origin = imports.get(parts[0])
+    if origin is None:
+        return None
+    return ".".join([origin, *parts[1:]])
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last identifier of a name/attribute chain (``a.B`` -> ``B``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may want to know about one parsed module."""
+
+    path: Path
+    rel_path: str
+    module_name: str | None
+    source: str
+    tree: ast.Module
+    imports: dict[str, str]
+    suppressions: dict[int, Suppression]
+
+    def finding(
+        self, node: ast.AST, code: str, message: str
+    ) -> Finding:
+        """Build a finding anchored at an AST node of this module."""
+        return Finding(
+            path=self.rel_path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+
+@dataclass
+class ProjectContext:
+    """The whole run, for cross-module rules."""
+
+    root: Path
+    modules: list[ModuleContext] = field(default_factory=list)
+
+    def by_rel_path(self) -> dict[str, ModuleContext]:
+        """Index the run's modules by repo-relative path."""
+        return {module.rel_path: module for module in self.modules}
+
+
+def module_name_for(path: Path) -> str | None:
+    """Dotted import name of a file living inside a package tree.
+
+    Walks up while ``__init__.py`` siblings exist; a file outside any
+    package (e.g. a lint fixture) gets ``None`` and is imported by
+    path instead when a rule needs the live module.
+    """
+    path = path.resolve()
+    parent = path.parent
+    if not (parent / "__init__.py").exists():
+        return None
+    parts = [] if path.stem == "__init__" else [path.stem]
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts)

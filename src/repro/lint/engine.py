@@ -1,0 +1,203 @@
+"""The rule engine: discover, parse, run rules, filter suppressions.
+
+:func:`run_lint` is the single entry point used by the CLI, the test
+suite, and the benchmark guard.  It walks the given paths for Python
+files, parses each exactly once into a
+:class:`~repro.lint.core.ModuleContext`, runs every per-module rule,
+then the cross-module ``finish`` passes, and finally drops findings
+covered by an inline ``# repro: noqa RPRnnn -- reason`` suppression on
+the flagged line.  Unparseable files and malformed suppressions are
+reported as ``RPR000`` rather than aborting the run — a linter that
+dies on bad input cannot ratchet anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import LintError
+from repro.lint.core import (
+    CODE_RE,
+    ENGINE_CODE,
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    build_import_map,
+    module_name_for,
+    parse_suppressions,
+)
+from repro.lint.rules import Rule, default_rules
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache"}
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    found.add(candidate)
+        elif path.suffix == ".py":
+            found.add(path)
+        elif not path.exists():
+            raise LintError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def _relative_path(path: Path, root: Path) -> str:
+    """Stable repo-relative posix path (baseline keys depend on it)."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_module(
+    path: Path, root: Path
+) -> tuple[ModuleContext | None, list[Finding]]:
+    """Parse one file; syntax errors become RPR000 findings."""
+    rel_path = _relative_path(path, root)
+    source = path.read_text(encoding="utf-8")
+    suppressions, problems = parse_suppressions(source, rel_path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        problems.append(
+            Finding(
+                path=rel_path,
+                line=error.lineno or 1,
+                column=(error.offset or 0) + 1,
+                code=ENGINE_CODE,
+                message=f"syntax error: {error.msg}",
+            )
+        )
+        return None, problems
+    module = ModuleContext(
+        path=path,
+        rel_path=rel_path,
+        module_name=module_name_for(path),
+        source=source,
+        tree=tree,
+        imports=build_import_map(tree),
+        suppressions=suppressions,
+    )
+    return module, problems
+
+
+@dataclass
+class LintRun:
+    """Outcome of one engine run."""
+
+    findings: list[Finding]
+    files_checked: int
+    suppressed: int = 0
+    #: Suppressions that never matched a finding (informational).
+    unused_suppressions: list[tuple[str, int]] = field(
+        default_factory=list
+    )
+
+
+def _known_codes(rules: list[Rule]) -> set[str]:
+    return {rule.code for rule in rules} | {ENGINE_CODE}
+
+
+def run_lint(
+    paths: list[Path] | list[str],
+    rules: list[Rule] | None = None,
+    root: Path | None = None,
+) -> LintRun:
+    """Lint the given files/directories with the given (or all) rules."""
+    if rules is None:
+        rules = default_rules()
+    root = Path.cwd() if root is None else Path(root)
+    files = iter_python_files([Path(p) for p in paths])
+    project = ProjectContext(root=root)
+    raw: list[Finding] = []
+    for path in files:
+        module, problems = load_module(path, root)
+        raw.extend(problems)
+        if module is None:
+            continue
+        project.modules.append(module)
+        for rule in rules:
+            raw.extend(rule.check_module(module))
+    for rule in rules:
+        raw.extend(rule.finish(project))
+    raw.extend(_audit_suppressions(project, _known_codes(rules)))
+    findings, suppressed, used = _apply_suppressions(project, raw)
+    unused = _unused_suppressions(project, used)
+    findings.sort()
+    return LintRun(
+        findings=findings,
+        files_checked=len(files),
+        suppressed=suppressed,
+        unused_suppressions=unused,
+    )
+
+
+def _audit_suppressions(
+    project: ProjectContext, known_codes: set[str]
+) -> list[Finding]:
+    """Flag suppressions naming codes that do not exist."""
+    problems = []
+    for module in project.modules:
+        for suppression in module.suppressions.values():
+            for code in sorted(suppression.codes):
+                if not CODE_RE.match(code) or code not in known_codes:
+                    problems.append(
+                        Finding(
+                            path=module.rel_path,
+                            line=suppression.line,
+                            column=1,
+                            code=ENGINE_CODE,
+                            message=(
+                                f"suppression names unknown rule "
+                                f"code {code}"
+                            ),
+                        )
+                    )
+    return problems
+
+
+def _apply_suppressions(
+    project: ProjectContext, raw: list[Finding]
+) -> tuple[list[Finding], int, set[tuple[str, int]]]:
+    """Drop findings whose line carries a matching suppression."""
+    by_path = project.by_rel_path()
+    kept: list[Finding] = []
+    used: set[tuple[str, int]] = set()
+    suppressed = 0
+    for finding in raw:
+        module = by_path.get(finding.path)
+        suppression = (
+            module.suppressions.get(finding.line)
+            if module is not None
+            else None
+        )
+        if (
+            suppression is not None
+            and finding.code in suppression.codes
+            and finding.code != ENGINE_CODE
+        ):
+            suppressed += 1
+            used.add((finding.path, finding.line))
+        else:
+            kept.append(finding)
+    return kept, suppressed, used
+
+
+def _unused_suppressions(
+    project: ProjectContext, used: set[tuple[str, int]]
+) -> list[tuple[str, int]]:
+    """Suppressions that matched nothing (candidates for removal)."""
+    unused = []
+    for module in project.modules:
+        for target, suppression in sorted(module.suppressions.items()):
+            if (module.rel_path, target) not in used:
+                unused.append((module.rel_path, suppression.line))
+    return unused

@@ -1,0 +1,77 @@
+"""Human and ``--json`` rendering of a lint run."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.lint.baseline import BaselineDiff
+from repro.lint.engine import LintRun
+from repro.lint.rules import rule_catalog
+
+
+def render_text(run: LintRun, diff: BaselineDiff | None = None) -> str:
+    """Human report: one line per finding plus a summary footer."""
+    lines: list[str] = []
+    if diff is None:
+        reported = run.findings
+        for finding in reported:
+            lines.append(finding.render())
+    else:
+        reported = diff.new
+        for finding in reported:
+            lines.append(finding.render())
+        if diff.tolerated:
+            lines.append(
+                f"note: {len(diff.tolerated)} pre-existing finding(s) "
+                "tolerated by the baseline"
+            )
+        for key, count in sorted(diff.stale.items()):
+            lines.append(
+                f"stale baseline entry {key}: {count} finding(s) "
+                "were fixed — tighten with --update-baseline"
+            )
+    for path, line in run.unused_suppressions:
+        lines.append(
+            f"note: unused suppression at {path}:{line} (remove it?)"
+        )
+    summary = Counter(finding.code for finding in reported)
+    by_code = ", ".join(
+        f"{code}: {count}" for code, count in sorted(summary.items())
+    )
+    verdict = "clean" if not reported else f"{len(reported)} finding(s)"
+    detail = f" ({by_code})" if by_code else ""
+    lines.append(
+        f"repro lint: {verdict}{detail} in {run.files_checked} file(s)"
+        + (
+            f", {run.suppressed} suppressed inline"
+            if run.suppressed
+            else ""
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_json(run: LintRun, diff: BaselineDiff | None = None) -> str:
+    """Machine report for CI artifacts (stable key order)."""
+    reported = run.findings if diff is None else diff.new
+    payload = {
+        "version": 1,
+        "files_checked": run.files_checked,
+        "suppressed": run.suppressed,
+        "findings": [finding.to_record() for finding in reported],
+        "summary": dict(
+            sorted(
+                Counter(
+                    finding.code for finding in reported
+                ).items()
+            )
+        ),
+        "rules": rule_catalog(),
+    }
+    if diff is not None:
+        payload["baseline"] = {
+            "tolerated": len(diff.tolerated),
+            "stale": dict(sorted(diff.stale.items())),
+        }
+    return json.dumps(payload, indent=2, sort_keys=False)

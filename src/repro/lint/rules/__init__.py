@@ -1,0 +1,33 @@
+"""The rule set of :mod:`repro.lint`.
+
+Importing this package registers every built-in rule; downstream code
+usually just calls :func:`default_rules` for one fresh instance of
+each.  See ``docs/STATIC_ANALYSIS.md`` for the rule catalog with
+rationale and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (import-for-registration)
+    api_integrity,
+    determinism,
+    events_registry,
+    floats,
+    taxonomy,
+    units,
+)
+from repro.lint.rules.base import (
+    REGISTRY,
+    Rule,
+    default_rules,
+    register,
+    rule_catalog,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Rule",
+    "default_rules",
+    "register",
+    "rule_catalog",
+]

@@ -1,0 +1,77 @@
+"""The pluggable rule protocol and registry of ``repro.lint``.
+
+A rule is a class with a stable ``code`` (``RPR0xx``), a short
+``name``, and a ``rationale`` explaining *why* the invariant matters
+to this reproduction.  Per-module rules implement
+:meth:`Rule.check_module`; cross-module rules additionally implement
+:meth:`Rule.finish`, which runs once after every module has been
+visited and may consult state accumulated during the per-module pass.
+
+Rules register themselves with the :func:`register` decorator; the
+engine instantiates one fresh instance of every registered rule per
+run, so accumulated cross-module state never leaks between runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import ClassVar
+
+from repro.exceptions import LintError
+from repro.lint.core import Finding, ModuleContext, ProjectContext
+
+
+class Rule:
+    """Base class for lint rules (subclass and :func:`register`)."""
+
+    #: Stable machine code, ``RPR0xx``.
+    code: ClassVar[str] = ""
+    #: Short kebab-case label for catalogs and reports.
+    name: ClassVar[str] = ""
+    #: Why this invariant matters to the reproduction.
+    rationale: ClassVar[str] = ""
+
+    def check_module(
+        self, module: ModuleContext
+    ) -> Iterable[Finding]:
+        """Per-module pass; yield findings for this module."""
+        return ()
+
+    def finish(self, project: ProjectContext) -> Iterable[Finding]:
+        """Cross-module pass, after every module was visited."""
+        return ()
+
+
+#: All registered rule classes by code.
+REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add a rule to the registry (codes are unique)."""
+    if not cls.code or not cls.name:
+        raise LintError(f"rule {cls.__name__} must define code and name")
+    existing = REGISTRY.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise LintError(
+            f"duplicate rule code {cls.code}: "
+            f"{existing.__name__} and {cls.__name__}"
+        )
+    REGISTRY[cls.code] = cls
+    return cls
+
+
+def default_rules() -> list[Rule]:
+    """One fresh instance of every registered rule, in code order."""
+    return [REGISTRY[code]() for code in sorted(REGISTRY)]
+
+
+def rule_catalog() -> list[dict[str, str]]:
+    """The registry as JSON-safe records (for reports and docs)."""
+    return [
+        {
+            "code": code,
+            "name": REGISTRY[code].name,
+            "rationale": REGISTRY[code].rationale,
+        }
+        for code in sorted(REGISTRY)
+    ]

@@ -1,0 +1,122 @@
+"""RPR001 — determinism: no ambient clocks or unseeded randomness.
+
+The reproduction's headline guarantee is that every figure sweep is
+bit-identical across runs and across worker counts (the golden
+regressions of ``tests/experiments/golden`` depend on it).  One
+``time.time()`` or unseeded ``np.random.default_rng()`` inside
+``src/repro`` silently voids that guarantee, so seeds and timestamps
+must always *arrive as parameters* instead of being pulled from the
+environment.
+
+Duration measurement (``time.perf_counter`` / ``time.monotonic`` /
+``time.process_time``) is deliberately allowed: wall-clock *intervals*
+feed CPU-cost figures and degraded-mode budgets, never the simulated
+statistics.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.core import Finding, ModuleContext, resolve_origin
+from repro.lint.rules.base import Rule, register
+
+#: Calls that read ambient state and are banned outright.
+_BANNED_CALLS = {
+    "time.time": "wall-clock reads are nondeterministic",
+    "time.time_ns": "wall-clock reads are nondeterministic",
+    "datetime.datetime.now": "ambient timestamps are nondeterministic",
+    "datetime.datetime.utcnow": "ambient timestamps are nondeterministic",
+    "datetime.datetime.today": "ambient timestamps are nondeterministic",
+    "datetime.date.today": "ambient timestamps are nondeterministic",
+    "uuid.uuid1": "uuid1 mixes in clock and host state",
+    "uuid.uuid4": "uuid4 draws from the OS entropy pool",
+    "os.urandom": "OS entropy is not replayable",
+}
+
+#: Whole namespaces whose every call is banned.
+_BANNED_PREFIXES = ("secrets.",)
+
+#: numpy.random attributes that are fine to *call* (modern seeded API).
+_NUMPY_OK = {
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+}
+
+#: Constructors that are fine only when given an explicit seed.
+_SEED_REQUIRED = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "random.Random",
+}
+
+
+@register
+class DeterminismRule(Rule):
+    """Ban ambient clocks and unseeded random sources."""
+
+    code = "RPR001"
+    name = "determinism"
+    rationale = (
+        "Golden figure regressions require bit-identical runs; clocks "
+        "and unseeded RNGs must not leak into simulated statistics — "
+        "seeds arrive as parameters."
+    )
+
+    def check_module(
+        self, module: ModuleContext
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolve_origin(node.func, module.imports)
+            if origin is None:
+                continue
+            message = self._verdict(origin, node)
+            if message is not None:
+                yield module.finding(node, self.code, message)
+
+    def _verdict(self, origin: str, node: ast.Call) -> str | None:
+        """Why this resolved call is banned (None = allowed)."""
+        if origin in _BANNED_CALLS:
+            return (
+                f"call to {origin}() is banned in src/repro: "
+                f"{_BANNED_CALLS[origin]}; take the value as a "
+                "parameter instead"
+            )
+        for prefix in _BANNED_PREFIXES:
+            if origin.startswith(prefix):
+                return (
+                    f"call to {origin}() is banned in src/repro: "
+                    "secrets are nondeterministic by design"
+                )
+        if origin in _SEED_REQUIRED:
+            if not node.args and not node.keywords:
+                return (
+                    f"{origin}() without an explicit seed breaks "
+                    "bit-identical replay; thread the seed in as a "
+                    "parameter"
+                )
+            return None
+        if origin.startswith("numpy.random."):
+            tail = origin.rsplit(".", 1)[1]
+            if tail not in _NUMPY_OK:
+                return (
+                    f"legacy global-state API {origin}() is banned; "
+                    "use a seeded numpy.random.default_rng(seed) "
+                    "Generator"
+                )
+        elif origin.startswith("random."):
+            return (
+                f"module-level {origin}() uses the shared global RNG; "
+                "use a seeded random.Random(seed) instance or a "
+                "numpy Generator"
+            )
+        return None

@@ -1,0 +1,195 @@
+"""RPR004 — obs-event registry: publishes and taxonomy must agree.
+
+A cross-module pass over the whole tree.  The event taxonomy is
+harvested from any module defining event classes in the
+``repro.obs.events`` idiom — a class with a ``name: ClassVar[str] =
+"layer.action"`` annotation.  The rule then checks both directions:
+
+* every ``bus.publish(Ctor(...))`` call site must construct a class
+  that is registered in the taxonomy, and every event-name *string*
+  handed to ``subscribe``/``collect`` kind filters must name a
+  registered event — a typo'd ``"cache.hti"`` filter would silently
+  match nothing;
+* every registered event class must be constructed somewhere in the
+  tree — an event nobody can ever observe is dead taxonomy and usually
+  means an instrumentation hook was dropped in a refactor.
+
+When the linted path set contains no taxonomy module at all (e.g. a
+single-package run like ``repro lint src/repro/cache``), the rule
+stays silent rather than reporting everything unknown; run it over the
+full tree to get both directions.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.lint.core import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    terminal_name,
+)
+from repro.lint.rules.base import Rule, register
+
+#: The base event class registers itself under this name; skip it.
+_BASE_EVENT_NAME = "event"
+
+#: Methods whose string arguments are event-name kind filters.
+_KIND_FILTER_METHODS = {"subscribe", "collect"}
+
+
+@dataclass(frozen=True)
+class _EventDef:
+    """One registered event class (harvested from a taxonomy module)."""
+
+    event_name: str
+    class_name: str
+    rel_path: str
+    line: int
+    column: int
+
+
+def _classvar_event_name(node: ast.ClassDef) -> str | None:
+    """The ``name: ClassVar[str] = "..."`` value of an event class."""
+    for statement in node.body:
+        if (
+            isinstance(statement, ast.AnnAssign)
+            and isinstance(statement.target, ast.Name)
+            and statement.target.id == "name"
+            and isinstance(statement.value, ast.Constant)
+            and isinstance(statement.value.value, str)
+            and "ClassVar" in ast.dump(statement.annotation)
+        ):
+            return statement.value.value
+    return None
+
+
+def _string_leaves(node: ast.AST) -> Iterable[ast.Constant]:
+    """String constants inside a literal (tuple/list/set aware)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        yield node
+    elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for element in node.elts:
+            yield from _string_leaves(element)
+
+
+@register
+class EventRegistryRule(Rule):
+    """Cross-check publish/subscribe sites against the event taxonomy."""
+
+    code = "RPR004"
+    name = "obs-event-registry"
+    rationale = (
+        "A publish of an unregistered event or a subscription to a "
+        "typo'd name silently drops telemetry; an event nobody "
+        "publishes is dead taxonomy."
+    )
+
+    def __init__(self) -> None:
+        self._defs: list[_EventDef] = []
+        self._published: list[tuple[str, Finding]] = []
+        self._kind_strings: list[tuple[str, Finding]] = []
+        self._called_names: set[str] = set()
+
+    def check_module(
+        self, module: ModuleContext
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                event_name = _classvar_event_name(node)
+                if (
+                    event_name is not None
+                    and event_name != _BASE_EVENT_NAME
+                    # Taxonomy names are dotted ``layer.action``;
+                    # other ClassVar[str] ``name`` fields (e.g. a
+                    # lint rule's label) are not event classes.
+                    and "." in event_name
+                ):
+                    self._defs.append(
+                        _EventDef(
+                            event_name=event_name,
+                            class_name=node.name,
+                            rel_path=module.rel_path,
+                            line=node.lineno,
+                            column=node.col_offset + 1,
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                self._harvest_call(module, node)
+        return ()
+
+    def _harvest_call(
+        self, module: ModuleContext, node: ast.Call
+    ) -> None:
+        callee = terminal_name(node.func)
+        if callee is not None:
+            self._called_names.add(callee)
+        if callee == "publish" and isinstance(node.func, ast.Attribute):
+            for argument in node.args[:1]:
+                if isinstance(argument, ast.Call):
+                    ctor = terminal_name(argument.func)
+                    if ctor is not None and ctor[:1].isupper():
+                        self._published.append(
+                            (
+                                ctor,
+                                module.finding(
+                                    argument,
+                                    self.code,
+                                    f"publishes {ctor}(...), which is "
+                                    "not registered in the "
+                                    "repro.obs.events taxonomy",
+                                ),
+                            )
+                        )
+        if (
+            callee in _KIND_FILTER_METHODS
+            and isinstance(node.func, ast.Attribute)
+        ):
+            candidates = list(node.args)
+            candidates += [
+                keyword.value
+                for keyword in node.keywords
+                if keyword.arg == "kinds"
+            ]
+            for candidate in candidates:
+                for leaf in _string_leaves(candidate):
+                    self._kind_strings.append(
+                        (
+                            leaf.value,
+                            module.finding(
+                                leaf,
+                                self.code,
+                                f"event-name filter {leaf.value!r} "
+                                "is not in the repro.obs.events "
+                                "taxonomy",
+                            ),
+                        )
+                    )
+
+    def finish(self, project: ProjectContext) -> Iterable[Finding]:
+        if not self._defs:
+            return
+        class_names = {definition.class_name for definition in self._defs}
+        event_names = {definition.event_name for definition in self._defs}
+        for ctor, finding in self._published:
+            if ctor not in class_names:
+                yield finding
+        for value, finding in self._kind_strings:
+            if value not in event_names:
+                yield finding
+        for definition in self._defs:
+            if definition.class_name not in self._called_names:
+                yield Finding(
+                    path=definition.rel_path,
+                    line=definition.line,
+                    column=definition.column,
+                    code=self.code,
+                    message=(
+                        f"event {definition.event_name!r} "
+                        f"({definition.class_name}) is registered but "
+                        "never published anywhere in the linted tree"
+                    ),
+                )

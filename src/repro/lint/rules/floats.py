@@ -1,0 +1,116 @@
+"""RPR002 — float discipline: no ``==``/``!=`` between float values.
+
+The locate-time model and the schedulers accumulate IEEE-754 sums
+whose low bits depend on association order; an exact equality against
+such a value encodes an accident of evaluation order, not a property
+of the schedule.  Compare with a tolerance (``math.isclose``) or —
+better — compare the *integer counts* the float was derived from.
+
+The rule is heuristic (a single-pass AST walk has no type inference):
+an operand is considered float-valued when it is a float literal, a
+``float(...)`` conversion, or a name carrying one of the repo's
+float-typed suffixes (``_seconds``, ``_ratio``, ``_fraction``,
+``_probability``).  Comparisons against an exact-zero literal or
+``math.inf``/``math.nan`` are exempt: zero and infinity are exact in
+IEEE-754 and are used as deliberate sentinels (e.g. "jitter disabled",
+"timeout disabled").
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from collections.abc import Iterable
+
+from repro.lint.core import (
+    Finding,
+    ModuleContext,
+    resolve_origin,
+    terminal_name,
+)
+from repro.lint.rules.base import Rule, register
+
+#: Name suffixes the repo reserves for float-typed quantities.
+_FLOAT_SUFFIXES = ("_seconds", "_ratio", "_fraction", "_probability")
+
+#: Resolved names that are exact float sentinels (comparison-safe).
+_EXACT_SENTINELS = {"math.inf", "math.nan"}
+
+
+def _is_zero_or_inf_literal(node: ast.AST) -> bool:
+    """Exact-zero / infinity literals are IEEE-exact sentinels."""
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        node = node.operand
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        value = node.value
+        return value == 0.0 or math.isinf(value) or math.isnan(value)
+    return False
+
+
+class _FloatVerdict:
+    """Classify one comparison operand."""
+
+    def __init__(self, module: ModuleContext, node: ast.AST) -> None:
+        inner = node
+        if isinstance(inner, ast.UnaryOp) and isinstance(
+            inner.op, (ast.USub, ast.UAdd)
+        ):
+            inner = inner.operand
+        self.exempt = _is_zero_or_inf_literal(node) or (
+            resolve_origin(inner, module.imports) in _EXACT_SENTINELS
+        )
+        self.suspicious = False
+        if self.exempt:
+            return
+        if isinstance(inner, ast.Constant) and isinstance(
+            inner.value, float
+        ):
+            self.suspicious = True
+        elif isinstance(inner, ast.Call) and (
+            isinstance(inner.func, ast.Name)
+            and inner.func.id == "float"
+        ):
+            self.suspicious = True
+        else:
+            name = terminal_name(inner)
+            if name is not None and name.endswith(_FLOAT_SUFFIXES):
+                self.suspicious = True
+
+
+@register
+class FloatDisciplineRule(Rule):
+    """Flag exact equality between float-typed expressions."""
+
+    code = "RPR002"
+    name = "float-discipline"
+    rationale = (
+        "Exact == on accumulated floats encodes evaluation-order "
+        "accidents; use math.isclose or compare the integer counts "
+        "the float came from."
+    )
+
+    def check_module(
+        self, module: ModuleContext
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left = _FloatVerdict(module, operands[index])
+                right = _FloatVerdict(module, operands[index + 1])
+                if left.exempt or right.exempt:
+                    continue
+                if left.suspicious or right.suspicious:
+                    yield module.finding(
+                        node,
+                        self.code,
+                        "exact ==/!= between float-typed "
+                        "expressions; use math.isclose(...) or "
+                        "compare integer counts",
+                    )
+                    break

@@ -1,0 +1,220 @@
+"""RPR003 — exception taxonomy: no swallowed faults, no ad-hoc raises.
+
+The resilience layer's contract (PR 4) is that a
+:class:`~repro.exceptions.DriveFault` is *always* either retried by the
+machinery built for it or surfaced — never silently swallowed.  A bare
+``except:`` or a broad ``except Exception`` handler that does not
+re-raise can eat a fault mid-batch and corrupt the completion
+accounting, so both are banned inside ``src/repro``.
+
+Raises must speak the repo's language: new exceptions come from
+:mod:`repro.exceptions` (or are local subclasses of them), with a
+small sanctioned set of built-ins for caller-contract errors
+(``ValueError`` for bad arguments, ``KeyError`` for missing lookups,
+``NotImplementedError``, ``SystemExit`` for CLIs, ...).  Raising
+``Exception``/``RuntimeError``/``OSError`` directly is flagged — those
+are exactly the types a caller cannot catch precisely.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.core import Finding, ModuleContext, terminal_name
+from repro.lint.rules.base import Rule, register
+
+#: Handler types broad enough to swallow a DriveFault.
+_BROAD_HANDLERS = {
+    "Exception",
+    "BaseException",
+    "ReproError",
+    "DriveError",
+    "DriveFault",
+}
+
+#: Built-ins sanctioned for caller-contract errors.
+_ALLOWED_BUILTINS = {
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "LookupError",
+    "AttributeError",
+    "NotImplementedError",
+    "StopIteration",
+    "SystemExit",
+    "KeyboardInterrupt",
+    "OverflowError",
+    "ZeroDivisionError",
+    "ArithmeticError",
+    "AssertionError",
+    "ImportError",
+    "ModuleNotFoundError",
+}
+
+#: Fallback taxonomy when repro.exceptions cannot be imported (e.g.
+#: when linting a detached fixture tree).
+_FALLBACK_TAXONOMY = {
+    "ReproError",
+    "GeometryError",
+    "SegmentOutOfRange",
+    "SchedulingError",
+    "EmptyBatchError",
+    "BatchTooLarge",
+    "MetricsError",
+    "NoSamplesError",
+    "CacheError",
+    "DriveError",
+    "DriveFault",
+    "LocateFault",
+    "ReadFault",
+    "DriveReset",
+    "NoTapeMounted",
+    "LibraryError",
+    "UnknownTape",
+    "ExperimentError",
+    "TraceError",
+    "LintError",
+}
+
+
+def _taxonomy_names() -> frozenset[str]:
+    """Exception classes exported by :mod:`repro.exceptions`."""
+    try:
+        from repro import exceptions as taxonomy
+    except ImportError:  # pragma: no cover - detached checkout
+        return frozenset(_FALLBACK_TAXONOMY)
+    names = {
+        name
+        for name in dir(taxonomy)
+        if isinstance(getattr(taxonomy, name), type)
+        and issubclass(getattr(taxonomy, name), BaseException)
+    }
+    return frozenset(names | _FALLBACK_TAXONOMY)
+
+
+def _local_allowed(tree: ast.Module, allowed: set[str]) -> set[str]:
+    """Locally defined classes whose base chain reaches an allowed type."""
+    class_bases: dict[str, list[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            bases = [
+                base_name
+                for base in node.bases
+                if (base_name := terminal_name(base)) is not None
+            ]
+            class_bases[node.name] = bases
+    local: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, bases in class_bases.items():
+            if name in local:
+                continue
+            if any(base in allowed or base in local for base in bases):
+                local.add(name)
+                changed = True
+    return local
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body contain any ``raise``?"""
+    return any(
+        isinstance(node, ast.Raise)
+        for child in handler.body
+        for node in ast.walk(child)
+    )
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> list[str]:
+    """Terminal names of the caught type (tuple-aware)."""
+    node = handler.type
+    if node is None:
+        return []
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for element in elements:
+        name = terminal_name(element)
+        if name is not None:
+            names.append(name)
+    return names
+
+
+@register
+class ExceptionTaxonomyRule(Rule):
+    """Ban fault-swallowing handlers and off-taxonomy raises."""
+
+    code = "RPR003"
+    name = "exception-taxonomy"
+    rationale = (
+        "DriveFaults must reach the retry machinery or the caller; "
+        "broad silent handlers corrupt completion accounting, and "
+        "ad-hoc exception types evade the taxonomy callers catch."
+    )
+
+    def __init__(self) -> None:
+        self._taxonomy = _taxonomy_names()
+
+    def check_module(
+        self, module: ModuleContext
+    ) -> Iterable[Finding]:
+        allowed = set(self._taxonomy) | _ALLOWED_BUILTINS
+        allowed |= _local_allowed(module.tree, allowed)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(module, node, allowed)
+
+    def _check_handler(
+        self, module: ModuleContext, handler: ast.ExceptHandler
+    ) -> Iterable[Finding]:
+        if handler.type is None:
+            yield module.finding(
+                handler,
+                self.code,
+                "bare 'except:' swallows everything including "
+                "DriveFault and KeyboardInterrupt; name the "
+                "exception types you mean",
+            )
+            return
+        broad = [
+            name
+            for name in _handler_type_names(handler)
+            if name in _BROAD_HANDLERS
+        ]
+        if broad and not _handler_reraises(handler):
+            yield module.finding(
+                handler,
+                self.code,
+                f"'except {broad[0]}' can swallow DriveFault "
+                "without re-raising; narrow the type or re-raise "
+                "so faults reach the retry machinery",
+            )
+
+    def _check_raise(
+        self,
+        module: ModuleContext,
+        node: ast.Raise,
+        allowed: set[str],
+    ) -> Iterable[Finding]:
+        exc = node.exc
+        if exc is None:
+            return
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = terminal_name(exc)
+        if name is None or not name[:1].isupper():
+            # Re-raising a bound variable or a computed class —
+            # out of static reach; the handler checks cover these.
+            return
+        if name not in allowed:
+            yield module.finding(
+                node,
+                self.code,
+                f"raise of {name} is outside the repro.exceptions "
+                "taxonomy; raise a ReproError subclass (or a "
+                "sanctioned builtin like ValueError) so callers "
+                "can catch precisely",
+            )

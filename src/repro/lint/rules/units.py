@@ -1,0 +1,149 @@
+"""RPR006 — unit naming: time-valued names carry a ``_seconds`` suffix.
+
+The whole codebase accounts time in seconds (``locate_seconds``,
+``penalty_seconds``, ``request_timeout_seconds``, ...) and the phase
+partition of :class:`~repro.obs.events.BatchCompleted` only reconciles
+because every contributor is in the same unit.  A parameter named
+bare ``timeout`` or ``delay_ms`` re-introduces the ambiguity that
+convention removed, so public signatures and class attributes must not
+use suffixless time names or sub-second unit suffixes.
+
+Hour-scale workload knobs (``horizon_hours``, ``rate_per_hour``) are
+exempt: the paper specifies arrival rates per hour, the suffix is
+explicit, and the conversion happens exactly once at the workload
+boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.core import Finding, ModuleContext
+from repro.lint.rules.base import Rule, register
+
+#: Suffixless names that are time quantities with no unit.
+_BARE_TIME_NAMES = {
+    "timeout",
+    "delay",
+    "interval",
+    "duration",
+    "deadline",
+    "latency",
+    "wait",
+    "backoff",
+    "elapsed",
+}
+
+#: Non-second unit suffixes the repo bans in public signatures.
+_BANNED_SUFFIXES = (
+    "_ms",
+    "_msec",
+    "_msecs",
+    "_millis",
+    "_milliseconds",
+    "_micros",
+    "_usec",
+    "_usecs",
+    "_microseconds",
+    "_ns",
+    "_nanos",
+    "_nanoseconds",
+    "_mins",
+    "_minutes",
+    "_hrs",
+)
+
+
+def _bad_name(name: str) -> str | None:
+    """Why a name violates the unit convention (None = fine)."""
+    if name.startswith("_"):
+        return None
+    if name in _BARE_TIME_NAMES:
+        return (
+            f"time-valued name {name!r} has no unit; call it "
+            f"{name}_seconds"
+        )
+    for suffix in _BANNED_SUFFIXES:
+        if name.endswith(suffix):
+            return (
+                f"name {name!r} uses a non-second unit suffix; the "
+                "repo accounts time in seconds — convert at the "
+                "boundary and call it ..._seconds"
+            )
+    return None
+
+
+def _function_params(node: ast.FunctionDef | ast.AsyncFunctionDef):
+    """All named parameters of a function def."""
+    arguments = node.args
+    params = [
+        *arguments.posonlyargs,
+        *arguments.args,
+        *arguments.kwonlyargs,
+    ]
+    if arguments.vararg is not None:
+        params.append(arguments.vararg)
+    if arguments.kwarg is not None:
+        params.append(arguments.kwarg)
+    return params
+
+
+@register
+class UnitNamingRule(Rule):
+    """Enforce ``_seconds`` suffixes on public time-valued names."""
+
+    code = "RPR006"
+    name = "unit-naming"
+    rationale = (
+        "The phase partition reconciles only because every time "
+        "quantity is in seconds; bare 'timeout' or '_ms' names "
+        "re-introduce unit ambiguity at the API surface."
+    )
+
+    def check_module(
+        self, module: ModuleContext
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if node.name.startswith("_"):
+                    continue
+                for param in _function_params(node):
+                    if param.arg in ("self", "cls"):
+                        continue
+                    message = _bad_name(param.arg)
+                    if message is not None:
+                        yield module.finding(
+                            param,
+                            self.code,
+                            f"parameter of {node.name}(): {message}",
+                        )
+            elif isinstance(node, ast.ClassDef):
+                if node.name.startswith("_"):
+                    continue
+                yield from self._check_class_attributes(module, node)
+
+    def _check_class_attributes(
+        self, module: ModuleContext, node: ast.ClassDef
+    ) -> Iterable[Finding]:
+        for statement in node.body:
+            target: ast.expr | None = None
+            if isinstance(statement, ast.AnnAssign):
+                target = statement.target
+            elif isinstance(statement, ast.Assign):
+                target = (
+                    statement.targets[0]
+                    if len(statement.targets) == 1
+                    else None
+                )
+            if not isinstance(target, ast.Name):
+                continue
+            message = _bad_name(target.id)
+            if message is not None:
+                yield module.finding(
+                    statement,
+                    self.code,
+                    f"attribute of {node.name}: {message}",
+                )

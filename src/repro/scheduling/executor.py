@@ -308,6 +308,9 @@ def _execute_hardened(
                         )
                     )
                 break
+            # repro: noqa RPR003 -- this handler IS the retry
+            # machinery RPR003 protects: it retries in place, charges
+            # backoff, and surfaces exhaustion as RequestFailed
             except DriveFault as fault:
                 needs_locate = drive.position != request.segment
                 elapsed = drive.clock_seconds - request_start

@@ -63,7 +63,7 @@ def load_trace(path: str | Path) -> list[TimedRequest]:
         except (json.JSONDecodeError, KeyError, TypeError) as error:
             raise ValueError(
                 f"{path}:{number}: malformed trace line: {error}"
-            )
+            ) from error
         if request.arrival_seconds < 0:
             raise ValueError(
                 f"{path}:{number}: negative arrival time"

@@ -1,0 +1,24 @@
+"""Shared fixtures for the lint test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Repository root (tests/lint/conftest.py -> repo).
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> Path:
+    """Repository root directory."""
+    return REPO_ROOT
+
+
+@pytest.fixture(scope="session")
+def live_run():
+    """One full-tree lint run shared by the live-tree tests."""
+    from repro.lint import run_lint
+
+    return run_lint([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)

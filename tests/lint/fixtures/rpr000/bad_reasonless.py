@@ -1,0 +1,3 @@
+"""Known-bad: suppressions must carry a written reason."""
+
+value = 1  # repro: noqa RPR001

@@ -1,0 +1,3 @@
+"""Known-bad: suppressing a rule code that does not exist."""
+
+value = 1  # repro: noqa RPR999 -- there is no such rule

@@ -1,0 +1,5 @@
+"""Known-clean: a real violation silenced by a well-formed suppression."""
+
+import time
+
+started = time.time()  # repro: noqa RPR001 -- fixture demonstrating the suppression syntax

@@ -1,0 +1,11 @@
+"""Known-bad: unseeded / global-state randomness."""
+
+import random
+
+import numpy as np
+
+
+def draw_segments(count: int) -> list[int]:
+    rng = np.random.default_rng()
+    jitter = random.random()
+    return [int(rng.integers(0, 100) + jitter) for _ in range(count)]

@@ -1,0 +1,10 @@
+"""Known-bad: ambient clock reads inside simulation code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_arrival(segment: int) -> tuple[int, float, str]:
+    arrived = time.time()
+    label = datetime.now().isoformat()
+    return segment, arrived, label

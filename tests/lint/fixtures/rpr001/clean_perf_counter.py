@@ -1,0 +1,9 @@
+"""Known-clean: duration measurement is allowed (never simulated data)."""
+
+import time
+
+
+def measure(work) -> float:
+    started = time.perf_counter()
+    work()
+    return time.perf_counter() - started

@@ -1,0 +1,8 @@
+"""Known-clean: the seed arrives as a parameter."""
+
+import numpy as np
+
+
+def draw_segments(count: int, seed: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [int(value) for value in rng.integers(0, 100, size=count)]

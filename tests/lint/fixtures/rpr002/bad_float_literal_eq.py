@@ -1,0 +1,9 @@
+"""Known-bad: exact equality against a non-zero float literal."""
+
+
+def is_complete(ratio: float) -> bool:
+    return ratio == 1.0
+
+
+def drifted(value: float) -> bool:
+    return value != 0.5

@@ -1,0 +1,5 @@
+"""Known-bad: exact equality between accumulated time sums."""
+
+
+def phases_reconcile(locate_seconds: float, total_seconds: float) -> bool:
+    return locate_seconds == total_seconds

@@ -1,0 +1,9 @@
+"""Known-clean: tolerance comparison on float quantities."""
+
+import math
+
+
+def phases_reconcile(locate_seconds: float, total_seconds: float) -> bool:
+    return math.isclose(
+        locate_seconds, total_seconds, rel_tol=1e-9, abs_tol=1e-12
+    )

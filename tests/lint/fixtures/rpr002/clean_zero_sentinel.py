@@ -1,0 +1,11 @@
+"""Known-clean: exact-zero and infinity sentinels are IEEE-exact."""
+
+import math
+
+
+def jitter_disabled(jitter_fraction: float) -> bool:
+    return jitter_fraction == 0.0
+
+
+def timeout_disabled(request_timeout_seconds: float) -> bool:
+    return request_timeout_seconds == math.inf

@@ -1,0 +1,8 @@
+"""Known-bad: bare except swallows everything."""
+
+
+def read_or_default(drive, segment: int) -> float:
+    try:
+        return drive.read(segment)
+    except:
+        return 0.0

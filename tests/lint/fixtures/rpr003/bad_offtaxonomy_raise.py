@@ -1,0 +1,8 @@
+"""Known-bad: raising types callers cannot catch precisely."""
+
+
+def check_rate(rate: float) -> None:
+    if rate < 0:
+        raise Exception("negative rate")
+    if rate > 1:
+        raise RuntimeError("rate over 1")

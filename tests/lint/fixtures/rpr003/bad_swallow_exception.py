@@ -1,0 +1,8 @@
+"""Known-bad: broad handler with no re-raise can eat a DriveFault."""
+
+
+def execute_quietly(drive, segment: int) -> float | None:
+    try:
+        return drive.locate(segment)
+    except Exception:
+        return None

@@ -1,0 +1,9 @@
+"""Known-clean: broad handler that re-raises after annotating."""
+
+
+def execute_annotated(drive, segment: int) -> float:
+    try:
+        return drive.locate(segment)
+    except Exception as error:
+        error.add_note(f"while locating segment {segment}")
+        raise

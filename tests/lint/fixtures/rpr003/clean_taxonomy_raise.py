@@ -1,0 +1,15 @@
+"""Known-clean: taxonomy types and sanctioned builtins only."""
+
+from repro.exceptions import SchedulingError
+
+
+class LocalSchedulingError(SchedulingError):
+    pass
+
+
+def order_batch(requests: list[int]) -> list[int]:
+    if not isinstance(requests, list):
+        raise TypeError("requests must be a list")
+    if not requests:
+        raise LocalSchedulingError("empty batch")
+    return sorted(requests)

@@ -1,0 +1,20 @@
+"""Mini taxonomy: one live event, one nobody ever publishes."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class Event:
+    name: ClassVar[str] = "event"
+    seconds: float
+
+
+@dataclass(frozen=True)
+class LiveEvent(Event):
+    name: ClassVar[str] = "fixture.live"
+
+
+@dataclass(frozen=True)
+class DeadEvent(Event):
+    name: ClassVar[str] = "fixture.dead"

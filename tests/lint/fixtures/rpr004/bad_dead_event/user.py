@@ -1,0 +1,7 @@
+"""Known-bad companion: only LiveEvent is ever published."""
+
+from events import LiveEvent
+
+
+def instrument(bus) -> None:
+    bus.publish(LiveEvent(seconds=0.0))

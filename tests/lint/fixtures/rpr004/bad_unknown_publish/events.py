@@ -1,0 +1,16 @@
+"""Mini taxonomy: one registered event."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class Event:
+    name: ClassVar[str] = "event"
+    seconds: float
+
+
+@dataclass(frozen=True)
+class KnownEvent(Event):
+    name: ClassVar[str] = "fixture.known"
+    segment: int

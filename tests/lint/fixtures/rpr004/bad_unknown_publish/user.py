@@ -1,0 +1,8 @@
+"""Known-bad: publishes an event class the taxonomy never registered."""
+
+from events import KnownEvent, UnregisteredEvent
+
+
+def instrument(bus) -> None:
+    bus.publish(KnownEvent(seconds=0.0, segment=1))
+    bus.publish(UnregisteredEvent(seconds=1.0))

@@ -1,0 +1,15 @@
+"""Mini taxonomy: every registered event is published somewhere."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class Event:
+    name: ClassVar[str] = "event"
+    seconds: float
+
+
+@dataclass(frozen=True)
+class HitEvent(Event):
+    name: ClassVar[str] = "fixture.hit"

@@ -1,0 +1,10 @@
+"""Known-clean: publishes and subscribes only registered names."""
+
+from events import HitEvent
+
+
+def instrument(bus) -> list:
+    hits = bus.collect("fixture.hit")
+    bus.subscribe(print, kinds=("fixture.hit",))
+    bus.publish(HitEvent(seconds=0.0))
+    return hits

@@ -1,0 +1,14 @@
+"""Known-bad: a deprecation shim whose moved target no longer resolves."""
+
+_MOVED = ("vanished_name",)
+
+_TARGETS: dict[str, object] = {}
+
+
+def __getattr__(name: str):
+    try:
+        return _TARGETS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None

@@ -1,0 +1,5 @@
+"""Known-bad: __all__ exports a name the module never defines."""
+
+present = 1
+
+__all__ = ["present", "missing_export"]

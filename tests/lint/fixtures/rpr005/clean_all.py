@@ -1,0 +1,10 @@
+"""Known-clean: every __all__ entry resolves."""
+
+
+def exported() -> int:
+    return 1
+
+
+CONSTANT = 2
+
+__all__ = ["CONSTANT", "exported"]

@@ -1,0 +1,14 @@
+"""Known-clean: a shim whose every moved name still resolves."""
+
+_MOVED = ("moved_name",)
+
+_TARGETS: dict[str, object] = {"moved_name": object()}
+
+
+def __getattr__(name: str):
+    try:
+        return _TARGETS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None

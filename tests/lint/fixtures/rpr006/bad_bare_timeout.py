@@ -1,0 +1,5 @@
+"""Known-bad: suffixless time-valued parameter names."""
+
+
+def execute(schedule, timeout: float, delay: float = 0.0) -> None:
+    del schedule, timeout, delay

@@ -1,0 +1,9 @@
+"""Known-bad: sub-second unit suffixes on a public attribute."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RetryKnobs:
+    backoff_ms: int = 100
+    budget_minutes: float = 2.0

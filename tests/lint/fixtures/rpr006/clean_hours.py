@@ -1,0 +1,5 @@
+"""Known-clean: hour-scale workload knobs are explicitly exempt."""
+
+
+def simulate(horizon_hours: float, rate_per_hour: float) -> float:
+    return horizon_hours * rate_per_hour

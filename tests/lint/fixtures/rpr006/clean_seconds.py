@@ -1,0 +1,13 @@
+"""Known-clean: explicit _seconds suffixes everywhere."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RetryKnobs:
+    backoff_seconds: float = 0.1
+    budget_seconds: float = 120.0
+
+
+def execute(schedule, timeout_seconds: float) -> None:
+    del schedule, timeout_seconds

@@ -1,0 +1,106 @@
+"""The baseline ratchet: findings may only ever go down."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import LintError
+from repro.lint import (
+    Finding,
+    diff_baseline,
+    finding_counts,
+    load_baseline,
+    save_baseline,
+)
+
+
+def _finding(path="src/m.py", line=1, code="RPR001"):
+    return Finding(
+        path=path, line=line, column=1, code=code, message="x"
+    )
+
+
+class TestCounts:
+    def test_counts_bucket_by_path_and_code(self):
+        findings = [
+            _finding(line=1),
+            _finding(line=9),
+            _finding(code="RPR002"),
+            _finding(path="src/n.py"),
+        ]
+        assert finding_counts(findings) == {
+            "src/m.py::RPR001": 2,
+            "src/m.py::RPR002": 1,
+            "src/n.py::RPR001": 1,
+        }
+
+
+class TestDiff:
+    def test_clean_when_within_allowance(self):
+        findings = [_finding(line=4)]
+        diff = diff_baseline(findings, {"src/m.py::RPR001": 1})
+        assert diff.clean
+        assert diff.new == []
+        assert diff.tolerated == findings
+        assert diff.stale == {}
+
+    def test_line_moves_do_not_dirty_the_gate(self):
+        diff = diff_baseline(
+            [_finding(line=99)], {"src/m.py::RPR001": 1}
+        )
+        assert diff.clean
+
+    def test_exceeding_allowance_is_new(self):
+        diff = diff_baseline(
+            [_finding(line=1), _finding(line=2)],
+            {"src/m.py::RPR001": 1},
+        )
+        assert not diff.clean
+        assert len(diff.new) == 1
+        assert len(diff.tolerated) == 1
+
+    def test_unknown_bucket_is_new(self):
+        diff = diff_baseline([_finding()], {})
+        assert not diff.clean
+
+    def test_fixed_findings_leave_stale_entries(self):
+        diff = diff_baseline([], {"src/m.py::RPR001": 2})
+        assert diff.clean  # stale warns, never hides new findings
+        assert diff.stale == {"src/m.py::RPR001": 2}
+
+
+class TestFile:
+    def test_save_load_roundtrip(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        save_baseline(target, [_finding(), _finding(line=2)])
+        assert load_baseline(target) == {"src/m.py::RPR001": 2}
+
+    def test_missing_file_raises_lint_error(self, tmp_path):
+        with pytest.raises(LintError, match="does not exist"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_corrupt_file_raises_lint_error(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("{not json", encoding="utf-8")
+        with pytest.raises(LintError, match="corrupt"):
+            load_baseline(target)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(
+            json.dumps({"version": 99, "counts": {}}), encoding="utf-8"
+        )
+        with pytest.raises(LintError, match="version"):
+            load_baseline(target)
+
+    def test_malformed_counts_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(
+            json.dumps({"version": 1, "counts": {"k": 0}}),
+            encoding="utf-8",
+        )
+        with pytest.raises(LintError, match="malformed"):
+            load_baseline(target)

@@ -1,0 +1,118 @@
+"""The ``repro lint`` CLI: exit codes, JSON schema, baseline flags."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _write_bad(tmp_path: Path) -> Path:
+    path = tmp_path / "bad.py"
+    path.write_text(
+        textwrap.dedent(
+            """\
+            import time
+
+            NOW = time.time()
+            """
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+    assert lint_main([str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_violation_exits_one(tmp_path, capsys):
+    _write_bad(tmp_path)
+    assert lint_main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR001" in out
+
+
+def test_fixture_violation_fails_via_repro_cli(capsys):
+    """`repro lint` dispatches from the main CLI and fails on bad input."""
+    bad = FIXTURES / "rpr001" / "bad_wall_clock.py"
+    assert repro_main(["lint", str(bad)]) == 1
+    assert "RPR001" in capsys.readouterr().out
+
+
+def test_json_report_schema(tmp_path, capsys):
+    _write_bad(tmp_path)
+    assert lint_main([str(tmp_path), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["files_checked"] == 1
+    assert payload["summary"] == {"RPR001": 1}
+    [finding] = payload["findings"]
+    assert finding["code"] == "RPR001"
+    assert finding["path"].endswith("bad.py")
+    codes = [rule["code"] for rule in payload["rules"]]
+    assert codes == sorted(codes)
+    assert {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+            "RPR006"} <= set(codes)
+
+
+def test_baseline_tolerates_known_findings(tmp_path, capsys):
+    _write_bad(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert lint_main(
+        [str(tmp_path), "--baseline", str(baseline), "--update-baseline"]
+    ) == 0
+    capsys.readouterr()
+    assert lint_main([str(tmp_path), "--baseline", str(baseline)]) == 0
+    assert "tolerated" in capsys.readouterr().out
+
+
+def test_baseline_rejects_new_findings(tmp_path, capsys):
+    _write_bad(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert lint_main(
+        [str(tmp_path), "--baseline", str(baseline), "--update-baseline"]
+    ) == 0
+    (tmp_path / "worse.py").write_text(
+        "import time\ny = time.time()\n", encoding="utf-8"
+    )
+    capsys.readouterr()
+    assert lint_main([str(tmp_path), "--baseline", str(baseline)]) == 1
+
+
+def test_stale_baseline_warns_and_strict_fails(tmp_path, capsys):
+    bad = _write_bad(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert lint_main(
+        [str(tmp_path), "--baseline", str(baseline), "--update-baseline"]
+    ) == 0
+    bad.write_text("x = 1\n", encoding="utf-8")  # fix the violation
+    capsys.readouterr()
+    assert lint_main([str(tmp_path), "--baseline", str(baseline)]) == 0
+    assert "stale baseline" in capsys.readouterr().out
+    assert lint_main(
+        [str(tmp_path), "--baseline", str(baseline), "--strict-baseline"]
+    ) == 1
+
+
+def test_missing_baseline_is_usage_error(tmp_path, capsys):
+    _write_bad(tmp_path)
+    assert lint_main(
+        [str(tmp_path), "--baseline", str(tmp_path / "absent.json")]
+    ) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                 "RPR006"):
+        assert code in out

@@ -1,0 +1,118 @@
+"""Engine mechanics: suppressions, parse errors, determinism of output."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.core import parse_suppressions
+
+
+def _write(tmp_path: Path, name: str, body: str) -> Path:
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return path
+
+
+class TestSuppressionParsing:
+    def test_trailing_comment_targets_its_own_line(self):
+        source = "import time\nx = time.time()  # repro: noqa RPR001 -- demo\n"
+        suppressions, problems = parse_suppressions(source, "f.py")
+        assert problems == []
+        assert set(suppressions) == {2}
+        assert suppressions[2].codes == {"RPR001"}
+        assert suppressions[2].reason == "demo"
+
+    def test_comment_only_line_targets_next_code_line(self):
+        source = textwrap.dedent(
+            """\
+            import time
+
+            # repro: noqa RPR001 -- long justification lives
+            # in a block above the statement
+            x = time.time()
+            """
+        )
+        suppressions, problems = parse_suppressions(source, "f.py")
+        assert problems == []
+        assert set(suppressions) == {5}
+        assert suppressions[5].line == 3
+
+    def test_multiple_codes_one_comment(self):
+        source = "x = 1  # repro: noqa RPR001, RPR002 -- both\n"
+        suppressions, _ = parse_suppressions(source, "f.py")
+        assert suppressions[1].codes == {"RPR001", "RPR002"}
+
+    def test_reasonless_suppression_is_malformed(self):
+        source = "x = 1  # repro: noqa RPR001\n"
+        suppressions, problems = parse_suppressions(source, "f.py")
+        assert suppressions == {}
+        assert [p.code for p in problems] == ["RPR000"]
+
+    def test_suppression_inside_string_literal_is_ignored(self):
+        source = "msg = 'use # repro: noqa RPR001 -- reason'\n"
+        suppressions, problems = parse_suppressions(source, "f.py")
+        assert suppressions == {}
+        assert problems == []
+
+
+class TestEngine:
+    def test_syntax_error_becomes_rpr000(self, tmp_path):
+        path = _write(tmp_path, "broken.py", "def f(:\n")
+        run = run_lint([path], root=tmp_path)
+        assert [f.code for f in run.findings] == ["RPR000"]
+        assert "syntax error" in run.findings[0].message
+
+    def test_suppressed_finding_is_dropped_and_counted(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """\
+            import time
+
+            NOW = time.time()  # repro: noqa RPR001 -- test double
+            """,
+        )
+        run = run_lint([path], root=tmp_path)
+        assert run.findings == []
+        assert run.suppressed == 1
+        assert run.unused_suppressions == []
+
+    def test_unused_suppression_is_reported(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            "x = 1  # repro: noqa RPR001 -- nothing here to silence\n",
+        )
+        run = run_lint([path], root=tmp_path)
+        assert run.findings == []
+        assert run.unused_suppressions == [("mod.py", 1)]
+
+    def test_suppression_with_unknown_code_is_flagged(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            "x = 1  # repro: noqa RPR998 -- no such rule\n",
+        )
+        run = run_lint([path], root=tmp_path)
+        assert [f.code for f in run.findings] == ["RPR000"]
+        assert "RPR998" in run.findings[0].message
+
+    def test_findings_are_sorted_and_stable(self, tmp_path):
+        _write(
+            tmp_path,
+            "b.py",
+            "import time\nx = time.time()\ny = time.time()\n",
+        )
+        _write(tmp_path, "a.py", "import time\nz = time.time()\n")
+        first = run_lint([tmp_path], root=tmp_path)
+        second = run_lint([tmp_path], root=tmp_path)
+        assert first.findings == second.findings
+        assert [f.path for f in first.findings] == ["a.py", "b.py", "b.py"]
+        assert first.files_checked == 2
+
+    def test_directory_and_file_inputs_deduplicate(self, tmp_path):
+        path = _write(tmp_path, "mod.py", "x = 1\n")
+        run = run_lint([tmp_path, path], root=tmp_path)
+        assert run.files_checked == 1

@@ -1,0 +1,88 @@
+"""The live ``src/repro`` tree must be clean modulo the baseline.
+
+These are the tests that make ``repro.lint`` a gate rather than a
+demo: the shipped tree lints clean against the committed baseline,
+the baseline may only ever shrink, and every advertised rule is
+actually registered and exercised by the run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import (
+    REGISTRY,
+    diff_baseline,
+    finding_counts,
+    load_baseline,
+)
+
+from conftest import REPO_ROOT
+
+BASELINE_PATH = REPO_ROOT / "tools" / "lint_baseline.json"
+
+
+def test_all_advertised_rules_are_registered():
+    assert set(REGISTRY) == {
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"
+    }
+
+
+def test_live_tree_is_clean_modulo_baseline(live_run):
+    baseline = load_baseline(BASELINE_PATH)
+    diff = diff_baseline(live_run.findings, baseline)
+    assert diff.clean, "new lint findings:\n" + "\n".join(
+        finding.render() for finding in diff.new
+    )
+
+
+def test_baseline_has_no_stale_entries(live_run):
+    """The ratchet stays tight: fixed findings leave the baseline."""
+    baseline = load_baseline(BASELINE_PATH)
+    diff = diff_baseline(live_run.findings, baseline)
+    assert diff.stale == {}, (
+        "baseline entries outlived their findings — tighten with "
+        "`repro lint src/repro --baseline tools/lint_baseline.json "
+        "--update-baseline`"
+    )
+
+
+def test_baseline_can_only_shrink(live_run):
+    """Every live finding bucket must fit inside its allowance.
+
+    This is the only-downward direction stated bucket by bucket: no
+    path::code pair may exceed what the committed file admits, so the
+    counts in ``tools/lint_baseline.json`` can never be grown to let
+    a new violation in without this test failing first.
+    """
+    baseline = load_baseline(BASELINE_PATH)
+    live = finding_counts(live_run.findings)
+    for key, count in sorted(live.items()):
+        assert count <= baseline.get(key, 0), (
+            f"{key}: {count} live finding(s) exceed the baseline "
+            f"allowance of {baseline.get(key, 0)}"
+        )
+
+
+def test_no_unused_suppressions_in_live_tree(live_run):
+    assert live_run.unused_suppressions == []
+
+
+def test_every_live_suppression_has_a_reason():
+    """Enforced by the parser, but assert it over the shipped tree."""
+    from repro.lint.core import parse_suppressions
+
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        suppressions, problems = parse_suppressions(
+            source, path.as_posix()
+        )
+        assert problems == []
+        for suppression in suppressions.values():
+            assert suppression.reason
+
+
+def test_committed_baseline_file_is_valid_json():
+    payload = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert isinstance(payload["counts"], dict)

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""mypy error-count ratchet: the ceiling may only ever go down.
+
+CI runs ``python tools/check_mypy_ratchet.py`` after installing mypy.
+The script invokes mypy with the repo's pyproject configuration,
+counts ``error:`` lines, and compares against the ceiling committed
+in ``tools/mypy_ratchet.json``:
+
+* count > ceiling  -> exit 1 (new type errors were introduced)
+* count < ceiling  -> exit 0 with a reminder to tighten via --update
+* count == ceiling -> exit 0
+
+``--update`` rewrites the ceiling to the current count.  Like the
+lint baseline, run it only after *fixing* errors — never to admit
+new ones (the diff in review makes the direction obvious).
+
+When mypy is not installed (the local container does not ship it)
+the script prints a notice and exits 0 so local workflows keep
+working; CI always installs mypy first, so the gate cannot be
+skipped where it matters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RATCHET_PATH = REPO_ROOT / "tools" / "mypy_ratchet.json"
+_ERROR_RE = re.compile(r": error:")
+
+
+def load_ceiling(path: Path = RATCHET_PATH) -> int:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    ceiling = payload["max_errors"]
+    if not isinstance(ceiling, int) or ceiling < 0:
+        raise SystemExit(f"malformed ratchet file: {path}")
+    return ceiling
+
+
+def save_ceiling(count: int, path: Path = RATCHET_PATH) -> None:
+    payload = {
+        "comment": (
+            "mypy error-count ceiling; may only decrease. "
+            "Update with: python tools/check_mypy_ratchet.py --update"
+        ),
+        "max_errors": count,
+    }
+    path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def run_mypy() -> tuple[int, str]:
+    """Run mypy from the repo root; return (error_count, output)."""
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file",
+         "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    output = result.stdout + result.stderr
+    count = sum(
+        1 for line in output.splitlines() if _ERROR_RE.search(line)
+    )
+    return count, output
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the ceiling to the current error count",
+    )
+    args = parser.parse_args(argv)
+    if shutil.which("mypy") is None:
+        try:
+            import mypy  # noqa: F401
+        except ImportError:
+            print(
+                "mypy is not installed; skipping the ratchet check "
+                "(CI installs mypy and enforces it there)"
+            )
+            return 0
+    count, output = run_mypy()
+    if args.update:
+        save_ceiling(count)
+        print(f"mypy ratchet ceiling updated to {count}")
+        return 0
+    ceiling = load_ceiling()
+    print(f"mypy: {count} error(s), ceiling {ceiling}")
+    if count > ceiling:
+        sys.stdout.write(output)
+        print(
+            f"FAIL: {count - ceiling} new mypy error(s) over the "
+            "committed ceiling — fix them or discuss raising the "
+            "ratchet in review"
+        )
+        return 1
+    if count < ceiling:
+        print(
+            "note: error count dropped below the ceiling — tighten "
+            "with: python tools/check_mypy_ratchet.py --update"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
