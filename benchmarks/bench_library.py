@@ -1,0 +1,65 @@
+"""Multi-drive library benchmarks.
+
+Two macro cases time the ``library-sim`` sweep — the raw
+``MultiDriveSystem`` serving loop at one grid point, and the full
+1/2/4-drive sweep behind ``python -m repro library-sim`` — and each
+asserts the sweep's headline finding as a guard: no request is ever
+lost, and adding drives strictly lowers the mean response time.
+"""
+
+import pytest
+
+from repro.experiments import library_sim
+from repro.geometry import generate_tape
+from repro.library import Cartridge, MultiDriveSystem, poisson_library_stream
+
+from conftest import run_once
+
+RATE_PER_HOUR = 240.0
+HORIZON_SECONDS = 2 * 3600.0
+CARTRIDGES = 8
+
+
+@pytest.fixture(scope="module")
+def shelf_and_requests():
+    shelf = [
+        Cartridge(f"tape-{i}", generate_tape(seed=i + 1))
+        for i in range(CARTRIDGES)
+    ]
+    requests = poisson_library_stream(
+        [c.label for c in shelf],
+        rate_per_hour=RATE_PER_HOUR,
+        total_segments=shelf[0].geometry.total_segments,
+        seed=3,
+        horizon_seconds=HORIZON_SECONDS,
+    )
+    return shelf, requests
+
+
+def test_multidrive_serving_loop(benchmark, shelf_and_requests):
+    shelf, requests = shelf_and_requests
+
+    def serve():
+        system = MultiDriveSystem(shelf, drives=4)
+        stats = system.run(requests)
+        return system, stats
+
+    system, stats = benchmark(serve)
+    assert stats.count + len(system.failed) == len(requests)
+    assert system.lost == 0
+
+
+def test_library_sim_sweep(benchmark, quick_config):
+    result = run_once(
+        benchmark,
+        library_sim.run,
+        quick_config,
+        drives=(1, 2, 4),
+        assignments=("affinity",),
+        horizon_hours=1.0,
+    )
+    assert result.all_complete
+    means = [p.mean_response_seconds for p in result.points]
+    assert all(m is not None for m in means)
+    # The sweep's headline: each added drive strictly helps.
+    assert means[0] > means[1] > means[2]

@@ -63,6 +63,7 @@ from repro.obs import (
     bind_standard_metrics,
     summarize_events,
 )
+from repro.library import LibraryRequest, MultiDriveSystem
 from repro.online import (
     BatchPolicy,
     CacheStats,
@@ -133,11 +134,13 @@ __all__ = [
     "GDSFPolicy",
     "GeometryError",
     "LRUPolicy",
+    "LibraryRequest",
     "LocateCase",
     "LocateTimeModel",
     "LossScheduler",
     "MetricsError",
     "MetricsRegistry",
+    "MultiDriveSystem",
     "NoSamplesError",
     "OptScheduler",
     "ReadEntireTapeScheduler",

@@ -71,8 +71,18 @@ from repro.obs import (
     write_events_csv,
     write_events_jsonl,
 )
+from repro.library import (
+    LibraryBatchRecord,
+    LibraryRequest,
+    MultiDriveSystem,
+    assignment_policy_names,
+    exchange_policy_names,
+    get_assignment_policy,
+    get_exchange_policy,
+    poisson_library_stream,
+)
+from repro.library.cartridge import Cartridge, TapeLibrary
 from repro.online.batch_queue import BatchPolicy, BatchQueue
-from repro.online.library import Cartridge, TapeLibrary
 from repro.online.metrics import CacheStats, ResponseStats
 from repro.online.system import BatchRecord, TertiaryStorageSystem
 from repro.resilience import (
@@ -113,12 +123,15 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "Finding",
+    "LibraryBatchRecord",
+    "LibraryRequest",
     "LintError",
     "LintRun",
     "LocateFault",
     "LocateTimeModel",
     "MetricsError",
     "MetricsRegistry",
+    "MultiDriveSystem",
     "NoSamplesError",
     "PoissonArrivals",
     "ReadFault",
@@ -143,13 +156,18 @@ __all__ = [
     "TraceSummary",
     "ZipfArrivals",
     "__version__",
+    "assignment_policy_names",
     "bind_standard_metrics",
     "cache_stats_from_events",
     "estimate_schedule_seconds",
     "event_from_record",
+    "exchange_policy_names",
     "execute_schedule",
     "generate_tape",
+    "get_assignment_policy",
+    "get_exchange_policy",
     "get_scheduler",
+    "poisson_library_stream",
     "read_events_jsonl",
     "response_stats_from_events",
     "result_to_rows",

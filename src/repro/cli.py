@@ -27,6 +27,7 @@ from repro.experiments import (
     figure8,
     figure9,
     figure10,
+    library_sim,
     optimality,
     section3_stats,
     seed_stability,
@@ -90,14 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(
-            {*_CONFIGURED, *_SEED_ONLY, "cache-sim", "chaos", "trace",
-             "all"}
+            {*_CONFIGURED, *_SEED_ONLY, "cache-sim", "chaos",
+             "library-sim", "trace", "all"}
         ),
         help=(
             "which figure/table to regenerate, 'cache-sim' for the "
             "disk staging cache extension, 'chaos' for a fault-"
-            "injection sweep of the hardened serving path, or 'trace' "
-            "for an instrumented run with telemetry cross-checks"
+            "injection sweep of the hardened serving path, "
+            "'library-sim' for the multi-drive robotic library sweep, "
+            "or 'trace' for an instrumented run with telemetry "
+            "cross-checks"
         ),
     )
     parser.add_argument(
@@ -213,6 +216,36 @@ def build_parser() -> argparse.ArgumentParser:
             "it is surfaced as failed (default: 2)"
         ),
     )
+    library = parser.add_argument_group(
+        "library-sim options (ignored by the paper experiments)"
+    )
+    library.add_argument(
+        "--drives", type=int, action="append", default=None,
+        metavar="N",
+        help=(
+            "drive count; repeat the flag for a sweep "
+            "(default: 1 2 4)"
+        ),
+    )
+    library.add_argument(
+        "--cartridges", type=int, default=None, metavar="N",
+        help="cartridges on the shelf (default: 8)",
+    )
+    library.add_argument(
+        "--assignment-policy", action="append", default=None,
+        metavar="NAME",
+        help=(
+            "tape-to-drive assignment policy; repeat the flag for a "
+            "sweep (default: affinity least-loaded)"
+        ),
+    )
+    library.add_argument(
+        "--exchange-policy", default="drain", metavar="NAME",
+        help=(
+            "when a mounted tape may be released back to the shelf "
+            "(default: drain)"
+        ),
+    )
     trace = parser.add_argument_group(
         "trace options (ignored by the paper experiments)"
     )
@@ -223,8 +256,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--smoke", action="store_true",
         help=(
-            "exit non-zero unless the telemetry cross-checks hold "
-            "(phase sums reconcile; trace mean == stats mean)"
+            "trace: exit non-zero unless the telemetry cross-checks "
+            "hold; library-sim: shrink to the CI gate (2 drives, one "
+            "policy, short horizon)"
         ),
     )
     trace.add_argument(
@@ -347,6 +381,37 @@ def main(argv: Sequence[str] | None = None) -> int:
             written = write_result(result, args.out)
             print(f"exported to {written}")
         # Losing a request is a resilience-layer bug, not a statistic.
+        return 0 if result.all_complete else 1
+    if args.experiment == "library-sim":
+        if args.drives and any(d < 1 for d in args.drives):
+            parser.error("--drives must be >= 1")
+        if args.cartridges is not None and args.cartridges < 1:
+            parser.error("--cartridges must be >= 1")
+        result = library_sim.main(
+            config,
+            drives=tuple(args.drives) if args.drives else None,
+            cartridges=(
+                args.cartridges if args.cartridges is not None
+                else library_sim.DEFAULT_CARTRIDGES
+            ),
+            assignments=(
+                tuple(args.assignment_policy)
+                if args.assignment_policy else None
+            ),
+            exchange=args.exchange_policy,
+            rates=(args.rate_per_hour,),
+            horizon_hours=args.horizon_hours,
+            max_batch=args.max_batch,
+            algorithm=args.algorithm,
+            smoke=args.smoke,
+        )
+        if args.out is not None:
+            from repro.experiments.export import write_result
+
+            written = write_result(result, args.out)
+            print(f"exported to {written}")
+        # A request that neither completed nor failed is a kernel
+        # bug, not a statistic.
         return 0 if result.all_complete else 1
     if args.experiment == "trace":
         result = trace_run.main(

@@ -18,6 +18,7 @@ from repro.experiments import (
     figure8,
     figure9,
     figure10,
+    library_sim,
     optimality,
     section3_stats,
     seed_stability,
@@ -88,6 +89,7 @@ __all__ = [
     "figure10",
     "format_table",
     "full_trials",
+    "library_sim",
     "optimality",
     "paper_trials",
     "print_table",

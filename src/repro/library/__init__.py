@@ -1,0 +1,64 @@
+"""The robotic tape library: cartridges, drives, robot, kernel, system.
+
+``repro.library`` holds everything between "a request names a
+cartridge" and "a drive reads its segments": the cartridge shelf and
+single-drive :class:`TapeLibrary` (moved here from
+``repro.online.library``), the discrete-event
+:class:`~repro.library.kernel.EventKernel`, the shared
+:class:`~repro.library.robot.RobotArm`, pluggable drive-assignment and
+exchange policies, and the N-drive :class:`MultiDriveSystem` that ties
+them together.  See ``docs/LIBRARY.md``.
+"""
+
+# Cartridge names first: repro.online imports them from the submodule
+# directly, and the system module below imports repro.online, so this
+# order keeps the partial-module window safe in both directions.
+from repro.library.cartridge import (
+    Cartridge,
+    DEFAULT_EXCHANGE_SECONDS,
+    TapeLibrary,
+)
+from repro.library.drives import DriveBay, DriveState
+from repro.library.kernel import EventKernel
+from repro.library.policies import (
+    AssignmentPolicy,
+    DrainBatchExchange,
+    ExchangePolicy,
+    LeastLoadedAssignment,
+    PreemptOnDeadlineExchange,
+    TapeAffinityAssignment,
+    TapeQueueView,
+    assignment_policy_names,
+    exchange_policy_names,
+    get_assignment_policy,
+    get_exchange_policy,
+)
+from repro.library.requests import LibraryRequest, poisson_library_stream
+from repro.library.robot import ExchangeJob, RobotArm
+from repro.library.system import LibraryBatchRecord, MultiDriveSystem
+
+__all__ = [
+    "AssignmentPolicy",
+    "Cartridge",
+    "DEFAULT_EXCHANGE_SECONDS",
+    "DrainBatchExchange",
+    "DriveBay",
+    "DriveState",
+    "EventKernel",
+    "ExchangeJob",
+    "ExchangePolicy",
+    "LeastLoadedAssignment",
+    "LibraryBatchRecord",
+    "LibraryRequest",
+    "MultiDriveSystem",
+    "PreemptOnDeadlineExchange",
+    "RobotArm",
+    "TapeAffinityAssignment",
+    "TapeLibrary",
+    "TapeQueueView",
+    "assignment_policy_names",
+    "exchange_policy_names",
+    "get_assignment_policy",
+    "get_exchange_policy",
+    "poisson_library_stream",
+]

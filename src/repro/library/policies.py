@@ -1,0 +1,225 @@
+"""Pluggable drive-assignment and exchange policies.
+
+Two decisions turn per-tape batch schedules into a multi-drive system:
+
+* **Assignment** — an idle drive bay can mount a tape; *which* waiting
+  tape should it take?  :class:`TapeAffinityAssignment` goes to the
+  longest-waiting tape (minimizing worst-case mount wait);
+  :class:`LeastLoadedAssignment` goes to the deepest queue (maximizing
+  batch size, the paper's lever for per-request cost).
+* **Exchange** — a bay whose mounted tape still has queued requests
+  that are not yet dispatchable: keep the tape (and its warm head
+  position) or release it for another tape?
+  :class:`DrainBatchExchange` never releases until the mounted tape's
+  queue is empty; :class:`PreemptOnDeadlineExchange` releases once any
+  other tape's oldest request has waited past a deadline.
+
+Policies see only :class:`TapeQueueView` snapshots — label, depth,
+oldest arrival — never the system internals, so new policies are easy
+to add and trivially deterministic.  Ties break on the tape label, so
+policy decisions are a pure function of the views.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Protocol
+
+
+@dataclass(frozen=True)
+class TapeQueueView:
+    """What a policy may see about one tape's queue."""
+
+    label: str
+    depth: int
+    oldest_arrival_seconds: float
+
+
+class AssignmentPolicy(Protocol):
+    """Chooses which waiting tape an idle drive bay mounts next."""
+
+    name: str
+
+    def choose(
+        self,
+        mounted_label: str | None,
+        candidates: Sequence[TapeQueueView],
+        now_seconds: float,
+    ) -> str | None:
+        """Pick a tape label from ``candidates`` (None = stay idle)."""
+        ...
+
+
+class ExchangePolicy(Protocol):
+    """Decides whether an idle bay gives up a tape with queued work."""
+
+    name: str
+
+    def should_release(
+        self,
+        mounted: TapeQueueView,
+        candidates: Sequence[TapeQueueView],
+        now_seconds: float,
+    ) -> bool:
+        """Release the mounted tape in favour of a candidate?"""
+        ...
+
+
+class TapeAffinityAssignment:
+    """Serve the tape whose oldest request has waited longest.
+
+    FIFO across tapes: minimizes the worst mount wait, at the cost of
+    more exchanges under skewed load (a one-request tape can preempt a
+    bay from a deep queue's neighbourhood).
+    """
+
+    name = "affinity"
+
+    def choose(
+        self,
+        mounted_label: str | None,
+        candidates: Sequence[TapeQueueView],
+        now_seconds: float,
+    ) -> str | None:
+        if not candidates:
+            return None
+        for view in candidates:
+            if view.label == mounted_label:
+                return mounted_label
+        best = min(
+            candidates,
+            key=lambda view: (view.oldest_arrival_seconds, view.label),
+        )
+        return best.label
+
+
+class LeastLoadedAssignment:
+    """Serve the deepest queue first.
+
+    Mounting the tape with the most queued requests amortizes the
+    exchange over the biggest batch — the paper's "bigger batches
+    schedule better" lever applied to mount costs.  Ties fall back to
+    the oldest arrival, then the label.
+    """
+
+    name = "least-loaded"
+
+    def choose(
+        self,
+        mounted_label: str | None,
+        candidates: Sequence[TapeQueueView],
+        now_seconds: float,
+    ) -> str | None:
+        if not candidates:
+            return None
+        best = min(
+            candidates,
+            key=lambda view: (
+                -view.depth,
+                view.oldest_arrival_seconds,
+                view.label,
+            ),
+        )
+        return best.label
+
+
+class DrainBatchExchange:
+    """Never release a tape that still has queued requests.
+
+    The bay drains its mounted tape completely before exchanging —
+    fewest exchanges, but a busy tape can starve its neighbours'
+    mount waits.
+    """
+
+    name = "drain"
+
+    def should_release(
+        self,
+        mounted: TapeQueueView,
+        candidates: Sequence[TapeQueueView],
+        now_seconds: float,
+    ) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class PreemptOnDeadlineExchange:
+    """Release the mounted tape once another tape has waited too long.
+
+    A preemption is a service decision, not just an eviction: the
+    system dispatches the replacement tape's (possibly partial) batch
+    as soon as its mount completes, regardless of the batching
+    policy's readiness test — otherwise two not-yet-ready tapes could
+    swap a bay back and forth indefinitely.
+
+    Attributes
+    ----------
+    preempt_wait_seconds:
+        Mount-wait deadline: once any candidate tape's oldest request
+        has waited this long, the bay gives up its mounted tape (the
+        assignment policy then picks which candidate gets it).
+    """
+
+    preempt_wait_seconds: float = 900.0
+
+    name = "preempt"
+
+    def __post_init__(self) -> None:
+        if self.preempt_wait_seconds <= 0:
+            raise ValueError("preempt_wait_seconds must be positive")
+
+    def should_release(
+        self,
+        mounted: TapeQueueView,
+        candidates: Sequence[TapeQueueView],
+        now_seconds: float,
+    ) -> bool:
+        return any(
+            now_seconds - view.oldest_arrival_seconds
+            >= self.preempt_wait_seconds
+            for view in candidates
+        )
+
+
+_ASSIGNMENT_POLICIES = {
+    "affinity": TapeAffinityAssignment,
+    "least-loaded": LeastLoadedAssignment,
+}
+
+_EXCHANGE_POLICIES = {
+    "drain": DrainBatchExchange,
+    "preempt": PreemptOnDeadlineExchange,
+}
+
+
+def assignment_policy_names() -> list[str]:
+    """Registered drive-assignment policy names, sorted."""
+    return sorted(_ASSIGNMENT_POLICIES)
+
+
+def get_assignment_policy(name: str) -> AssignmentPolicy:
+    """Instantiate a drive-assignment policy by name."""
+    try:
+        return _ASSIGNMENT_POLICIES[name]()
+    except KeyError:
+        known = ", ".join(assignment_policy_names())
+        raise ValueError(
+            f"unknown assignment policy {name!r}; known: {known}"
+        ) from None
+
+
+def exchange_policy_names() -> list[str]:
+    """Registered exchange policy names, sorted."""
+    return sorted(_EXCHANGE_POLICIES)
+
+
+def get_exchange_policy(name: str) -> ExchangePolicy:
+    """Instantiate an exchange policy by name."""
+    try:
+        return _EXCHANGE_POLICIES[name]()
+    except KeyError:
+        known = ", ".join(exchange_policy_names())
+        raise ValueError(
+            f"unknown exchange policy {name!r}; known: {known}"
+        ) from None

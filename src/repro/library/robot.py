@@ -1,0 +1,132 @@
+"""The shared robot arm that exchanges cartridges.
+
+One arm serves every drive bay — the library's structural bottleneck.
+Exchange jobs are serviced strictly FIFO: each job charges the same
+costs as the single-drive :class:`~repro.library.cartridge.TapeLibrary`
+(rewind-to-BOT plus an exchange to shelve the outgoing cartridge, one
+exchange to load the incoming one), and while the arm works on one bay
+every other requested exchange waits.  The arm schedules
+:class:`~repro.library.events.MountStarted` /
+:class:`~repro.library.events.MountCompleted` /
+:class:`~repro.library.events.RobotIdle` kernel events; the system
+layer reacts to them (building the drive, publishing observability
+events, re-pumping dispatch).
+
+The rewind is charged to the arm's occupancy as well: the bay is
+unusable while its outgoing cartridge rewinds, and modelling the arm as
+occupied for the whole unload-load sequence matches the serial
+accounting of ``TapeLibrary.mount``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.library.events import MountCompleted, MountStarted, RobotIdle
+from repro.library.kernel import EventKernel
+
+
+@dataclass(frozen=True)
+class ExchangeJob:
+    """One requested cartridge exchange.
+
+    Attributes
+    ----------
+    drive:
+        Target bay index.
+    label:
+        Cartridge to load.
+    requested_seconds:
+        Simulated time the exchange was requested (mount-wait time is
+        measured from here).
+    unload_label:
+        Cartridge currently in the bay that must be shelved first
+        (None for an empty bay).
+    rewind_seconds:
+        Rewind-to-BOT time of the outgoing cartridge (0 for an empty
+        bay); fixed at request time, since the bay does nothing else
+        between the request and the exchange.
+    """
+
+    drive: int
+    label: str
+    requested_seconds: float
+    unload_label: str | None = None
+    rewind_seconds: float = 0.0
+
+
+class RobotArm:
+    """FIFO cartridge-exchange server on the simulation kernel.
+
+    Attributes
+    ----------
+    exchange_seconds:
+        Robot time per cartridge movement (one to shelve, one to load).
+    busy_seconds:
+        Total simulated time the arm has been occupied.
+    exchanges:
+        Jobs completed or in progress.
+    """
+
+    def __init__(
+        self, kernel: EventKernel, exchange_seconds: float
+    ) -> None:
+        self._kernel = kernel
+        self.exchange_seconds = float(exchange_seconds)
+        self._queue: deque[ExchangeJob] = deque()
+        self._busy = False
+        self.busy_seconds = 0.0
+        self.exchanges = 0
+        kernel.on(RobotIdle, self._handle_idle)
+
+    @property
+    def busy(self) -> bool:
+        """Is the arm currently working a job?"""
+        return self._busy
+
+    @property
+    def queued(self) -> int:
+        """Jobs waiting behind the current one."""
+        return len(self._queue)
+
+    def job_seconds(self, job: ExchangeJob) -> float:
+        """Total arm occupancy for one job (unload, if any, plus load)."""
+        duration = self.exchange_seconds
+        if job.unload_label is not None:
+            duration += job.rewind_seconds + self.exchange_seconds
+        return duration
+
+    def submit(self, job: ExchangeJob) -> None:
+        """Queue an exchange; starts immediately if the arm is free."""
+        self._queue.append(job)
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        job = self._queue.popleft()
+        self._busy = True
+        self.exchanges += 1
+        start = self._kernel.now_seconds
+        duration = self.job_seconds(job)
+        self.busy_seconds += duration
+        self._kernel.schedule(
+            start, MountStarted(drive=job.drive, label=job.label)
+        )
+        self._kernel.schedule(
+            start + duration,
+            MountCompleted(
+                drive=job.drive,
+                label=job.label,
+                requested_seconds=job.requested_seconds,
+                robot_seconds=duration,
+            ),
+        )
+        self._kernel.schedule(start + duration, RobotIdle())
+
+    def _handle_idle(self, event: RobotIdle) -> None:
+        self._busy = False
+        self._start_next()

@@ -1,0 +1,750 @@
+"""The event-driven multi-drive tertiary storage system.
+
+:class:`MultiDriveSystem` generalizes the paper's single-drive serving
+loop (:class:`~repro.online.system.TertiaryStorageSystem`) to N drives
+and M cartridges on the :class:`~repro.library.kernel.EventKernel`:
+requests address named cartridges, accumulate in per-tape batch
+queues, and idle drive bays pick tapes via a pluggable
+:class:`~repro.library.policies.AssignmentPolicy` (which tape next) and
+:class:`~repro.library.policies.ExchangePolicy` (when to give one up).
+A single shared :class:`~repro.library.robot.RobotArm` serializes every
+cartridge exchange, charging the same rewind-to-BOT and exchange costs
+as the single-drive :class:`~repro.library.cartridge.TapeLibrary`.
+
+Per-drive batch execution reuses the existing machinery unchanged —
+the configured scheduling algorithm (LOSS/SLTF/SCAN/...), the
+executor, and the resilience layer's retry policy and bounded requeues
+— so a 1-drive, 1-cartridge system with the cartridge preloaded
+reproduces the single-drive serving path bit-identically (the
+equivalence the test suite pins).
+
+With ``bus=`` the whole library publishes onto one stream: the obs
+events of the single-drive path (queue, schedule, batch, request,
+fault) now carry a ``drive`` field, mounts/unmounts carry the bay, and
+each completed exchange additionally publishes
+:class:`~repro.obs.events.MountWaitRecorded` so mount waits and robot
+occupancy are first-class metrics (see
+:func:`~repro.obs.metrics.bind_standard_metrics`).
+
+Known limitation: the degraded-mode *budgets* of
+:class:`~repro.resilience.ResilienceConfig` (wall-clock scheduling and
+execution budgets) are not consulted here — retries and bounded
+requeues are.  Multi-drive degraded mode needs a per-bay notion of
+"behind" and is left to a follow-up.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, replace
+
+from repro.drive.simulated import SimulatedDrive
+from repro.exceptions import LibraryError, UnknownTape
+from repro.library import events as sim
+from repro.library.cartridge import Cartridge, DEFAULT_EXCHANGE_SECONDS
+from repro.library.drives import DriveBay, DriveState
+from repro.library.kernel import EventKernel
+from repro.library.policies import (
+    AssignmentPolicy,
+    DrainBatchExchange,
+    ExchangePolicy,
+    TapeAffinityAssignment,
+    TapeQueueView,
+)
+from repro.library.requests import LibraryRequest
+from repro.library.robot import ExchangeJob, RobotArm
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    BatchCompleted,
+    BatchStarted,
+    MountWaitRecorded,
+    RequestCompleted,
+    RequestFailed,
+    ScheduleComputed,
+    TapeMounted,
+    TapeUnmounted,
+)
+from repro.online.batch_queue import BatchPolicy, BatchQueue
+from repro.online.metrics import ResponseStats
+from repro.online.system import BatchRecord
+from repro.resilience.injection import FaultInjector, FaultPlan
+from repro.resilience.policy import ResilienceConfig
+from repro.scheduling.base import Scheduler
+from repro.scheduling.estimator import locate_sequence_times
+from repro.scheduling.executor import execute_schedule
+from repro.scheduling.loss import LossScheduler
+from repro.scheduling.request import Request
+from repro.workload.arrivals import TimedRequest
+
+
+@dataclass(frozen=True)
+class LibraryBatchRecord(BatchRecord):
+    """A :class:`~repro.online.system.BatchRecord` plus its bay and tape."""
+
+    drive: int = 0
+    label: str = ""
+
+
+def _derived_seed(seed: int, drive_index: int, mount_index: int) -> int:
+    """Per-(drive, mount) fault-plan seed.
+
+    The very first mount on bay 0 keeps the base seed unchanged, so a
+    preloaded 1-drive system draws the exact fault stream of the
+    single-drive path; later mounts get independent deterministic
+    streams.
+    """
+    if drive_index == 0 and mount_index == 0:
+        return seed
+    return (
+        seed
+        ^ ((drive_index + 1) * 0x9E3779B97F4A7C15)
+        ^ ((mount_index + 1) * 0xD6E8FEB86659FD93)
+    ) & 0xFFFFFFFFFFFFFFFF
+
+
+class MultiDriveSystem:
+    """N drives, M cartridges, one robot arm, in simulated time.
+
+    Parameters
+    ----------
+    cartridges:
+        The shelf (labels must be unique).
+    drives:
+        Number of drive bays.
+    scheduler:
+        Per-batch scheduling algorithm (default: the paper's LOSS),
+        shared by every bay.
+    policy:
+        Batching policy of each per-tape queue.
+    assignment:
+        Which waiting tape an idle bay mounts
+        (default: tape affinity — longest-waiting tape first).
+    exchange:
+        When a bay releases a tape that still has queued requests
+        (default: drain the mounted tape first).
+    exchange_seconds:
+        Robot time per cartridge movement.
+    bus:
+        Optional :class:`~repro.obs.bus.EventBus` instrumenting the
+        whole library (see module docstring).
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceConfig`; enables
+        in-place retries and bounded requeues (budgets are not
+        consulted — see module docstring).
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan`; every mounted
+        drive is wrapped in a
+        :class:`~repro.resilience.FaultInjector` with a per-(bay,
+        mount) derived seed.  Implies a default ``resilience`` config
+        if none was given.
+    preload:
+        Labels mounted (at no cost, position 0) into bays 0..k-1
+        before time zero — the paper's "robot has just loaded a new
+        tape" initial condition, and the hook that makes the 1-drive
+        equivalence exact.
+    """
+
+    def __init__(
+        self,
+        cartridges: Sequence[Cartridge],
+        drives: int = 2,
+        scheduler: Scheduler | None = None,
+        policy: BatchPolicy | None = None,
+        assignment: AssignmentPolicy | None = None,
+        exchange: ExchangePolicy | None = None,
+        exchange_seconds: float = DEFAULT_EXCHANGE_SECONDS,
+        bus: EventBus | None = None,
+        resilience: ResilienceConfig | None = None,
+        fault_plan: FaultPlan | None = None,
+        preload: Sequence[str] | None = None,
+    ) -> None:
+        if drives < 1:
+            raise LibraryError("drives must be >= 1")
+        labels = [c.label for c in cartridges]
+        if len(set(labels)) != len(labels):
+            raise LibraryError("cartridge labels must be unique")
+        if not labels:
+            raise LibraryError("at least one cartridge is required")
+        self._shelf: dict[str, Cartridge] = {
+            c.label: c for c in cartridges
+        }
+        self.scheduler = (
+            scheduler if scheduler is not None else LossScheduler()
+        )
+        self.policy = policy if policy is not None else BatchPolicy()
+        self.assignment = (
+            assignment if assignment is not None
+            else TapeAffinityAssignment()
+        )
+        self.exchange = (
+            exchange if exchange is not None else DrainBatchExchange()
+        )
+        self.bus = bus
+        self.resilience = resilience
+        self.fault_plan = fault_plan
+        if fault_plan is not None and fault_plan.any_faults:
+            if self.resilience is None:
+                self.resilience = ResilienceConfig()
+
+        self.kernel = EventKernel()
+        self.robot = RobotArm(self.kernel, exchange_seconds)
+        self.bays = [DriveBay(index) for index in range(drives)]
+        self._queues: dict[str, BatchQueue] = {
+            label: BatchQueue(policy=self.policy, bus=bus)
+            for label in sorted(self._shelf)
+        }
+        self.stats = ResponseStats()
+        self.batches: list[LibraryBatchRecord] = []
+        #: Requests that exhausted their requeue budget.
+        self.failed: list[TimedRequest] = []
+        #: Times a failed request re-entered its tape's queue.
+        self.requeues = 0
+        self.submitted = 0
+        self._requeue_counts: dict[int, int] = {}
+        self._claims: dict[str, int] = {}
+        #: Labels whose in-progress mount came from an exchange-policy
+        #: preemption: they dispatch the moment the mount completes.
+        self._preempt_mounts: set[str] = set()
+        self._pending_unload: dict[int, tuple[str, float]] = {}
+        self._in_flight: dict[int, tuple] = {}
+        self._requests: list[LibraryRequest] = []
+        self._mount_count = 0
+        self._ran = False
+
+        self.kernel.on(sim.RequestArrived, self._on_arrival)
+        self.kernel.on(sim.MountStarted, self._on_mount_started)
+        self.kernel.on(sim.MountCompleted, self._on_mount_completed)
+        self.kernel.on(sim.BatchDispatched, self._on_batch_dispatched)
+        self.kernel.on(sim.BatchCompleted, self._on_batch_completed)
+        self.kernel.on(sim.QueueDeadline, self._on_deadline)
+
+        preloaded: set[str] = set()
+        for index, label in enumerate(preload or ()):
+            if index >= drives:
+                raise LibraryError(
+                    f"cannot preload {len(preload)} cartridges into "
+                    f"{drives} drives"
+                )
+            if label in preloaded:
+                raise LibraryError(
+                    f"cartridge {label!r} preloaded twice"
+                )
+            preloaded.add(label)
+            bay = self.bays[index]
+            bay.drive = self._build_drive(self.cartridge(label), index)
+            bay.label = label
+            bay.state = DriveState.IDLE
+            self._mount_count += 1
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def clock_seconds(self) -> float:
+        """The simulated clock (kernel time)."""
+        return self.kernel.now_seconds
+
+    @property
+    def completed(self) -> int:
+        """Requests serviced so far."""
+        return self.stats.count
+
+    @property
+    def lost(self) -> int:
+        """Requests neither completed nor surfaced as failed.
+
+        Zero after a finished run — anything else is a scheduling bug,
+        not a statistic.
+        """
+        return self.submitted - self.stats.count - len(self.failed)
+
+    @property
+    def exchanges(self) -> int:
+        """Robot exchanges performed (preloads are free and uncounted)."""
+        return self.robot.exchanges
+
+    def labels(self) -> list[str]:
+        """All cartridge labels, sorted."""
+        return sorted(self._shelf)
+
+    def cartridge(self, label: str) -> Cartridge:
+        """Look up a shelved cartridge."""
+        try:
+            return self._shelf[label]
+        except KeyError:
+            raise UnknownTape(f"no cartridge labelled {label!r}") from None
+
+    def queue_depth(self, label: str) -> int:
+        """Queued (undispatched) requests for one tape."""
+        try:
+            return len(self._queues[label])
+        except KeyError:
+            raise UnknownTape(f"no cartridge labelled {label!r}") from None
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self, requests: Iterable[LibraryRequest]) -> ResponseStats:
+        """Service a timed request stream to completion.
+
+        Accepts any iterable (materialized once); order does not
+        matter.  Returns the response-time statistics (also kept on
+        ``self.stats``).  A system instance runs once — the kernel's
+        clock cannot rewind.
+        """
+        if self._ran:
+            raise LibraryError(
+                "this system already ran; build a fresh instance"
+            )
+        self._ran = True
+        items = sorted(requests, key=lambda r: r.arrival_seconds)
+        for request in items:
+            if request.label not in self._shelf:
+                raise UnknownTape(
+                    f"no cartridge labelled {request.label!r}"
+                )
+        self._requests = items
+        self.submitted = len(items)
+        for index, request in enumerate(items):
+            self.kernel.schedule(
+                request.arrival_seconds,
+                sim.RequestArrived(request_index=index),
+            )
+        self.kernel.run()
+        # A policy with flush_when_idle=False and no deadline can
+        # strand a final partial batch; drain it rather than lose it.
+        while self._queued_total() > 0:
+            if not self._pump(force=True):
+                raise LibraryError(
+                    "stranded requests with no dispatchable bay"
+                )
+            self.kernel.run()
+        return self.stats
+
+    def _queued_total(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def _set_time(self) -> None:
+        if self.bus is not None:
+            self.bus.set_time(self.kernel.now_seconds)
+
+    # -- drive construction --------------------------------------------------
+
+    def _build_drive(self, cartridge: Cartridge, drive_index: int):
+        drive = SimulatedDrive(
+            cartridge.model, initial_position=0, bus=self.bus
+        )
+        if self.fault_plan is not None and self.fault_plan.any_faults:
+            plan = replace(
+                self.fault_plan,
+                seed=_derived_seed(
+                    self.fault_plan.seed, drive_index, self._mount_count
+                ),
+            )
+            return FaultInjector(drive, plan, bus=self.bus)
+        return drive
+
+    # -- dispatch pump -------------------------------------------------------
+
+    def _candidate_views(self) -> list[TapeQueueView]:
+        """Tapes a bay could mount now: queued work, unclaimed, not
+        mounted elsewhere."""
+        mounted = {
+            bay.label for bay in self.bays if bay.label is not None
+        }
+        views = []
+        for label in sorted(self._queues):
+            queue = self._queues[label]
+            if not len(queue):
+                continue
+            if label in self._claims or label in mounted:
+                continue
+            oldest = queue.oldest_arrival
+            views.append(
+                TapeQueueView(
+                    label=label,
+                    depth=len(queue),
+                    oldest_arrival_seconds=(
+                        0.0 if oldest is None else oldest
+                    ),
+                )
+            )
+        return views
+
+    def _pump(self, force: bool = False) -> bool:
+        """Give every available bay a dispatch or a mount if one is due.
+
+        Returns True when any bay was put to work.  ``force`` bypasses
+        the batching policy's readiness test (end-of-run drain).
+        """
+        progressed = False
+        now = self.kernel.now_seconds
+        for bay in self.bays:
+            if not bay.available:
+                continue
+            action = self._choose_action(bay, now, force)
+            if action is None:
+                continue
+            kind, label = action
+            if kind == "dispatch":
+                bay.state = DriveState.EXECUTING
+                self.kernel.schedule(
+                    now,
+                    sim.BatchDispatched(drive=bay.index, label=label),
+                )
+            else:
+                self._request_mount(
+                    bay, label, now,
+                    dispatch_on_mount=(kind == "preempt"),
+                )
+            progressed = True
+        return progressed
+
+    def _choose_action(
+        self, bay: DriveBay, now: float, force: bool
+    ) -> tuple[str, str] | None:
+        candidates = self._candidate_views()
+        mounted = bay.label
+        if mounted is not None:
+            queue = self._queues[mounted]
+            if len(queue):
+                if force or queue.ready(now, drive_idle=True):
+                    return ("dispatch", mounted)
+                oldest = queue.oldest_arrival
+                mounted_view = TapeQueueView(
+                    label=mounted,
+                    depth=len(queue),
+                    oldest_arrival_seconds=(
+                        0.0 if oldest is None else oldest
+                    ),
+                )
+                if not candidates or not self.exchange.should_release(
+                    mounted_view, candidates, now
+                ):
+                    return None
+                # A preemption must make progress: the tape mounted in
+                # place of this one dispatches as soon as it loads,
+                # whatever the batching policy says, or two non-ready
+                # tapes would swap a bay back and forth forever.
+                choice = self.assignment.choose(mounted, candidates, now)
+                if choice is None or choice == mounted:
+                    return None
+                return ("preempt", choice)
+            choice = self.assignment.choose(mounted, candidates, now)
+            if choice is None or choice == mounted:
+                return None
+            return ("mount", choice)
+        choice = self.assignment.choose(None, candidates, now)
+        if choice is None:
+            return None
+        return ("mount", choice)
+
+    def _request_mount(
+        self,
+        bay: DriveBay,
+        label: str,
+        now: float,
+        dispatch_on_mount: bool = False,
+    ) -> None:
+        self._claims[label] = bay.index
+        if dispatch_on_mount:
+            self._preempt_mounts.add(label)
+        unload_label = bay.label
+        rewind_seconds = 0.0
+        if bay.drive is not None and unload_label is not None:
+            # Deterministic: the bay does nothing else between this
+            # request and the exchange, so rewinding the (discarded)
+            # simulator now fixes the unload time.
+            rewind_seconds = bay.drive.rewind()
+            self._pending_unload[bay.index] = (
+                unload_label, rewind_seconds
+            )
+        bay.state = DriveState.MOUNTING
+        bay.label = None
+        bay.drive = None
+        self.robot.submit(
+            ExchangeJob(
+                drive=bay.index,
+                label=label,
+                requested_seconds=now,
+                unload_label=unload_label,
+                rewind_seconds=rewind_seconds,
+            )
+        )
+
+    # -- kernel event handlers -----------------------------------------------
+
+    def _on_arrival(self, event: sim.RequestArrived) -> None:
+        self._set_time()
+        request = self._requests[event.request_index]
+        queue = self._queues[request.label]
+        queue.push(request.timed())
+        self._schedule_deadline(
+            request.label, request.arrival_seconds
+        )
+        self._pump()
+
+    def _schedule_deadline(
+        self, label: str, arrival_seconds: float
+    ) -> None:
+        if math.isinf(self.policy.max_wait_seconds):
+            return
+        self.kernel.schedule(
+            max(
+                self.kernel.now_seconds,
+                arrival_seconds + self.policy.max_wait_seconds,
+            ),
+            sim.QueueDeadline(label=label),
+        )
+
+    def _on_deadline(self, event: sim.QueueDeadline) -> None:
+        self._set_time()
+        self._pump()
+
+    def _on_mount_started(self, event: sim.MountStarted) -> None:
+        self._set_time()
+        unload = self._pending_unload.pop(event.drive, None)
+        if unload is not None and self.bus is not None:
+            old_label, rewind_seconds = unload
+            self.bus.publish(
+                TapeUnmounted(
+                    seconds=self.kernel.now_seconds
+                    + rewind_seconds
+                    + self.robot.exchange_seconds,
+                    label=old_label,
+                    rewind_seconds=rewind_seconds,
+                    drive=event.drive,
+                )
+            )
+
+    def _on_mount_completed(self, event: sim.MountCompleted) -> None:
+        self._set_time()
+        now = self.kernel.now_seconds
+        bay = self.bays[event.drive]
+        bay.drive = self._build_drive(
+            self.cartridge(event.label), event.drive
+        )
+        bay.label = event.label
+        bay.state = DriveState.IDLE
+        bay.mounts += 1
+        self._mount_count += 1
+        self._claims.pop(event.label, None)
+        if self.bus is not None:
+            self.bus.publish(
+                TapeMounted(
+                    seconds=now,
+                    label=event.label,
+                    exchange_seconds=self.robot.exchange_seconds,
+                    drive=event.drive,
+                )
+            )
+            self.bus.publish(
+                MountWaitRecorded(
+                    seconds=now,
+                    drive=event.drive,
+                    label=event.label,
+                    wait_seconds=now - event.requested_seconds,
+                    robot_seconds=event.robot_seconds,
+                )
+            )
+        if (
+            event.label in self._preempt_mounts
+            and len(self._queues[event.label])
+        ):
+            self._preempt_mounts.discard(event.label)
+            bay.state = DriveState.EXECUTING
+            self.kernel.schedule(
+                now,
+                sim.BatchDispatched(
+                    drive=event.drive, label=event.label
+                ),
+            )
+            return
+        self._preempt_mounts.discard(event.label)
+        self._pump()
+
+    def _on_batch_dispatched(self, event: sim.BatchDispatched) -> None:
+        self._set_time()
+        now = self.kernel.now_seconds
+        bay = self.bays[event.drive]
+        queue = self._queues[event.label]
+        batch = queue.flush()
+        if not batch:  # pragma: no cover - queues only grow pre-flush
+            bay.state = DriveState.IDLE
+            self._pump()
+            return
+        drive = bay.require_drive()
+        model = self.cartridge(event.label).model
+        requests = [
+            Request(item.segment, item.length) for item in batch
+        ]
+        schedule = self.scheduler.schedule(
+            model, drive.position, requests
+        )
+        batch_index = len(self.batches)
+        estimated_locates = None
+        if self.bus is not None:
+            self.bus.publish(
+                ScheduleComputed(
+                    seconds=now,
+                    algorithm=schedule.algorithm,
+                    batch_size=len(schedule),
+                    origin=schedule.origin,
+                    estimated_seconds=schedule.estimated_seconds,
+                )
+            )
+            self.bus.publish(
+                BatchStarted(
+                    seconds=now,
+                    batch_index=batch_index,
+                    batch_size=len(batch),
+                    origin=schedule.origin,
+                    drive=event.drive,
+                )
+            )
+            if not schedule.whole_tape:
+                estimated_locates = locate_sequence_times(
+                    model, schedule
+                )
+        result = execute_schedule(
+            drive,
+            schedule,
+            bus=self.bus,
+            estimated_locate_seconds=estimated_locates,
+            base_seconds=now,
+            policy=(
+                None if self.resilience is None
+                else self.resilience.retry
+            ),
+        )
+        queue_wait = sum(
+            now - item.arrival_seconds for item in batch
+        )
+        self.batches.append(
+            LibraryBatchRecord(
+                start_seconds=now,
+                size=len(batch),
+                algorithm=schedule.algorithm,
+                execution_seconds=result.total_seconds,
+                queue_wait_seconds=queue_wait,
+                locate_seconds=(
+                    result.locate_seconds - result.rewind_seconds
+                ),
+                transfer_seconds=result.transfer_seconds,
+                rewind_seconds=result.rewind_seconds,
+                estimated_seconds=schedule.estimated_seconds,
+                fault_seconds=result.fault_seconds,
+                failed=result.failed_count,
+                drive=event.drive,
+                label=event.label,
+            )
+        )
+        bay.busy_seconds += result.total_seconds
+        self._in_flight[batch_index] = (batch, schedule, result)
+        self.kernel.schedule(
+            now + result.total_seconds,
+            sim.BatchCompleted(
+                drive=event.drive,
+                label=event.label,
+                batch_index=batch_index,
+            ),
+        )
+
+    def _on_batch_completed(self, event: sim.BatchCompleted) -> None:
+        self._set_time()
+        now = self.kernel.now_seconds
+        bay = self.bays[event.drive]
+        batch, schedule, result = self._in_flight.pop(
+            event.batch_index
+        )
+        record = self.batches[event.batch_index]
+        by_key: dict[tuple[int, int], list[TimedRequest]] = {}
+        for item in batch:
+            by_key.setdefault(
+                (item.segment, item.length), []
+            ).append(item)
+        for position, request in enumerate(schedule):
+            item = by_key[(request.segment, request.length)].pop(0)
+            if result.success is None or result.success[position]:
+                self._requeue_counts.pop(id(item), None)
+                self._complete(
+                    item,
+                    record.start_seconds
+                    + float(result.completion_seconds[position]),
+                    position,
+                    event.drive,
+                )
+            else:
+                self._handle_failure(
+                    item, position, event.label, now
+                )
+        if self.bus is not None:
+            self.bus.publish(
+                BatchCompleted(
+                    seconds=now,
+                    batch_index=event.batch_index,
+                    algorithm=record.algorithm,
+                    batch_size=record.size,
+                    queue_wait_seconds=record.queue_wait_seconds,
+                    locate_seconds=record.locate_seconds,
+                    transfer_seconds=record.transfer_seconds,
+                    rewind_seconds=record.rewind_seconds,
+                    total_seconds=record.execution_seconds,
+                    estimated_seconds=record.estimated_seconds,
+                    fault_seconds=record.fault_seconds,
+                    drive=event.drive,
+                )
+            )
+        bay.state = DriveState.IDLE
+        bay.batches += 1
+        self._pump()
+
+    def _complete(
+        self,
+        item: TimedRequest,
+        completion_seconds: float,
+        position: int,
+        drive_index: int,
+    ) -> None:
+        self.stats.record(item.arrival_seconds, completion_seconds)
+        if self.bus is not None:
+            self.bus.publish(
+                RequestCompleted(
+                    seconds=completion_seconds,
+                    position=position,
+                    segment=item.segment,
+                    length=item.length,
+                    arrival_seconds=item.arrival_seconds,
+                    completion_seconds=completion_seconds,
+                    drive=drive_index,
+                )
+            )
+
+    def _handle_failure(
+        self,
+        item: TimedRequest,
+        position: int,
+        label: str,
+        now: float,
+    ) -> None:
+        count = self._requeue_counts.get(id(item), 0)
+        if (
+            self.resilience is not None
+            and count < self.resilience.max_requeues
+        ):
+            self._requeue_counts[id(item)] = count + 1
+            self.requeues += 1
+            self._queues[label].push(item)
+            self._schedule_deadline(label, item.arrival_seconds)
+            return
+        self._requeue_counts.pop(id(item), None)
+        self.failed.append(item)
+        if self.bus is not None:
+            self.bus.publish(
+                RequestFailed(
+                    seconds=now,
+                    position=position,
+                    segment=item.segment,
+                    attempts=count + 1,
+                    reason="requeue budget exhausted",
+                )
+            )

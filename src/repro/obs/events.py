@@ -212,6 +212,9 @@ class BatchStarted(Event):
     batch_index: int
     batch_size: int
     origin: int
+    #: Drive bay executing the batch (0 in the single-drive system, so
+    #: traces written before the multi-drive library still parse).
+    drive: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -239,6 +242,8 @@ class BatchCompleted(Event):
     total_seconds: float
     estimated_seconds: float | None
     fault_seconds: float = 0.0
+    #: Drive bay that executed the batch (0 in the single-drive system).
+    drive: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -258,6 +263,8 @@ class RequestCompleted(Event):
     length: int
     arrival_seconds: float
     completion_seconds: float
+    #: Drive bay that served the request (0 in the single-drive system).
+    drive: int = 0
 
     @property
     def response_seconds(self) -> float:
@@ -402,6 +409,9 @@ class TapeMounted(Event):
 
     label: str
     exchange_seconds: float
+    #: Drive bay the cartridge was loaded into (0 for the single-drive
+    #: library, so traces written before it existed still parse).
+    drive: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -412,6 +422,28 @@ class TapeUnmounted(Event):
 
     label: str
     rewind_seconds: float
+    #: Drive bay the cartridge was removed from.
+    drive: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class MountWaitRecorded(Event):
+    """A cartridge exchange completed; how long did the bay wait?
+
+    Published by the multi-drive library at each completed exchange.
+    ``wait_seconds`` spans from the moment the system decided to mount
+    the cartridge to the moment the drive could use it — robot queueing
+    plus the exchange itself — and ``robot_seconds`` is the arm
+    occupancy of this job alone, so ``wait_seconds - robot_seconds`` is
+    pure contention for the shared arm.
+    """
+
+    name: ClassVar[str] = "library.mount_wait"
+
+    drive: int
+    label: str
+    wait_seconds: float
+    robot_seconds: float
 
 
 # -- experiment layer --------------------------------------------------------

@@ -219,7 +219,11 @@ def bind_standard_metrics(
     * ``request.locate_seconds`` and ``request.locate_error_seconds``
       histograms (actual locates, and estimated-minus-actual where an
       estimate was attached);
-    * ``batch.execution_seconds`` and ``batch.size`` histograms.
+    * ``batch.execution_seconds`` and ``batch.size`` histograms;
+    * ``drive.<n>.busy_seconds`` counters (per-drive busy time, from
+      batch completions — utilization once divided by the horizon);
+    * ``library.mount_wait_seconds`` histogram and
+      ``robot.busy_seconds`` counter (multi-drive library exchanges).
 
     Returns the registry (a fresh one if none was given).
     """
@@ -249,6 +253,16 @@ def bind_standard_metrics(
                 event.total_seconds
             )
             registry.histogram("batch.size").observe(event.batch_size)
+            registry.counter(
+                f"drive.{event.drive}.busy_seconds"
+            ).inc(event.total_seconds)
+        elif name == "library.mount_wait":
+            registry.histogram("library.mount_wait_seconds").observe(
+                event.wait_seconds
+            )
+            registry.counter("robot.busy_seconds").inc(
+                event.robot_seconds
+            )
 
     bus.subscribe(observe)
     return registry

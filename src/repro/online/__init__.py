@@ -1,7 +1,11 @@
 """Online tertiary storage: batching queue, robotic library, system."""
 
 from repro.online.batch_queue import BatchPolicy, BatchQueue
-from repro.online.library import (
+
+# Canonical home since the repro.library subsystem; re-exported here for
+# compatibility (importing the submodule directly stays warning-free,
+# unlike the repro.online.library shim).
+from repro.library.cartridge import (
     Cartridge,
     DEFAULT_EXCHANGE_SECONDS,
     TapeLibrary,

@@ -1,148 +1,44 @@
-"""Robotic tape library: cartridges, drives, and exchange costs.
+"""Deprecated shim — the robotic library moved to :mod:`repro.library`.
 
-The paper's second experiment scenario "applies to a robotic tape
-changer that has just loaded a new tape, so the tape head is at the
-beginning of the tape", and footnote 5 notes that single-reel cartridge
-technologies (DLT, IBM 3590) must rewind before ejecting.  The library
-model captures exactly those mechanics: a mount costs an exchange time,
-an unmount costs rewind-to-BOT plus the exchange, and a freshly mounted
-cartridge always starts at segment 0.
+The event-driven multi-drive library subsystem (``repro.library``)
+absorbed the single-drive :class:`~repro.library.cartridge.TapeLibrary`
+and :class:`~repro.library.cartridge.Cartridge`, which now live in
+``repro.library.cartridge``.  Importing them from here still works but
+warns once; new code should import from ``repro.library`` (or the
+``repro.api`` facade).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
-from repro.drive.simulated import SimulatedDrive
-from repro.exceptions import LibraryError, UnknownTape
-from repro.geometry.tape import TapeGeometry
-from repro.model.locate import LocateTimeModel
-from repro.obs.bus import EventBus
-from repro.obs.events import TapeMounted, TapeUnmounted
+from repro.library import cartridge as _cartridge
 
-#: Typical robotic cartridge-exchange time (pick, move, load), seconds.
-DEFAULT_EXCHANGE_SECONDS = 30.0
+_MOVED = ("Cartridge", "DEFAULT_EXCHANGE_SECONDS", "TapeLibrary")
 
-
-@dataclass
-class Cartridge:
-    """One shelved cartridge: geometry plus its calibrated model."""
-
-    label: str
-    geometry: TapeGeometry
-    model: LocateTimeModel = field(default=None)  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.model is None:
-            self.model = LocateTimeModel(self.geometry)
+#: Names whose deprecation has already been announced.  The guard
+#: makes the warning fire exactly once per name per process, however
+#: the caller's warning filters are configured — repeated accesses on
+#: a hot path must not spam (or, under ``-W error``, crash) the run.
+_warned: set[str] = set()
 
 
-class TapeLibrary:
-    """A single-drive robotic library.
-
-    Tracks which cartridge is mounted, the drive simulator for it, and
-    the accumulated robot/drive time.  (The paper studies a single
-    drive; multi-drive striping is out of scope and noted as related
-    work [DK93, GMW95].)
-    """
-
-    def __init__(
-        self,
-        cartridges: list[Cartridge],
-        exchange_seconds: float = DEFAULT_EXCHANGE_SECONDS,
-        bus: EventBus | None = None,
-    ) -> None:
-        labels = [c.label for c in cartridges]
-        if len(set(labels)) != len(labels):
-            raise LibraryError("cartridge labels must be unique")
-        self._shelf = {c.label: c for c in cartridges}
-        self.exchange_seconds = float(exchange_seconds)
-        #: Optional :class:`~repro.obs.bus.EventBus`; mounts/unmounts
-        #: publish ``library.mount`` / ``library.unmount`` events, and
-        #: the drive of the mounted cartridge joins the same stream.
-        self.bus = bus
-        self._mounted: str | None = None
-        self._drive: SimulatedDrive | None = None
-        self._clock = 0.0
-
-    # -- state ------------------------------------------------------------
-
-    @property
-    def clock_seconds(self) -> float:
-        """Total robot + drive time accumulated by this library."""
-        drive_time = (
-            self._drive.clock_seconds if self._drive is not None else 0.0
-        )
-        return self._clock + drive_time
-
-    @property
-    def mounted_label(self) -> str | None:
-        """Label of the mounted cartridge, if any."""
-        return self._mounted
-
-    @property
-    def drive(self) -> SimulatedDrive:
-        """The drive holding the mounted cartridge."""
-        if self._drive is None:
-            raise LibraryError("no cartridge mounted")
-        return self._drive
-
-    def cartridge(self, label: str) -> Cartridge:
-        """Look up a shelved cartridge."""
-        try:
-            return self._shelf[label]
-        except KeyError:
-            raise UnknownTape(f"no cartridge labelled {label!r}") from None
-
-    def labels(self) -> list[str]:
-        """All cartridge labels, sorted."""
-        return sorted(self._shelf)
-
-    # -- robotics -----------------------------------------------------------
-
-    def mount(self, label: str) -> float:
-        """Mount a cartridge (unmounting the current one first).
-
-        Returns the robot + rewind seconds spent.  Mounting the already
-        mounted cartridge is free.
-        """
-        if self._mounted == label:
-            return 0.0
-        spent = 0.0
-        if self._mounted is not None:
-            spent += self.unmount()
-        cartridge = self.cartridge(label)
-        self._clock += self.exchange_seconds
-        spent += self.exchange_seconds
-        self._drive = SimulatedDrive(
-            cartridge.model, initial_position=0, bus=self.bus
-        )
-        self._mounted = label
-        if self.bus is not None:
-            self.bus.publish(
-                TapeMounted(
-                    seconds=self.clock_seconds,
-                    label=label,
-                    exchange_seconds=self.exchange_seconds,
-                )
+def __getattr__(name: str):
+    if name in _MOVED:
+        if name not in _warned:
+            _warned.add(name)
+            warnings.warn(
+                f"repro.online.library.{name} moved to "
+                "repro.library.cartridge; this import path is "
+                "deprecated and will be removed in a future release",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        return spent
+        return getattr(_cartridge, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
-    def unmount(self) -> float:
-        """Rewind (DLT must rewind to eject) and shelve the cartridge."""
-        if self._mounted is None or self._drive is None:
-            raise LibraryError("no cartridge mounted")
-        label = self._mounted
-        rewind_spent = self._drive.rewind()
-        self._clock += self._drive.clock_seconds + self.exchange_seconds
-        self._drive = None
-        self._mounted = None
-        if self.bus is not None:
-            self.bus.publish(
-                TapeUnmounted(
-                    seconds=self.clock_seconds,
-                    label=label,
-                    rewind_seconds=rewind_spent,
-                )
-            )
-        return rewind_spent + self.exchange_seconds
+
+def __dir__() -> list[str]:
+    return sorted(_MOVED)

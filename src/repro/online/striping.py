@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.drive.simulated import SimulatedDrive
 from repro.exceptions import LibraryError, SegmentOutOfRange
-from repro.online.library import Cartridge
+from repro.library.cartridge import Cartridge
 from repro.scheduling.base import Scheduler
 from repro.scheduling.executor import execute_schedule
 from repro.scheduling.loss import LossScheduler

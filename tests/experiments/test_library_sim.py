@@ -1,0 +1,111 @@
+"""The library-sim experiment driver."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, library_sim
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return library_sim.run(
+        ExperimentConfig(scale="quick"),
+        cartridges=4,
+        smoke=True,
+        horizon_hours=0.1,
+    )
+
+
+class TestSmokeSweep:
+    def test_smoke_grid_is_minimal(self, smoke_result):
+        assert len(smoke_result.points) == 1
+        point = smoke_result.points[0]
+        assert point.drives == 2
+        assert point.assignment == "affinity"
+
+    def test_nothing_is_lost(self, smoke_result):
+        assert smoke_result.all_complete
+        for point in smoke_result.points:
+            assert point.lost == 0
+            assert point.failed == 0
+            assert point.completed == point.requests
+
+    def test_rows_match_headers(self, smoke_result):
+        headers = smoke_result.headers()
+        for row in smoke_result.rows():
+            assert len(row) == len(headers)
+
+    def test_to_dict_round_trips_the_rows(self, smoke_result):
+        records = smoke_result.to_dict()
+        assert len(records) == len(smoke_result.points)
+        for record in records:
+            assert record["lost"] == 0
+            assert 0.0 <= record["drive util"] <= 1.0
+            assert 0.0 <= record["robot occ"] <= 1.0
+
+    def test_utilization_and_exchange_rates_are_sane(self, smoke_result):
+        point = smoke_result.points[0]
+        assert point.exchanges >= 1
+        assert 0.0 < point.exchanges_per_request <= 1.0
+        assert point.mean_response_seconds is not None
+        assert (
+            point.p50_response_seconds <= point.p99_response_seconds
+        )
+
+
+class TestSweepShape:
+    def test_more_drives_strictly_reduce_mean_response(self):
+        result = library_sim.run(
+            ExperimentConfig(scale="quick"),
+            drives=(1, 2),
+            cartridges=4,
+            assignments=("affinity",),
+            horizon_hours=0.3,
+            rates=(240.0,),
+        )
+        assert result.all_complete
+        by_drives = {p.drives: p for p in result.points}
+        assert (
+            by_drives[2].mean_response_seconds
+            < by_drives[1].mean_response_seconds
+        )
+
+    def test_grid_covers_drives_times_policies(self):
+        result = library_sim.run(
+            ExperimentConfig(scale="quick"),
+            drives=(1, 2),
+            cartridges=2,
+            assignments=("affinity", "least-loaded"),
+            horizon_hours=0.05,
+        )
+        combos = {(p.drives, p.assignment) for p in result.points}
+        assert combos == {
+            (1, "affinity"), (2, "affinity"),
+            (1, "least-loaded"), (2, "least-loaded"),
+        }
+
+
+class TestPointEdgeCases:
+    def test_empty_point_reports_none_percentiles(self):
+        point = library_sim.LibraryPoint(
+            drives=1, cartridges=1, assignment="affinity",
+            exchange="drain", rate_per_hour=1.0, requests=0,
+            completed=0, failed=0, lost=0, batches=0, exchanges=0,
+            mean_response_seconds=None, p50_response_seconds=None,
+            p99_response_seconds=None, drive_utilization=0.0,
+            robot_occupancy=0.0, mean_mount_wait_seconds=0.0,
+        )
+        assert point.exchanges_per_request == 0.0
+
+    def test_report_prints_the_verdict(self, smoke_result, capsys):
+        library_sim.report(smoke_result)
+        out = capsys.readouterr().out
+        assert "Multi-drive library sweep" in out
+        assert "zero lost requests" in out
+
+    def test_export_writes_json(self, smoke_result, tmp_path):
+        from repro.experiments.export import write_result
+
+        out = tmp_path / "library.json"
+        written = write_result(smoke_result, str(out))
+        assert out.exists()
+        assert str(out) == str(written)

@@ -1,0 +1,156 @@
+"""The discrete-event simulation kernel."""
+
+import pytest
+
+from repro.exceptions import LibraryError
+from repro.library.events import (
+    BatchDispatched,
+    MountCompleted,
+    MountStarted,
+    QueueDeadline,
+    RequestArrived,
+    RobotIdle,
+    SimEvent,
+)
+from repro.library.kernel import EventKernel
+
+
+class TestScheduling:
+    def test_pops_in_time_order(self):
+        kernel = EventKernel()
+        seen = []
+        kernel.on(RequestArrived, lambda e: seen.append(e.request_index))
+        kernel.schedule(5.0, RequestArrived(request_index=1))
+        kernel.schedule(1.0, RequestArrived(request_index=0))
+        kernel.schedule(9.0, RequestArrived(request_index=2))
+        kernel.run()
+        assert seen == [0, 1, 2]
+
+    def test_equal_time_breaks_on_priority(self):
+        # Arrival (0) < mount start (10) < mount complete (20) <
+        # robot idle (25) < dispatch (30) < deadline (40).
+        kernel = EventKernel()
+        seen = []
+        kernel.on(RequestArrived, lambda e: seen.append("arrive"))
+        kernel.on(MountStarted, lambda e: seen.append("start"))
+        kernel.on(MountCompleted, lambda e: seen.append("complete"))
+        kernel.on(RobotIdle, lambda e: seen.append("idle"))
+        kernel.on(BatchDispatched, lambda e: seen.append("dispatch"))
+        kernel.on(QueueDeadline, lambda e: seen.append("deadline"))
+        kernel.schedule(3.0, QueueDeadline(label="a"))
+        kernel.schedule(3.0, BatchDispatched(drive=0, label="a"))
+        kernel.schedule(3.0, RobotIdle())
+        kernel.schedule(
+            3.0,
+            MountCompleted(
+                drive=0, label="a", requested_seconds=0.0,
+                robot_seconds=30.0,
+            ),
+        )
+        kernel.schedule(3.0, MountStarted(drive=0, label="a"))
+        kernel.schedule(3.0, RequestArrived(request_index=0))
+        kernel.run()
+        assert seen == [
+            "arrive", "start", "complete", "idle", "dispatch",
+            "deadline",
+        ]
+
+    def test_equal_priority_keeps_insertion_order(self):
+        kernel = EventKernel()
+        seen = []
+        kernel.on(RequestArrived, lambda e: seen.append(e.request_index))
+        for index in (3, 1, 2):
+            kernel.schedule(7.0, RequestArrived(request_index=index))
+        kernel.run()
+        assert seen == [3, 1, 2]
+
+    def test_scheduling_into_the_past_raises(self):
+        kernel = EventKernel()
+        kernel.schedule(10.0, RequestArrived(request_index=0))
+        kernel.run()
+        assert kernel.now_seconds == pytest.approx(10.0)
+        with pytest.raises(LibraryError, match="clock is already"):
+            kernel.schedule(9.0, RequestArrived(request_index=1))
+
+    def test_scheduling_at_now_is_allowed(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.on(RequestArrived, lambda e: fired.append(e.request_index))
+
+        def chain(event):
+            # A handler may schedule more work at the current instant.
+            kernel.schedule(kernel.now_seconds, RequestArrived(1))
+
+        kernel.on(RobotIdle, chain)
+        kernel.schedule(4.0, RobotIdle())
+        kernel.run()
+        assert fired == [1]
+
+
+class TestRun:
+    def test_run_returns_dispatch_count(self):
+        kernel = EventKernel()
+        for index in range(4):
+            kernel.schedule(float(index), RequestArrived(index))
+        assert kernel.run() == 4
+        assert kernel.events_dispatched == 4
+        assert kernel.idle
+
+    def test_horizon_leaves_later_events_queued(self):
+        kernel = EventKernel()
+        for index in range(5):
+            kernel.schedule(float(index), RequestArrived(index))
+        assert kernel.run(until_seconds=2.0) == 3
+        # The clock stops at the last fired event, not the horizon.
+        assert kernel.now_seconds == pytest.approx(2.0)
+        assert len(kernel) == 2
+        assert kernel.peek_seconds() == pytest.approx(3.0)
+
+    def test_step_on_empty_heap(self):
+        kernel = EventKernel()
+        assert kernel.step() is None
+        assert kernel.peek_seconds() is None
+        assert kernel.idle
+
+    def test_step_returns_the_event(self):
+        kernel = EventKernel()
+        event = RequestArrived(request_index=9)
+        kernel.schedule(1.5, event)
+        assert kernel.step() is event
+        assert kernel.now_seconds == pytest.approx(1.5)
+
+    def test_handlers_fire_in_registration_order(self):
+        kernel = EventKernel()
+        seen = []
+        kernel.on(RobotIdle, lambda e: seen.append("first"))
+        kernel.on(RobotIdle, lambda e: seen.append("second"))
+        kernel.schedule(0.0, RobotIdle())
+        kernel.run()
+        assert seen == ["first", "second"]
+
+    def test_unhandled_events_are_dropped_silently(self):
+        kernel = EventKernel()
+        kernel.schedule(1.0, RobotIdle())
+        assert kernel.run() == 1
+
+
+class TestEventTaxonomy:
+    def test_base_priority_is_mid_ranked(self):
+        assert SimEvent.priority == 50
+
+    def test_events_are_frozen(self):
+        event = RequestArrived(request_index=0)
+        with pytest.raises(AttributeError):
+            event.request_index = 1
+
+    def test_kernel_events_are_not_obs_events(self):
+        # Kernel events stay internal: none carries the dotted ``name``
+        # ClassVar that registers a class in the obs taxonomy.
+        from repro.obs.events import EVENT_TYPES
+
+        for cls in (
+            RequestArrived, MountStarted, MountCompleted, RobotIdle,
+            BatchDispatched, QueueDeadline,
+        ):
+            assert not hasattr(cls, "name")
+            assert cls not in EVENT_TYPES.values()

@@ -1,0 +1,128 @@
+"""Drive-assignment and exchange policies."""
+
+import pytest
+
+from repro.library.policies import (
+    DrainBatchExchange,
+    LeastLoadedAssignment,
+    PreemptOnDeadlineExchange,
+    TapeAffinityAssignment,
+    TapeQueueView,
+    assignment_policy_names,
+    exchange_policy_names,
+    get_assignment_policy,
+    get_exchange_policy,
+)
+
+
+def view(label, depth=1, oldest=0.0):
+    return TapeQueueView(
+        label=label, depth=depth, oldest_arrival_seconds=oldest
+    )
+
+
+class TestTapeAffinity:
+    def test_empty_candidates_stay_idle(self):
+        assert TapeAffinityAssignment().choose(None, [], 0.0) is None
+
+    def test_prefers_the_longest_waiting_tape(self):
+        policy = TapeAffinityAssignment()
+        candidates = [view("a", oldest=50.0), view("b", oldest=10.0)]
+        assert policy.choose(None, candidates, 100.0) == "b"
+
+    def test_ties_break_on_label(self):
+        policy = TapeAffinityAssignment()
+        candidates = [view("b", oldest=5.0), view("a", oldest=5.0)]
+        assert policy.choose(None, candidates, 10.0) == "a"
+
+    def test_sticks_to_the_mounted_tape_when_it_qualifies(self):
+        policy = TapeAffinityAssignment()
+        candidates = [view("a", oldest=50.0), view("b", oldest=10.0)]
+        assert policy.choose("a", candidates, 100.0) == "a"
+
+    def test_decision_ignores_depth(self):
+        policy = TapeAffinityAssignment()
+        candidates = [
+            view("deep", depth=40, oldest=20.0),
+            view("old", depth=1, oldest=5.0),
+        ]
+        assert policy.choose(None, candidates, 100.0) == "old"
+
+
+class TestLeastLoaded:
+    def test_empty_candidates_stay_idle(self):
+        assert LeastLoadedAssignment().choose(None, [], 0.0) is None
+
+    def test_prefers_the_deepest_queue(self):
+        policy = LeastLoadedAssignment()
+        candidates = [
+            view("a", depth=3, oldest=1.0),
+            view("b", depth=9, oldest=50.0),
+        ]
+        assert policy.choose(None, candidates, 100.0) == "b"
+
+    def test_depth_ties_break_on_oldest_then_label(self):
+        policy = LeastLoadedAssignment()
+        assert policy.choose(
+            None,
+            [view("b", depth=4, oldest=9.0), view("a", depth=4, oldest=2.0)],
+            10.0,
+        ) == "a"
+        assert policy.choose(
+            None,
+            [view("b", depth=4, oldest=2.0), view("a", depth=4, oldest=2.0)],
+            10.0,
+        ) == "a"
+
+
+class TestExchangePolicies:
+    def test_drain_never_releases(self):
+        policy = DrainBatchExchange()
+        mounted = view("m", depth=1, oldest=0.0)
+        starving = [view("s", depth=50, oldest=0.0)]
+        assert policy.should_release(mounted, starving, 1e9) is False
+
+    def test_preempt_releases_past_the_deadline(self):
+        policy = PreemptOnDeadlineExchange(preempt_wait_seconds=100.0)
+        mounted = view("m")
+        candidates = [view("s", oldest=0.0)]
+        assert policy.should_release(mounted, candidates, 99.0) is False
+        assert policy.should_release(mounted, candidates, 100.0) is True
+
+    def test_preempt_checks_every_candidate(self):
+        policy = PreemptOnDeadlineExchange(preempt_wait_seconds=100.0)
+        candidates = [view("young", oldest=90.0), view("old", oldest=0.0)]
+        assert policy.should_release(view("m"), candidates, 101.0) is True
+
+    def test_preempt_deadline_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            PreemptOnDeadlineExchange(preempt_wait_seconds=0.0)
+
+
+class TestRegistry:
+    def test_assignment_names(self):
+        assert assignment_policy_names() == ["affinity", "least-loaded"]
+
+    def test_exchange_names(self):
+        assert exchange_policy_names() == ["drain", "preempt"]
+
+    def test_lookup_builds_fresh_instances(self):
+        first = get_assignment_policy("affinity")
+        second = get_assignment_policy("affinity")
+        assert isinstance(first, TapeAffinityAssignment)
+        assert first is not second
+        assert isinstance(
+            get_exchange_policy("preempt"), PreemptOnDeadlineExchange
+        )
+
+    def test_names_match_the_instances(self):
+        for name in assignment_policy_names():
+            assert get_assignment_policy(name).name == name
+        for name in exchange_policy_names():
+            assert get_exchange_policy(name).name == name
+
+    def test_unknown_names_list_the_known_ones(self):
+        with pytest.raises(ValueError, match="affinity"):
+            get_assignment_policy("round-robin")
+        with pytest.raises(ValueError, match="drain"):
+            get_exchange_policy("never")

@@ -1,0 +1,132 @@
+"""The shared robot arm and drive-bay state."""
+
+import pytest
+
+from repro.exceptions import LibraryError
+from repro.library.drives import DriveBay, DriveState
+from repro.library.events import MountCompleted, MountStarted
+from repro.library.kernel import EventKernel
+from repro.library.robot import ExchangeJob, RobotArm
+
+
+@pytest.fixture()
+def kernel():
+    return EventKernel()
+
+
+@pytest.fixture()
+def arm(kernel):
+    return RobotArm(kernel, exchange_seconds=30.0)
+
+
+def job(drive=0, label="a", requested=0.0, unload=None, rewind=0.0):
+    return ExchangeJob(
+        drive=drive, label=label, requested_seconds=requested,
+        unload_label=unload, rewind_seconds=rewind,
+    )
+
+
+class TestJobCosts:
+    def test_load_into_empty_bay_is_one_exchange(self, arm):
+        assert arm.job_seconds(job()) == pytest.approx(30.0)
+
+    def test_swap_charges_rewind_and_both_exchanges(self, arm):
+        swap = job(unload="old", rewind=12.5)
+        # Shelve the outgoing cartridge (rewind + exchange), then load.
+        assert arm.job_seconds(swap) == pytest.approx(12.5 + 30.0 + 30.0)
+
+
+class TestFifoService:
+    def test_single_job_lifecycle(self, kernel, arm):
+        events = []
+        kernel.on(MountStarted, events.append)
+        kernel.on(MountCompleted, events.append)
+        arm.submit(job(label="x", requested=0.0))
+        assert arm.busy
+        kernel.run()
+        assert not arm.busy
+        assert arm.exchanges == 1
+        assert arm.busy_seconds == pytest.approx(30.0)
+        assert events == [
+            MountStarted(drive=0, label="x"),
+            MountCompleted(
+                drive=0, label="x", requested_seconds=0.0,
+                robot_seconds=30.0,
+            ),
+        ]
+        assert kernel.now_seconds == pytest.approx(30.0)
+
+    def test_concurrent_requests_serialize(self, kernel, arm):
+        completions = []
+        kernel.on(
+            MountCompleted,
+            lambda e: completions.append((e.drive, kernel.now_seconds)),
+        )
+        for drive in range(3):
+            arm.submit(job(drive=drive, label=f"t{drive}"))
+        assert arm.queued == 2  # one in progress, two waiting
+        kernel.run()
+        assert completions == [
+            (0, pytest.approx(30.0)),
+            (1, pytest.approx(60.0)),
+            (2, pytest.approx(90.0)),
+        ]
+        assert arm.exchanges == 3
+        assert arm.busy_seconds == pytest.approx(90.0)
+        assert arm.queued == 0
+
+    def test_mount_wait_grows_down_the_queue(self, kernel, arm):
+        waits = []
+        kernel.on(
+            MountCompleted,
+            lambda e: waits.append(
+                kernel.now_seconds - e.requested_seconds
+            ),
+        )
+        for drive in range(4):
+            arm.submit(job(drive=drive))
+        kernel.run()
+        assert waits == [
+            pytest.approx(30.0 * (k + 1)) for k in range(4)
+        ]
+
+    def test_arm_resumes_after_going_idle(self, kernel, arm):
+        arm.submit(job(drive=0))
+        kernel.run()
+        assert not arm.busy
+        arm.submit(job(drive=1))
+        assert arm.busy
+        kernel.run()
+        assert arm.exchanges == 2
+        assert kernel.now_seconds == pytest.approx(60.0)
+
+
+class TestDriveBay:
+    def test_fresh_bay_is_empty_and_available(self):
+        bay = DriveBay(0)
+        assert bay.state is DriveState.EMPTY
+        assert bay.available
+        assert not bay.idle_with_tape
+
+    def test_mounting_and_executing_are_unavailable(self):
+        bay = DriveBay(0)
+        bay.state = DriveState.MOUNTING
+        assert not bay.available
+        bay.state = DriveState.EXECUTING
+        assert not bay.available
+
+    def test_idle_with_tape_needs_a_label(self):
+        bay = DriveBay(0, state=DriveState.IDLE)
+        assert not bay.idle_with_tape
+        bay.label = "a"
+        assert bay.idle_with_tape
+
+    def test_require_drive_raises_while_empty(self):
+        with pytest.raises(LibraryError, match="bay 3"):
+            DriveBay(3).require_drive()
+
+    def test_require_drive_returns_the_mechanism(self):
+        bay = DriveBay(0)
+        sentinel = object()
+        bay.drive = sentinel
+        assert bay.require_drive() is sentinel

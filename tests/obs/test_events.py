@@ -31,6 +31,7 @@ EXPECTED_NAMES = {
     "cache.evict",
     "library.mount",
     "library.unmount",
+    "library.mount_wait",
     "drive.op",
     "fault.injected",
     "request.retry",

@@ -66,6 +66,26 @@ class TestParser:
         assert args.algorithm == "LOSS"
         assert args.max_batch == 96
 
+    def test_library_sim_defaults(self):
+        args = build_parser().parse_args(["library-sim"])
+        assert args.experiment == "library-sim"
+        assert args.drives is None
+        assert args.cartridges is None
+        assert args.assignment_policy is None
+        assert args.exchange_policy == "drain"
+
+    def test_library_sim_sweep_flags_repeat(self):
+        args = build_parser().parse_args(
+            [
+                "library-sim",
+                "--drives", "1", "--drives", "4",
+                "--assignment-policy", "affinity",
+                "--assignment-policy", "least-loaded",
+            ]
+        )
+        assert args.drives == [1, 4]
+        assert args.assignment_policy == ["affinity", "least-loaded"]
+
 
 class TestMain:
     def test_runs_section3(self, capsys):
@@ -147,6 +167,31 @@ class TestMain:
                 "--horizon-hours", "0.1",
                 "--rate-per-hour", "120",
                 "--max-batch", "8",
+                "--out", str(out_file),
+            ]
+        ) == 0
+        assert out_file.exists()
+        assert "exported to" in capsys.readouterr().out
+
+    def test_runs_library_sim_smoke(self, capsys):
+        assert main(
+            ["library-sim", "--smoke", "--horizon-hours", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Multi-drive library sweep" in out
+        assert "zero lost requests" in out
+
+    def test_library_sim_rejects_bad_drives(self):
+        with pytest.raises(SystemExit):
+            main(["library-sim", "--drives", "0"])
+
+    def test_library_sim_export(self, capsys, tmp_path):
+        out_file = tmp_path / "library.json"
+        assert main(
+            [
+                "library-sim", "--smoke",
+                "--horizon-hours", "0.05",
+                "--cartridges", "4",
                 "--out", str(out_file),
             ]
         ) == 0

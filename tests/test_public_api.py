@@ -24,6 +24,7 @@ class TestPublicSurface:
             "repro.scheduling",
             "repro.workload",
             "repro.online",
+            "repro.library",
             "repro.cache",
             "repro.analysis",
             "repro.obs",
