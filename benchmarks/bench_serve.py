@@ -1,0 +1,54 @@
+"""SLA serving-gateway benchmarks.
+
+Two macro cases time the ``serve-sim`` path — the gateway serving the
+four-tenant million-user workload at one grid point, and the full
+1/2/4-drive sweep behind ``python -m repro serve-sim`` — and each
+asserts the sweep's headline findings as a guard: every request gets a
+typed outcome (zero lost), every tenant makes its p999 SLO, and the
+weighted fair share holds (the gold tier's mean response time beats
+the batch tier's at every drive count).
+"""
+
+import pytest
+
+from repro.experiments import serve_sim
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def serve_config(quick_config):
+    return quick_config
+
+
+def test_gateway_serving_loop(benchmark, serve_config):
+    points = run_once(
+        benchmark,
+        serve_sim.run_point,
+        serve_config,
+        drives=4,
+        horizon_hours=1.0,
+    )
+    assert all(p.run_lost == 0 for p in points)
+    assert all(p.slo_ok for p in points)
+
+
+def test_serve_sim_sweep(benchmark, serve_config):
+    result = run_once(
+        benchmark,
+        serve_sim.run,
+        serve_config,
+        horizon_hours=1.0,
+    )
+    assert result.all_complete
+    assert result.slo_ok
+    # Weighted fair sharing's headline: the premium tier's mean beats
+    # the best-effort tier's at every drive count.
+    for drives in serve_sim.DEFAULT_DRIVES:
+        by_tenant = {
+            p.tenant: p for p in result.points if p.drives == drives
+        }
+        assert (
+            by_tenant["gold"].mean_response_seconds
+            < by_tenant["batch"].mean_response_seconds
+        )

@@ -28,6 +28,7 @@ from repro._version import __version__
 from repro.cache import (
     AdmissionPolicy,
     AlwaysAdmit,
+    CachedLibrarySystem,
     CachedTertiaryStorageSystem,
     CostThresholdAdmission,
     EvictionPolicy,
@@ -67,8 +68,19 @@ from repro.library import LibraryRequest, MultiDriveSystem
 from repro.online import (
     BatchPolicy,
     CacheStats,
+    DeadlineBatchPolicy,
     ResponseStats,
     TertiaryStorageSystem,
+)
+from repro.serve import (
+    Gateway,
+    ServeConfig,
+    ServeReport,
+    ServeRequest,
+    TenantConfig,
+    TenantLoadSpec,
+    TenantStats,
+    zipf_serve_stream,
 )
 from repro.resilience import (
     FaultInjector,
@@ -119,8 +131,10 @@ __all__ = [
     "BatchTooLarge",
     "CacheError",
     "CacheStats",
+    "CachedLibrarySystem",
     "CachedTertiaryStorageSystem",
     "CostThresholdAdmission",
+    "DeadlineBatchPolicy",
     "DriveError",
     "EmptyBatchError",
     "EvenOddPerturbation",
@@ -132,6 +146,7 @@ __all__ = [
     "FifoScheduler",
     "FrequencyThresholdAdmission",
     "GDSFPolicy",
+    "Gateway",
     "GeometryError",
     "LRUPolicy",
     "LibraryRequest",
@@ -155,11 +170,17 @@ __all__ = [
     "SchedulingError",
     "SegmentCache",
     "SegmentOutOfRange",
+    "ServeConfig",
+    "ServeReport",
+    "ServeRequest",
     "ShortLocateDeviation",
     "SimulatedDrive",
     "SltfScheduler",
     "SortScheduler",
     "TapeGeometry",
+    "TenantConfig",
+    "TenantLoadSpec",
+    "TenantStats",
     "TertiaryStorageSystem",
     "TraceError",
     "TraceRecorder",
@@ -182,4 +203,5 @@ __all__ = [
     "scheduler_names",
     "summarize_events",
     "tiny_tape",
+    "zipf_serve_stream",
 ]

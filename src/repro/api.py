@@ -22,6 +22,10 @@ The facade groups:
 * **scheduling** — the paper's eight algorithms, schedules, execution;
 * **online** — the batching service loop, the robotic library, and the
   staging-cache front-end;
+* **serving** — the SLA-aware gateway of :mod:`repro.serve` (tenants,
+  fairness, backpressure, typed shedding) and its deterministic
+  multi-tenant load generator — the entry point external callers are
+  meant to program against (see ``docs/SERVING.md``);
 * **observability** — the event bus, metrics, and trace tooling of
   :mod:`repro.obs`;
 * **experiments** — config plus the tabular-result export helpers;
@@ -31,12 +35,17 @@ The facade groups:
 
 from __future__ import annotations
 
+import warnings
+
 from repro._version import __version__
+from repro.cache.library_tier import CachedLibrarySystem
 from repro.cache.store import SegmentCache
 from repro.cache.system import CachedTertiaryStorageSystem
 from repro.drive.simulated import SimulatedDrive
 from repro.exceptions import (
+    AdmissionRejected,
     CacheError,
+    DeadlineExpired,
     DriveError,
     DriveFault,
     DriveReset,
@@ -47,7 +56,10 @@ from repro.exceptions import (
     ReadFault,
     ReproError,
     SchedulingError,
+    ServeError,
+    TenantOverloaded,
     TraceError,
+    UnknownTenant,
 )
 from repro.lint import Finding, LintRun, run_lint
 from repro.experiments.config import ExperimentConfig
@@ -59,12 +71,10 @@ from repro.model.locate import LocateTimeModel
 from repro.obs import (
     EventBus,
     MetricsRegistry,
-    Subscription,
     TraceRecorder,
     TraceSummary,
     bind_standard_metrics,
     cache_stats_from_events,
-    event_from_record,
     read_events_jsonl,
     response_stats_from_events,
     summarize_events,
@@ -82,7 +92,11 @@ from repro.library import (
     poisson_library_stream,
 )
 from repro.library.cartridge import Cartridge, TapeLibrary
-from repro.online.batch_queue import BatchPolicy, BatchQueue
+from repro.online.batch_queue import (
+    BatchPolicy,
+    BatchQueue,
+    DeadlineBatchPolicy,
+)
 from repro.online.metrics import CacheStats, ResponseStats
 from repro.online.system import BatchRecord, TertiaryStorageSystem
 from repro.resilience import (
@@ -100,6 +114,19 @@ from repro.scheduling.estimator import estimate_schedule_seconds
 from repro.scheduling.executor import ExecutionResult, execute_schedule
 from repro.scheduling.request import Request
 from repro.scheduling.schedule import Schedule
+from repro.serve import (
+    Gateway,
+    ServeConfig,
+    ServeReport,
+    ServeRequest,
+    ShedRecord,
+    TenantConfig,
+    TenantLoadSpec,
+    TenantStats,
+    load_serve_trace,
+    save_serve_trace,
+    zipf_serve_stream,
+)
 from repro.workload.arrivals import (
     PoissonArrivals,
     TimedRequest,
@@ -107,17 +134,22 @@ from repro.workload.arrivals import (
 )
 
 __all__ = [
+    "AdmissionRejected",
     "BatchPolicy",
     "BatchQueue",
     "BatchRecord",
     "CacheError",
     "CacheStats",
+    "CachedLibrarySystem",
     "CachedTertiaryStorageSystem",
     "Cartridge",
+    "DeadlineBatchPolicy",
+    "DeadlineExpired",
     "DriveError",
     "DriveFault",
     "DriveReset",
     "EventBus",
+    "Gateway",
     "ExecutionResult",
     "ExperimentConfig",
     "FaultInjector",
@@ -144,38 +176,83 @@ __all__ = [
     "Scheduler",
     "SchedulingError",
     "SegmentCache",
+    "ServeConfig",
+    "ServeError",
+    "ServeReport",
+    "ServeRequest",
+    "ShedRecord",
     "SimulatedDrive",
-    "Subscription",
     "TabularResult",
     "TapeGeometry",
     "TapeLibrary",
+    "TenantConfig",
+    "TenantLoadSpec",
+    "TenantOverloaded",
+    "TenantStats",
     "TertiaryStorageSystem",
     "TimedRequest",
     "TraceError",
     "TraceRecorder",
     "TraceSummary",
+    "UnknownTenant",
     "ZipfArrivals",
     "__version__",
     "assignment_policy_names",
     "bind_standard_metrics",
     "cache_stats_from_events",
     "estimate_schedule_seconds",
-    "event_from_record",
     "exchange_policy_names",
     "execute_schedule",
     "generate_tape",
     "get_assignment_policy",
     "get_exchange_policy",
     "get_scheduler",
+    "load_serve_trace",
     "poisson_library_stream",
     "read_events_jsonl",
     "response_stats_from_events",
     "result_to_rows",
     "run_lint",
+    "save_serve_trace",
     "scheduler_names",
     "summarize_events",
     "tiny_tape",
     "write_events_csv",
     "write_events_jsonl",
     "write_result",
+    "zipf_serve_stream",
 ]
+
+#: Names demoted from the facade (they were observability internals,
+#: not blessed entry points).  Importing them from here still works
+#: but warns once; use ``repro.obs`` directly.
+_MOVED = ("Subscription", "event_from_record")
+
+#: Names whose deprecation has already been announced.  The guard
+#: makes the warning fire exactly once per name per process, however
+#: the caller's warning filters are configured — repeated accesses on
+#: a hot path must not spam (or, under ``-W error``, crash) the run.
+_warned: set[str] = set()
+
+
+def __getattr__(name: str):
+    if name in _MOVED:
+        if name not in _warned:
+            _warned.add(name)
+            warnings.warn(
+                f"repro.api.{name} is no longer part of the public "
+                "facade; import it from repro.obs instead (this "
+                "fallback will be removed in a future release)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        from repro import obs
+
+        return getattr(obs, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+def __dir__() -> list[str]:
+    return sorted([*__all__, *_MOVED])

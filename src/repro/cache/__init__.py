@@ -11,7 +11,10 @@ and only goes to tape on a miss.  This package provides that tier:
 * :mod:`repro.cache.prefetch` — opportunistic staging of the segments
   a batch's head passes over while reading through coalesced gaps;
 * :mod:`repro.cache.system` — :class:`CachedTertiaryStorageSystem`,
-  the cache composed with the online batching system.
+  the cache composed with the online batching system;
+* :mod:`repro.cache.library_tier` — :class:`CachedLibrarySystem`, the
+  same tier injected in front of a multi-drive
+  :class:`~repro.library.MultiDriveSystem`.
 """
 
 from repro.cache.admission import (
@@ -35,6 +38,7 @@ from repro.cache.prefetch import (
     opportunistic_prefetch,
     prefetch_candidates,
 )
+from repro.cache.library_tier import CachedLibrarySystem
 from repro.cache.store import SegmentCache
 from repro.cache.system import (
     DEFAULT_CACHE_CAPACITY_SEGMENTS,
@@ -47,6 +51,7 @@ __all__ = [
     "AdmissionPolicy",
     "AlwaysAdmit",
     "CacheStats",
+    "CachedLibrarySystem",
     "CachedTertiaryStorageSystem",
     "CostThresholdAdmission",
     "DEFAULT_CACHE_CAPACITY_SEGMENTS",

@@ -49,14 +49,19 @@ class CachedTertiaryStorageSystem(TertiaryStorageSystem):
     """
 
     cache: SegmentCache = field(
+        kw_only=True,
         default_factory=lambda: SegmentCache(
             DEFAULT_CACHE_CAPACITY_SEGMENTS
-        )
+        ),
     )
-    hit_latency_seconds: float = 0.0
-    prefetch: bool = True
-    prefetch_threshold: int = DEFAULT_COALESCE_THRESHOLD
-    max_prefetch_per_batch: int = DEFAULT_MAX_PREFETCH_PER_BATCH
+    hit_latency_seconds: float = field(kw_only=True, default=0.0)
+    prefetch: bool = field(kw_only=True, default=True)
+    prefetch_threshold: int = field(
+        kw_only=True, default=DEFAULT_COALESCE_THRESHOLD
+    )
+    max_prefetch_per_batch: int = field(
+        kw_only=True, default=DEFAULT_MAX_PREFETCH_PER_BATCH
+    )
 
     def __post_init__(self) -> None:
         if self.hit_latency_seconds < 0:

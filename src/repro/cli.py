@@ -31,6 +31,7 @@ from repro.experiments import (
     optimality,
     section3_stats,
     seed_stability,
+    serve_sim,
     summary_table,
     trace_run,
 )
@@ -92,13 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=sorted(
             {*_CONFIGURED, *_SEED_ONLY, "cache-sim", "chaos",
-             "library-sim", "trace", "all"}
+             "library-sim", "serve-sim", "trace", "all"}
         ),
         help=(
             "which figure/table to regenerate, 'cache-sim' for the "
             "disk staging cache extension, 'chaos' for a fault-"
             "injection sweep of the hardened serving path, "
             "'library-sim' for the multi-drive robotic library sweep, "
+            "'serve-sim' for the multi-tenant SLA gateway sweep, "
             "or 'trace' for an instrumented run with telemetry "
             "cross-checks"
         ),
@@ -246,6 +248,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: drain)"
         ),
     )
+    serve = parser.add_argument_group(
+        "serve-sim options (ignored by the paper experiments)"
+    )
+    serve.add_argument(
+        "--backend-depth", type=int, default=None, metavar="N",
+        help=(
+            "backpressure: released-but-unfinished requests allowed "
+            "in the backend at once (default: "
+            f"{serve_sim.DEFAULT_BACKEND_DEPTH}; 0 = unbounded)"
+        ),
+    )
     trace = parser.add_argument_group(
         "trace options (ignored by the paper experiments)"
     )
@@ -258,7 +271,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "trace: exit non-zero unless the telemetry cross-checks "
             "hold; library-sim: shrink to the CI gate (2 drives, one "
-            "policy, short horizon)"
+            "policy, short horizon); serve-sim: shrink to the CI "
+            "gate (2 drives, 10k users, short horizon)"
         ),
     )
     trace.add_argument(
@@ -413,6 +427,40 @@ def main(argv: Sequence[str] | None = None) -> int:
         # A request that neither completed nor failed is a kernel
         # bug, not a statistic.
         return 0 if result.all_complete else 1
+    if args.experiment == "serve-sim":
+        if args.drives and any(d < 1 for d in args.drives):
+            parser.error("--drives must be >= 1")
+        if args.cartridges is not None and args.cartridges < 1:
+            parser.error("--cartridges must be >= 1")
+        if args.backend_depth is not None and args.backend_depth < 0:
+            parser.error("--backend-depth must be >= 0 (0 = unbounded)")
+        if args.backend_depth is None:
+            backend_depth = serve_sim.DEFAULT_BACKEND_DEPTH
+        elif args.backend_depth == 0:
+            backend_depth = None
+        else:
+            backend_depth = args.backend_depth
+        result = serve_sim.main(
+            config,
+            drives=tuple(args.drives) if args.drives else None,
+            cartridges=(
+                args.cartridges if args.cartridges is not None
+                else serve_sim.DEFAULT_CARTRIDGES
+            ),
+            horizon_hours=args.horizon_hours,
+            max_batch=args.max_batch,
+            algorithm=args.algorithm,
+            backend_depth=backend_depth,
+            smoke=args.smoke,
+        )
+        if args.out is not None:
+            from repro.experiments.export import write_result
+
+            written = write_result(result, args.out)
+            print(f"exported to {written}")
+        # A silently dropped request or a blown p999 SLO is a
+        # serving-layer bug, not a statistic.
+        return 0 if result.all_complete and result.slo_ok else 1
     if args.experiment == "trace":
         result = trace_run.main(
             config,

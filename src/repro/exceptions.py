@@ -144,3 +144,62 @@ class TraceError(ReproError):
 
 class LintError(ReproError):
     """The static-analysis pass was misconfigured or hit a broken input."""
+
+
+class ServeError(ReproError):
+    """Invalid operation on the serving gateway."""
+
+
+class UnknownTenant(ServeError):
+    """A request named a tenant the gateway was not configured with."""
+
+
+class AdmissionRejected(ServeError):
+    """The gateway refused to serve a request (the typed shed).
+
+    Never *raised* on the serving path — shedding a request must not
+    abort the simulation — but recorded, one instance per shed
+    request, on the gateway's shed ledger so every rejection carries a
+    machine-readable reason.  Subclasses tag the cause the way
+    :class:`DriveFault` tags mechanism faults.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose request was shed.
+    segment:
+        The segment the request addressed.
+    arrival_seconds:
+        When the request arrived at the gateway.
+    """
+
+    #: Taxonomy tag (``overload`` / ``deadline``); set per subclass.
+    kind = "rejected"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str,
+        segment: int,
+        arrival_seconds: float,
+    ) -> None:
+        self.tenant = tenant
+        self.segment = int(segment)
+        self.arrival_seconds = float(arrival_seconds)
+        super().__init__(
+            f"{message} (tenant {tenant!r}, segment {segment}, "
+            f"arrived {arrival_seconds:.3f} s)"
+        )
+
+
+class TenantOverloaded(AdmissionRejected):
+    """Shed at admission: the tenant hit its outstanding-request cap."""
+
+    kind = "overload"
+
+
+class DeadlineExpired(AdmissionRejected):
+    """Shed at release: the request could no longer meet its deadline."""
+
+    kind = "deadline"

@@ -22,6 +22,7 @@ from repro.experiments import (
     optimality,
     section3_stats,
     seed_stability,
+    serve_sim,
     summary_table,
     trace_run,
 )
@@ -102,6 +103,7 @@ __all__ = [
     "run_validation",
     "section3_stats",
     "seed_stability",
+    "serve_sim",
     "summary_table",
     "trace_run",
 ]

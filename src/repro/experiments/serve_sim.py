@@ -1,0 +1,380 @@
+"""Serving-gateway experiment: tenant fairness and tail latency.
+
+``python -m repro serve-sim`` drives the SLA gateway
+(:class:`~repro.serve.Gateway`) over a multi-drive library at every
+point of a drive-count grid, with a four-tenant million-user Zipf
+workload (see :data:`DEFAULT_TENANTS`): weighted fair sharing, a
+deadline-aware batch cut on the backend, and backpressure between the
+two.  Per (drives, tenant) it reports the serving counters and the
+p50/p99/p999 response-time percentiles the per-tenant SLOs are judged
+against.
+
+The headline checks — the CI gate — are **zero lost requests** (every
+request completes, fails typed, or is shed typed; silence is a bug)
+and **every tenant within its p999 SLO**.  Runs are deterministic:
+same seed, same grid → byte-identical export.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import print_table
+from repro.library.cartridge import Cartridge
+from repro.library.system import MultiDriveSystem
+from repro.online.batch_queue import DeadlineBatchPolicy
+from repro.scheduling.base import get_scheduler
+from repro.serve.config import ServeConfig, TenantConfig
+from repro.serve.gateway import Gateway
+from repro.serve.workload import TenantLoadSpec, zipf_serve_stream
+
+#: Drive-count grid when the caller does not pass one.
+DEFAULT_DRIVES = (1, 2, 4)
+
+#: Cartridges on the shelf by default.
+DEFAULT_CARTRIDGES = 8
+
+#: The four-tier tenant population: a million simulated users, weighted
+#: 8/4/2/1.  Premium tiers are smaller but hit harder per user and
+#: carry finite SLO targets; the batch tier is best-effort.
+DEFAULT_TENANTS = (
+    TenantLoadSpec(
+        name="gold", users=100_000, rate_per_hour=80.0, weight=8.0
+    ),
+    TenantLoadSpec(
+        name="silver", users=200_000, rate_per_hour=120.0, weight=4.0
+    ),
+    TenantLoadSpec(
+        name="bronze", users=300_000, rate_per_hour=180.0, weight=2.0
+    ),
+    TenantLoadSpec(
+        name="batch", users=400_000, rate_per_hour=220.0, weight=1.0
+    ),
+)
+
+#: Per-tenant p999 response-time targets (seconds); ``inf`` for the
+#: best-effort tiers.  Generous against the default grid on purpose:
+#: the CI gate should trip on regressions, not on noise.
+DEFAULT_SLO_SECONDS = {
+    "gold": 25_200.0,
+    "silver": 36_000.0,
+    "bronze": float("inf"),
+    "batch": float("inf"),
+}
+
+#: Backend batch cut: grow for throughput, dispatch when the oldest
+#: queued request is 30 simulated minutes from its one-hour deadline.
+DEFAULT_DEADLINE_SECONDS = 3600.0
+DEFAULT_CUT_SLACK_SECONDS = 1800.0
+
+#: Backpressure: released-but-unfinished requests allowed in the
+#: backend at once.
+DEFAULT_BACKEND_DEPTH = 96
+
+#: Simulated hours per scale (mirrors the other experiment drivers).
+_HORIZON_HOURS = {"quick": 2.0, "full": 8.0, "paper": 24.0}
+
+#: Smoke-scale tenant table: same shape, hundred-thousandth the users.
+_SMOKE_TENANTS = tuple(
+    TenantLoadSpec(
+        name=spec.name,
+        users=max(spec.users // 100, 1),
+        rate_per_hour=spec.rate_per_hour,
+        zipf_alpha=spec.zipf_alpha,
+        weight=spec.weight,
+    )
+    for spec in DEFAULT_TENANTS
+)
+
+
+@dataclass(frozen=True)
+class ServePoint:
+    """One (drives, tenant) cell of the sweep."""
+
+    drives: int
+    cartridges: int
+    tenant: str
+    weight: float
+    users: int
+    submitted: int
+    admitted: int
+    released: int
+    completed: int
+    failed: int
+    shed: int
+    mean_response_seconds: float | None
+    p50_response_seconds: float | None
+    p99_response_seconds: float | None
+    p999_response_seconds: float | None
+    slo_seconds: float
+    slo_violations: int
+    slo_ok: bool
+    run_lost: int
+    run_degraded: bool
+
+
+@dataclass(frozen=True)
+class ServeSweepResult:
+    """The sweep, in the tabular-result protocol."""
+
+    label: str
+    points: tuple[ServePoint, ...]
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`."""
+        return [
+            "drives", "cartridges", "tenant", "weight", "users",
+            "submitted", "admitted", "released", "completed",
+            "failed", "shed", "mean (s)", "p50 (s)", "p99 (s)",
+            "p999 (s)", "slo (s)", "violations", "slo ok", "lost",
+            "degraded",
+        ]
+
+    def rows(self) -> list[list]:
+        """One row per (drives, tenant) cell."""
+        return [
+            [
+                point.drives,
+                point.cartridges,
+                point.tenant,
+                point.weight,
+                point.users,
+                point.submitted,
+                point.admitted,
+                point.released,
+                point.completed,
+                point.failed,
+                point.shed,
+                point.mean_response_seconds,
+                point.p50_response_seconds,
+                point.p99_response_seconds,
+                point.p999_response_seconds,
+                point.slo_seconds,
+                point.slo_violations,
+                point.slo_ok,
+                point.run_lost,
+                point.run_degraded,
+            ]
+            for point in self.points
+        ]
+
+    def to_dict(self) -> list[dict]:
+        """Records for export (``inf`` SLOs become ``None`` for JSON)."""
+        records = []
+        for row in self.rows():
+            record = dict(zip(self.headers(), row))
+            if math.isinf(record["slo (s)"]):
+                record["slo (s)"] = None
+            records.append(record)
+        return records
+
+    @property
+    def all_complete(self) -> bool:
+        """Did every request get a typed outcome at every point?"""
+        return all(point.run_lost == 0 for point in self.points)
+
+    @property
+    def slo_ok(self) -> bool:
+        """Did every tenant make its p999 target at every point?"""
+        return all(point.slo_ok for point in self.points)
+
+    @property
+    def total_users(self) -> int:
+        """Simulated users behind one grid point's workload."""
+        drives = self.points[0].drives if self.points else None
+        return sum(
+            point.users
+            for point in self.points
+            if point.drives == drives
+        )
+
+
+def _shelf(config: ExperimentConfig, cartridges: int) -> list[Cartridge]:
+    """Deterministic cartridge shelf: tape-0, tape-1, ..."""
+    from repro.geometry.generator import generate_tape
+
+    return [
+        Cartridge(
+            f"tape-{index}",
+            generate_tape(seed=config.tape_seed + index),
+        )
+        for index in range(cartridges)
+    ]
+
+
+def run_point(
+    config: ExperimentConfig,
+    drives: int,
+    cartridges: int = DEFAULT_CARTRIDGES,
+    tenants: tuple[TenantLoadSpec, ...] = DEFAULT_TENANTS,
+    slo_seconds: dict[str, float] | None = None,
+    horizon_hours: float | None = None,
+    max_batch: int = 32,
+    algorithm: str = "LOSS",
+    deadline_seconds: float = DEFAULT_DEADLINE_SECONDS,
+    cut_slack_seconds: float = DEFAULT_CUT_SLACK_SECONDS,
+    backend_depth: int | None = DEFAULT_BACKEND_DEPTH,
+    shelf: list[Cartridge] | None = None,
+) -> list[ServePoint]:
+    """Serve one multi-tenant stream at one drive count."""
+    if horizon_hours is None:
+        horizon_hours = _HORIZON_HOURS[config.scale]
+    if slo_seconds is None:
+        slo_seconds = DEFAULT_SLO_SECONDS
+    if shelf is None:
+        shelf = _shelf(config, cartridges)
+    system = MultiDriveSystem(
+        shelf,
+        drives=drives,
+        scheduler=get_scheduler(algorithm),
+        policy=DeadlineBatchPolicy(
+            max_batch=max_batch,
+            deadline_seconds=deadline_seconds,
+            cut_slack_seconds=cut_slack_seconds,
+        ),
+    )
+    gateway = Gateway(
+        ServeConfig(
+            tenants=tuple(
+                TenantConfig(
+                    name=spec.name,
+                    weight=spec.weight,
+                    slo_seconds=slo_seconds.get(
+                        spec.name, float("inf")
+                    ),
+                )
+                for spec in tenants
+            ),
+            max_backend_depth=backend_depth,
+        ),
+        system=system,
+    )
+    stream = zipf_serve_stream(
+        tenants,
+        system.labels(),
+        total_segments=shelf[0].geometry.total_segments,
+        horizon_seconds=horizon_hours * 3600.0,
+        seed=config.workload_seed,
+    )
+    report = gateway.run(stream)
+    users = {spec.name: spec.users for spec in tenants}
+    return [
+        ServePoint(
+            drives=drives,
+            cartridges=len(shelf),
+            tenant=stats.name,
+            weight=stats.weight,
+            users=users[stats.name],
+            submitted=stats.submitted,
+            admitted=stats.admitted,
+            released=stats.released,
+            completed=stats.completed,
+            failed=stats.failed,
+            shed=stats.shed,
+            mean_response_seconds=stats.mean_seconds,
+            p50_response_seconds=stats.p50_seconds,
+            p99_response_seconds=stats.p99_seconds,
+            p999_response_seconds=stats.p999_seconds,
+            slo_seconds=stats.slo_seconds,
+            slo_violations=stats.slo_violations,
+            slo_ok=stats.slo_ok,
+            run_lost=report.lost,
+            run_degraded=report.degraded,
+        )
+        for stats in report.tenants
+    ]
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    drives=None,
+    cartridges: int = DEFAULT_CARTRIDGES,
+    horizon_hours: float | None = None,
+    max_batch: int = 32,
+    algorithm: str = "LOSS",
+    backend_depth: int | None = DEFAULT_BACKEND_DEPTH,
+    smoke: bool = False,
+) -> ServeSweepResult:
+    """Sweep the drive grid under the four-tenant million-user load.
+
+    ``smoke=True`` shrinks to the CI gate: 2 drives, a short horizon,
+    and a 10k-user population — fast, still a real
+    admit/release/complete cycle through every layer.
+    """
+    config = config or ExperimentConfig()
+    tenants = DEFAULT_TENANTS
+    if smoke:
+        drives = (2,)
+        tenants = _SMOKE_TENANTS
+        if horizon_hours is None:
+            horizon_hours = 0.5
+    if drives is None:
+        drives = DEFAULT_DRIVES
+    shelf = _shelf(config, cartridges)
+    points: list[ServePoint] = []
+    for drive_count in drives:
+        points.extend(
+            run_point(
+                config,
+                drives=drive_count,
+                cartridges=cartridges,
+                tenants=tenants,
+                horizon_hours=horizon_hours,
+                max_batch=max_batch,
+                algorithm=algorithm,
+                backend_depth=backend_depth,
+                shelf=shelf,
+            )
+        )
+    return ServeSweepResult(label="serve-sim", points=tuple(points))
+
+
+def report(result: ServeSweepResult) -> None:
+    """Print the sweep table and the gate verdicts."""
+    print_table(
+        result.headers(),
+        result.rows(),
+        precision=3,
+        title=(
+            "SLA gateway sweep: tenant fairness and tail latency "
+            f"({result.total_users:,} simulated users)"
+        ),
+    )
+    if result.all_complete:
+        print(
+            "every request got a typed outcome at every grid point "
+            "(zero lost requests)"
+        )
+    else:
+        print("WARNING: requests were lost at some grid point")
+    if result.slo_ok:
+        print("every tenant within its p999 SLO at every grid point")
+    else:
+        print("WARNING: p999 SLO violated for some tenant")
+
+
+def main(
+    config: ExperimentConfig | None = None,
+    drives=None,
+    cartridges: int = DEFAULT_CARTRIDGES,
+    horizon_hours: float | None = None,
+    max_batch: int = 32,
+    algorithm: str = "LOSS",
+    backend_depth: int | None = DEFAULT_BACKEND_DEPTH,
+    smoke: bool = False,
+) -> ServeSweepResult:
+    """Run and report."""
+    result = run(
+        config,
+        drives=drives,
+        cartridges=cartridges,
+        horizon_hours=horizon_hours,
+        max_batch=max_batch,
+        algorithm=algorithm,
+        backend_depth=backend_depth,
+        smoke=smoke,
+    )
+    report(result)
+    return result

@@ -26,17 +26,28 @@ each completed exchange additionally publishes
 occupancy are first-class metrics (see
 :func:`~repro.obs.metrics.bind_standard_metrics`).
 
-Known limitation: the degraded-mode *budgets* of
-:class:`~repro.resilience.ResilienceConfig` (wall-clock scheduling and
-execution budgets) are not consulted here — retries and bounded
-requeues are.  Multi-drive degraded mode needs a per-bay notion of
-"behind" and is left to a follow-up.
+The full :class:`~repro.resilience.ResilienceConfig` contract holds
+here, budgets included: blowing the wall-clock scheduling budget or
+the simulated execution budget on any bay trips the system-wide sticky
+degraded mode (the schedulers are shared, so "this algorithm is too
+slow" is a library-wide fact, not a per-bay one) and every later batch
+on every bay uses the fallback algorithm.
+
+The serving loop is also available in opened form for layers that
+inject requests while the simulation runs (the ``repro.serve``
+gateway): :meth:`MultiDriveSystem.begin` / :meth:`~MultiDriveSystem.submit`
+/ :meth:`~MultiDriveSystem.finish` decompose :meth:`~MultiDriveSystem.run`,
+and the ``completion_listeners`` / ``failure_listeners`` /
+``batch_listeners`` hooks observe outcomes synchronously, in kernel
+order, with the original request objects (identity preserved across
+requeues).
 """
 
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable, Sequence
+import time
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, replace
 
 from repro.drive.simulated import SimulatedDrive
@@ -58,6 +69,7 @@ from repro.obs.bus import EventBus
 from repro.obs.events import (
     BatchCompleted,
     BatchStarted,
+    DegradedMode,
     MountWaitRecorded,
     RequestCompleted,
     RequestFailed,
@@ -70,12 +82,11 @@ from repro.online.metrics import ResponseStats
 from repro.online.system import BatchRecord
 from repro.resilience.injection import FaultInjector, FaultPlan
 from repro.resilience.policy import ResilienceConfig
-from repro.scheduling.base import Scheduler
+from repro.scheduling.base import Scheduler, get_scheduler
 from repro.scheduling.estimator import locate_sequence_times
 from repro.scheduling.executor import execute_schedule
 from repro.scheduling.loss import LossScheduler
 from repro.scheduling.request import Request
-from repro.workload.arrivals import TimedRequest
 
 
 @dataclass(frozen=True)
@@ -130,8 +141,8 @@ class MultiDriveSystem:
         whole library (see module docstring).
     resilience:
         Optional :class:`~repro.resilience.ResilienceConfig`; enables
-        in-place retries and bounded requeues (budgets are not
-        consulted — see module docstring).
+        in-place retries, bounded requeues, and the degraded-mode
+        schedule/execution budgets (see module docstring).
     fault_plan:
         Optional :class:`~repro.resilience.FaultPlan`; every mounted
         drive is wrapped in a
@@ -148,6 +159,8 @@ class MultiDriveSystem:
     def __init__(
         self,
         cartridges: Sequence[Cartridge],
+        *,  # configuration is keyword-only, per the package-wide
+        # constructor convention (see docs/API.md).
         drives: int = 2,
         scheduler: Scheduler | None = None,
         policy: BatchPolicy | None = None,
@@ -197,11 +210,25 @@ class MultiDriveSystem:
         self.stats = ResponseStats()
         self.batches: list[LibraryBatchRecord] = []
         #: Requests that exhausted their requeue budget.
-        self.failed: list[TimedRequest] = []
+        self.failed: list[LibraryRequest] = []
         #: Times a failed request re-entered its tape's queue.
         self.requeues = 0
         self.submitted = 0
+        #: Synchronous outcome hooks for layers stacked above the
+        #: library (cache tier, serve gateway).  Called in kernel
+        #: order with the *original* submitted request objects —
+        #: identity survives retries and requeues, so a listener can
+        #: key side state off ``id(request)`` or subclass attributes.
+        self.completion_listeners: list[
+            Callable[[LibraryRequest, float, int], None]
+        ] = []
+        self.failure_listeners: list[
+            Callable[[LibraryRequest], None]
+        ] = []
+        self.batch_listeners: list[Callable[..., None]] = []
         self._requeue_counts: dict[int, int] = {}
+        self._degraded = False
+        self._fallback_scheduler: Scheduler | None = None
         self._claims: dict[str, int] = {}
         #: Labels whose in-progress mount came from an exchange-policy
         #: preemption: they dispatch the moment the mount completes.
@@ -263,6 +290,38 @@ class MultiDriveSystem:
         """Robot exchanges performed (preloads are free and uncounted)."""
         return self.robot.exchanges
 
+    @property
+    def degraded(self) -> bool:
+        """Has the library dropped to its fallback scheduler?"""
+        return self._degraded
+
+    def _active_scheduler(self) -> Scheduler:
+        """The scheduler for the next batch (fallback once degraded)."""
+        if self._degraded:
+            if self._fallback_scheduler is None:
+                self._fallback_scheduler = get_scheduler(
+                    self.resilience.fallback_algorithm
+                )
+            return self._fallback_scheduler
+        return self.scheduler
+
+    def _enter_degraded(self, reason: str, now: float) -> None:
+        """Trip degraded mode (sticky, library-wide: the schedulers
+        are shared, so every bay's later batches use the fallback)."""
+        if self._degraded:
+            return
+        self._degraded = True
+        if self.bus is not None:
+            self.bus.publish(
+                DegradedMode(
+                    seconds=now,
+                    batch_index=len(self.batches) - 1,
+                    reason=reason,
+                    from_algorithm=self.scheduler.name,
+                    to_algorithm=self.resilience.fallback_algorithm,
+                )
+            )
+
     def labels(self) -> list[str]:
         """All cartridge labels, sorted."""
         return sorted(self._shelf)
@@ -290,25 +349,60 @@ class MultiDriveSystem:
         matter.  Returns the response-time statistics (also kept on
         ``self.stats``).  A system instance runs once — the kernel's
         clock cannot rewind.
+
+        Equivalent to :meth:`begin`, :meth:`submit` for each request
+        (oldest first), then :meth:`finish` — the opened form a
+        serving layer uses to inject requests while the kernel runs.
         """
-        if self._ran:
-            raise LibraryError(
-                "this system already ran; build a fresh instance"
-            )
-        self._ran = True
+        self.begin()
         items = sorted(requests, key=lambda r: r.arrival_seconds)
         for request in items:
             if request.label not in self._shelf:
                 raise UnknownTape(
                     f"no cartridge labelled {request.label!r}"
                 )
-        self._requests = items
-        self.submitted = len(items)
-        for index, request in enumerate(items):
-            self.kernel.schedule(
-                request.arrival_seconds,
-                sim.RequestArrived(request_index=index),
+        for request in items:
+            self.submit(request)
+        return self.finish()
+
+    def begin(self) -> None:
+        """Open the system for :meth:`submit` (one-shot, like
+        :meth:`run`)."""
+        if self._ran:
+            raise LibraryError(
+                "this system already ran; build a fresh instance"
             )
+        self._ran = True
+
+    def submit(self, request: LibraryRequest) -> int:
+        """Inject one request; returns its submission index.
+
+        Legal between :meth:`begin` and :meth:`finish`, including from
+        kernel handlers *while* :meth:`finish` runs (how the serve
+        gateway releases admitted requests mid-simulation).  A request
+        whose arrival time is already in the past enters its queue at
+        the current kernel time; its response time still counts from
+        the true arrival.
+        """
+        if not self._ran:
+            raise LibraryError("call begin() before submit()")
+        if request.label not in self._shelf:
+            raise UnknownTape(
+                f"no cartridge labelled {request.label!r}"
+            )
+        index = len(self._requests)
+        self._requests.append(request)
+        self.submitted += 1
+        self.kernel.schedule(
+            max(self.kernel.now_seconds, request.arrival_seconds),
+            sim.RequestArrived(request_index=index),
+        )
+        return index
+
+    def finish(self) -> ResponseStats:
+        """Drain the kernel to quiescence and return the statistics."""
+        if not self._ran:
+            raise LibraryError("call begin() before finish()")
         self.kernel.run()
         # A policy with flush_when_idle=False and no deadline can
         # strand a final partial batch; drain it rather than lose it.
@@ -477,7 +571,11 @@ class MultiDriveSystem:
         self._set_time()
         request = self._requests[event.request_index]
         queue = self._queues[request.label]
-        queue.push(request.timed())
+        # The request object itself goes through the queue (it quacks
+        # like a TimedRequest), so completions and failures hand the
+        # original object — label, identity, and any subclass fields
+        # intact — back to the listeners.
+        queue.push(request)
         self._schedule_deadline(
             request.label, request.arrival_seconds
         )
@@ -486,13 +584,11 @@ class MultiDriveSystem:
     def _schedule_deadline(
         self, label: str, arrival_seconds: float
     ) -> None:
-        if math.isinf(self.policy.max_wait_seconds):
+        deadline = self.policy.next_deadline_seconds(arrival_seconds)
+        if math.isinf(deadline):
             return
         self.kernel.schedule(
-            max(
-                self.kernel.now_seconds,
-                arrival_seconds + self.policy.max_wait_seconds,
-            ),
+            max(self.kernel.now_seconds, deadline),
             sim.QueueDeadline(label=label),
         )
 
@@ -577,9 +673,11 @@ class MultiDriveSystem:
         requests = [
             Request(item.segment, item.length) for item in batch
         ]
-        schedule = self.scheduler.schedule(
+        schedule_started = time.perf_counter()
+        schedule = self._active_scheduler().schedule(
             model, drive.position, requests
         )
+        schedule_wall = time.perf_counter() - schedule_started
         batch_index = len(self.batches)
         estimated_locates = None
         if self.bus is not None:
@@ -648,6 +746,22 @@ class MultiDriveSystem:
                 batch_index=batch_index,
             ),
         )
+        if self.resilience is not None:
+            if schedule_wall > self.resilience.schedule_wall_budget_seconds:
+                self._enter_degraded(
+                    f"scheduling took {schedule_wall:.3f} s of wall "
+                    "clock, over budget",
+                    now + result.total_seconds,
+                )
+            elif (
+                result.total_seconds
+                > self.resilience.execution_budget_seconds
+            ):
+                self._enter_degraded(
+                    f"batch execution took {result.total_seconds:.1f} "
+                    "simulated s, over budget",
+                    now + result.total_seconds,
+                )
 
     def _on_batch_completed(self, event: sim.BatchCompleted) -> None:
         self._set_time()
@@ -657,7 +771,7 @@ class MultiDriveSystem:
             event.batch_index
         )
         record = self.batches[event.batch_index]
-        by_key: dict[tuple[int, int], list[TimedRequest]] = {}
+        by_key: dict[tuple[int, int], list[LibraryRequest]] = {}
         for item in batch:
             by_key.setdefault(
                 (item.segment, item.length), []
@@ -694,18 +808,22 @@ class MultiDriveSystem:
                     drive=event.drive,
                 )
             )
+        for listener in self.batch_listeners:
+            listener(event.label, event.drive, batch, schedule, result)
         bay.state = DriveState.IDLE
         bay.batches += 1
         self._pump()
 
     def _complete(
         self,
-        item: TimedRequest,
+        item: LibraryRequest,
         completion_seconds: float,
         position: int,
         drive_index: int,
     ) -> None:
         self.stats.record(item.arrival_seconds, completion_seconds)
+        for listener in self.completion_listeners:
+            listener(item, completion_seconds, drive_index)
         if self.bus is not None:
             self.bus.publish(
                 RequestCompleted(
@@ -721,7 +839,7 @@ class MultiDriveSystem:
 
     def _handle_failure(
         self,
-        item: TimedRequest,
+        item: LibraryRequest,
         position: int,
         label: str,
         now: float,
@@ -738,6 +856,8 @@ class MultiDriveSystem:
             return
         self._requeue_counts.pop(id(item), None)
         self.failed.append(item)
+        for listener in self.failure_listeners:
+            listener(item)
         if self.bus is not None:
             self.bus.publish(
                 RequestFailed(

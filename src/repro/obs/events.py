@@ -446,6 +446,68 @@ class MountWaitRecorded(Event):
     robot_seconds: float
 
 
+# -- serve layer -------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ServeAdmitted(Event):
+    """The gateway accepted a request into its tenant's fair queue."""
+
+    name: ClassVar[str] = "serve.admit"
+
+    tenant: str
+    segment: int
+    queue_depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class ServeReleased(Event):
+    """A queued request was released into the backend system.
+
+    ``held_seconds`` is gateway dwell time — arrival to release — the
+    latency the fairness layer itself added on top of the backend.
+    """
+
+    name: ClassVar[str] = "serve.release"
+
+    tenant: str
+    segment: int
+    held_seconds: float
+    backend_depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class ServeShed(Event):
+    """The gateway refused a request (typed, never silent).
+
+    ``reason`` is the :class:`~repro.exceptions.AdmissionRejected`
+    subclass tag: ``overload`` (admission-time cap) or ``deadline``
+    (release-time expiry).
+    """
+
+    name: ClassVar[str] = "serve.shed"
+
+    tenant: str
+    reason: str
+    segment: int
+    arrival_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class ServeCompleted(Event):
+    """A gateway-admitted request finished in the backend.
+
+    ``response_seconds`` counts from gateway arrival (queue dwell
+    included), the number the per-tenant SLO is judged against.
+    """
+
+    name: ClassVar[str] = "serve.complete"
+
+    tenant: str
+    segment: int
+    response_seconds: float
+
+
 # -- experiment layer --------------------------------------------------------
 
 

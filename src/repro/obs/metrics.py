@@ -223,7 +223,13 @@ def bind_standard_metrics(
     * ``drive.<n>.busy_seconds`` counters (per-drive busy time, from
       batch completions — utilization once divided by the horizon);
     * ``library.mount_wait_seconds`` histogram and
-      ``robot.busy_seconds`` counter (multi-drive library exchanges).
+      ``robot.busy_seconds`` counter (multi-drive library exchanges);
+    * per-tenant serving metrics from the gateway events:
+      ``serve.tenant.<t>.response_seconds`` histograms (p999 SLOs),
+      ``serve.tenant.<t>.queue_depth`` gauges,
+      ``serve.tenant.<t>.shed`` counters, plus the gateway-wide
+      ``serve.held_seconds`` histogram and ``serve.backend_depth``
+      gauge.
 
     Returns the registry (a fresh one if none was given).
     """
@@ -263,6 +269,25 @@ def bind_standard_metrics(
             registry.counter("robot.busy_seconds").inc(
                 event.robot_seconds
             )
+        elif name == "serve.admit":
+            registry.gauge(
+                f"serve.tenant.{event.tenant}.queue_depth"
+            ).set(event.queue_depth)
+        elif name == "serve.release":
+            registry.histogram("serve.held_seconds").observe(
+                event.held_seconds
+            )
+            registry.gauge("serve.backend_depth").set(
+                event.backend_depth
+            )
+        elif name == "serve.shed":
+            registry.counter(
+                f"serve.tenant.{event.tenant}.shed"
+            ).inc()
+        elif name == "serve.complete":
+            registry.histogram(
+                f"serve.tenant.{event.tenant}.response_seconds"
+            ).observe(event.response_seconds)
 
     bus.subscribe(observe)
     return registry

@@ -1,6 +1,10 @@
 """Online tertiary storage: batching queue, robotic library, system."""
 
-from repro.online.batch_queue import BatchPolicy, BatchQueue
+from repro.online.batch_queue import (
+    BatchPolicy,
+    BatchQueue,
+    DeadlineBatchPolicy,
+)
 
 # Canonical home since the repro.library subsystem; re-exported here for
 # compatibility (importing the submodule directly stays warning-free,
@@ -25,6 +29,7 @@ __all__ = [
     "CacheStats",
     "Cartridge",
     "DEFAULT_EXCHANGE_SECONDS",
+    "DeadlineBatchPolicy",
     "ResponseStats",
     "StripeMapping",
     "StripedBatchResult",

@@ -54,6 +54,93 @@ class BatchPolicy:
                 "disables the deadline)"
             )
 
+    def hold_seconds(self) -> float:
+        """How long the oldest request may sit queued before a flush.
+
+        Subclasses tighten this (see :class:`DeadlineBatchPolicy`);
+        ``inf`` means only size and idleness trigger flushes.
+        """
+        return self.max_wait_seconds
+
+    def should_flush(
+        self,
+        depth: int,
+        oldest_arrival_seconds: float,
+        now_seconds: float,
+        drive_idle: bool,
+    ) -> bool:
+        """The flush decision, given the queue's observable state.
+
+        This is the policy's whole contract: the queue asks, the
+        policy answers.  The base rule flushes on a full batch, on the
+        oldest request aging past :meth:`hold_seconds`, or whenever
+        the drive is idle (if ``flush_when_idle``).
+        """
+        if depth <= 0:
+            return False
+        if depth >= self.max_batch:
+            return True
+        if now_seconds - oldest_arrival_seconds >= self.hold_seconds():
+            return True
+        return drive_idle and self.flush_when_idle
+
+    def next_deadline_seconds(self, arrival_seconds: float) -> float:
+        """Absolute time a request arriving then must be flushed by.
+
+        ``inf`` when the policy imposes no time-based flush.  The
+        serving loops use this to schedule wake-ups, so a policy that
+        tightens :meth:`should_flush` in time must tighten this too.
+        """
+        return arrival_seconds + self.hold_seconds()
+
+
+@dataclass
+class DeadlineBatchPolicy(BatchPolicy):
+    """A batch cut keyed to per-request response deadlines.
+
+    Generalizes :class:`BatchPolicy`: in addition to the size and
+    max-wait triggers, the queue is cut early enough that the oldest
+    request can still make its response-time target.  With a target of
+    ``deadline_seconds`` and an execution allowance of
+    ``cut_slack_seconds`` (the time a dispatched batch is expected to
+    need before that request's read completes), the flush fires at
+    ``arrival + deadline - slack``.
+
+    This is the deadline-aware cut an SLA gateway wants: the batch
+    grows for throughput while the slack lasts, then dispatches for
+    latency the moment the oldest deadline is at risk.
+    """
+
+    deadline_seconds: float = float("inf")
+    cut_slack_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if math.isnan(self.deadline_seconds):
+            raise ValueError(
+                "deadline_seconds must not be NaN; use float('inf') "
+                "to disable the deadline cut"
+            )
+        if self.deadline_seconds <= 0:
+            raise ValueError(
+                "deadline_seconds must be positive (float('inf') "
+                "disables the deadline cut)"
+            )
+        if math.isnan(self.cut_slack_seconds) or self.cut_slack_seconds < 0:
+            raise ValueError("cut_slack_seconds must be >= 0")
+        if self.cut_slack_seconds >= self.deadline_seconds:
+            raise ValueError(
+                "cut_slack_seconds must be smaller than "
+                "deadline_seconds, or every request is born late"
+            )
+
+    def hold_seconds(self) -> float:
+        """The tighter of the max-wait and the deadline-minus-slack."""
+        return min(
+            self.max_wait_seconds,
+            self.deadline_seconds - self.cut_slack_seconds,
+        )
+
 
 @dataclass
 class BatchQueue:
@@ -103,14 +190,12 @@ class BatchQueue:
         """Should the queue flush at time ``now_seconds``?"""
         if not self._pending:
             return False
-        if len(self._pending) >= self.policy.max_batch:
-            return True
-        if (
-            now_seconds - self.oldest_arrival
-            >= self.policy.max_wait_seconds
-        ):
-            return True
-        return drive_idle and self.policy.flush_when_idle
+        return self.policy.should_flush(
+            depth=len(self._pending),
+            oldest_arrival_seconds=self.oldest_arrival,
+            now_seconds=now_seconds,
+            drive_idle=drive_idle,
+        )
 
     def flush(self) -> list[TimedRequest]:
         """Release up to ``max_batch`` requests, oldest first."""

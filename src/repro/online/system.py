@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import KW_ONLY, dataclass, field
 
 from repro.drive.simulated import SimulatedDrive
 from repro.geometry.tape import TapeGeometry
@@ -116,6 +116,9 @@ class TertiaryStorageSystem:
     """
 
     geometry: TapeGeometry
+    # Everything below is configuration, not data: keyword-only, per
+    # the package-wide constructor convention (see docs/API.md).
+    _: KW_ONLY
     scheduler: Scheduler = field(default_factory=LossScheduler)
     policy: BatchPolicy = field(default_factory=BatchPolicy)
     bus: EventBus | None = None
@@ -211,7 +214,9 @@ class TertiaryStorageSystem:
                 horizons.append(self._drive_free_at)
             oldest = self.queue.oldest_arrival
             if oldest is not None:
-                horizons.append(oldest + self.policy.max_wait_seconds)
+                horizons.append(
+                    self.policy.next_deadline_seconds(oldest)
+                )
             if not horizons:
                 break
             now = max(now, min(horizons))

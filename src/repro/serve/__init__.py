@@ -1,0 +1,40 @@
+"""repro.serve — the SLA-aware serving gateway.
+
+The admission-and-fairness layer in front of the multi-drive library:
+per-tenant weighted fair queues, deadline-aware batch cuts (via
+:class:`~repro.online.batch_queue.DeadlineBatchPolicy` on the
+backend), backpressure, and typed load shedding — plus the
+deterministic multi-tenant Zipf load generator that drives it.  See
+``docs/SERVING.md``.
+"""
+
+from repro.serve.config import ServeConfig, TenantConfig
+from repro.serve.fair import WeightedFairQueues
+from repro.serve.gateway import (
+    Gateway,
+    ServeReport,
+    ShedRecord,
+    TenantStats,
+)
+from repro.serve.requests import ServeRequest
+from repro.serve.workload import (
+    TenantLoadSpec,
+    load_serve_trace,
+    save_serve_trace,
+    zipf_serve_stream,
+)
+
+__all__ = [
+    "Gateway",
+    "ServeConfig",
+    "ServeReport",
+    "ServeRequest",
+    "ShedRecord",
+    "TenantConfig",
+    "TenantLoadSpec",
+    "TenantStats",
+    "WeightedFairQueues",
+    "load_serve_trace",
+    "save_serve_trace",
+    "zipf_serve_stream",
+]

@@ -1,0 +1,124 @@
+"""Typed configuration of the serving gateway.
+
+One :class:`TenantConfig` per tenant (fair-share weight, admission
+cap, deadline, SLO target) and one :class:`ServeConfig` tying the
+tenant set to the gateway-wide backpressure knobs.  Validation happens
+here, at construction, so the gateway's serving loop never has to
+re-check shapes mid-simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ServeError
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's service contract.
+
+    Attributes
+    ----------
+    name:
+        Tenant identifier (must be unique within a
+        :class:`ServeConfig`).
+    weight:
+        Weighted-fair-share weight: over any backlogged interval the
+        tenant receives releases in proportion to
+        ``weight / sum(weights of backlogged tenants)``.
+    max_outstanding:
+        Admission cap — the most requests the tenant may have in
+        flight (queued at the gateway or executing in the backend).
+        Arrivals beyond the cap are shed with a typed
+        :class:`~repro.exceptions.TenantOverloaded`.  ``None``
+        disables the cap.
+    deadline_seconds:
+        Per-request usefulness horizon: a queued request that can no
+        longer be released within its deadline is shed with a typed
+        :class:`~repro.exceptions.DeadlineExpired` (when the gateway's
+        ``shed_expired`` is on).  ``inf`` disables expiry.
+    slo_seconds:
+        The response-time target the tenant's p999 is judged against
+        in :class:`~repro.serve.gateway.TenantStats`.  ``inf`` means
+        no target (never violated).
+    """
+
+    name: str
+    weight: float = 1.0
+    max_outstanding: int | None = None
+    deadline_seconds: float = float("inf")
+    slo_seconds: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServeError("tenant name must be non-empty")
+        if math.isnan(self.weight) or self.weight <= 0:
+            raise ServeError(
+                f"tenant {self.name!r}: weight must be positive"
+            )
+        if self.max_outstanding is not None and self.max_outstanding < 1:
+            raise ServeError(
+                f"tenant {self.name!r}: max_outstanding must be >= 1 "
+                "(None disables the cap)"
+            )
+        if math.isnan(self.deadline_seconds) or self.deadline_seconds <= 0:
+            raise ServeError(
+                f"tenant {self.name!r}: deadline_seconds must be "
+                "positive (inf disables expiry)"
+            )
+        if math.isnan(self.slo_seconds) or self.slo_seconds <= 0:
+            raise ServeError(
+                f"tenant {self.name!r}: slo_seconds must be positive "
+                "(inf disables the target)"
+            )
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """The gateway's whole contract: tenants plus backpressure.
+
+    Attributes
+    ----------
+    tenants:
+        The tenant set (order fixes fair-queue tie-breaks, so two
+        configs listing the same tenants in the same order serve
+        identically).
+    max_backend_depth:
+        The most gateway-released requests allowed in the backend at
+        once (queued per tape or executing).  This is the
+        backpressure valve: when the backend is full, admitted
+        requests wait in their tenant's fair queue.  ``None`` releases
+        immediately on admission.
+    shed_expired:
+        Shed queued requests whose deadline has passed at release
+        time (typed :class:`~repro.exceptions.DeadlineExpired`); off,
+        expired requests are released anyway and simply miss their
+        SLO.
+    """
+
+    tenants: tuple[TenantConfig, ...]
+    max_backend_depth: int | None = None
+    shed_expired: bool = True
+
+    def __post_init__(self) -> None:
+        tenants = tuple(self.tenants)
+        object.__setattr__(self, "tenants", tenants)
+        if not tenants:
+            raise ServeError("at least one tenant is required")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ServeError("tenant names must be unique")
+        if self.max_backend_depth is not None and self.max_backend_depth < 1:
+            raise ServeError(
+                "max_backend_depth must be >= 1 (None disables "
+                "backpressure)"
+            )
+
+    def tenant(self, name: str) -> TenantConfig:
+        """Look up one tenant's config by name."""
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        raise ServeError(f"no tenant named {name!r}")

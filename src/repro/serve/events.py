@@ -1,0 +1,31 @@
+"""Kernel events of the serving gateway.
+
+Like :mod:`repro.library.events`, these are *simulation* events — the
+gateway's internal currency on the shared
+:class:`~repro.library.kernel.EventKernel` — not observability events
+(those are the ``serve.*`` classes in :mod:`repro.obs.events`).
+
+:class:`GatewayArrival` ranks *before* every library event at the same
+instant (priority −10 vs. the backend's 0 for
+:class:`~repro.library.events.RequestArrived`): all gateway admissions
+and releases at time t happen before the backend admits anything at t,
+so a pass-through gateway (one tenant, no caps) re-creates the exact
+backend event order of a bare :class:`~repro.library.MultiDriveSystem`
+run — the bit-identity the test suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.library.events import SimEvent
+
+
+@dataclass(frozen=True, slots=True)
+class GatewayArrival(SimEvent):
+    """A request reached the gateway's admission layer."""
+
+    priority: ClassVar[int] = -10
+
+    request_index: int

@@ -1,0 +1,102 @@
+"""Weighted fair queuing over tenant queues.
+
+The gateway's fairness core: one FIFO queue per tenant, released in
+start-time-fair order.  The implementation is the classic virtual-time
+approximation (SFQ): each tenant carries a *finish tag* advanced by
+``1 / weight`` per release, the queue set tracks the virtual time (the
+tag of the last release), and a tenant whose queue goes from empty to
+non-empty rejoins at ``max(own tag, virtual time)`` so idle periods
+are forgiven rather than banked.
+
+Two invariants the property tests pin:
+
+* **Proportional share** — over any interval where a set of tenants
+  stays backlogged, tenant ``t`` receives releases in proportion to
+  ``weight(t)`` (within one release per tenant).
+* **No starvation** — a backlogged tenant's next release is at most
+  ``ceil(W / w)`` pops away, where ``w`` is its weight and ``W`` the
+  total backlogged weight: tags advance by ``1/w`` per release, so
+  the rest of the field can overtake a waiting tenant only finitely.
+
+Everything is deterministic: ties on the finish tag break by the
+tenant order given at construction (the :class:`ServeConfig` tenant
+order), never by dict iteration or hashing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Mapping
+from typing import Generic, TypeVar
+
+from repro.exceptions import ServeError
+
+T = TypeVar("T")
+
+
+class WeightedFairQueues(Generic[T]):
+    """Per-tenant FIFO queues drained in weighted start-fair order."""
+
+    def __init__(self, weights: Mapping[str, float]) -> None:
+        if not weights:
+            raise ServeError("at least one tenant is required")
+        for name, weight in weights.items():
+            if not weight > 0:
+                raise ServeError(
+                    f"tenant {name!r}: weight must be positive"
+                )
+        #: Construction order is the deterministic tie-break.
+        self._order: dict[str, int] = {
+            name: index for index, name in enumerate(weights)
+        }
+        self._weights: dict[str, float] = dict(weights)
+        self._queues: dict[str, deque[T]] = {
+            name: deque() for name in weights
+        }
+        self._tags: dict[str, float] = dict.fromkeys(weights, 0.0)
+        self._virtual = 0.0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def depth(self, tenant: str) -> int:
+        """Queued items for one tenant."""
+        try:
+            return len(self._queues[tenant])
+        except KeyError:
+            raise ServeError(f"no tenant named {tenant!r}") from None
+
+    def push(self, tenant: str, item: T) -> None:
+        """Enqueue one item for a tenant."""
+        try:
+            queue = self._queues[tenant]
+        except KeyError:
+            raise ServeError(f"no tenant named {tenant!r}") from None
+        if not queue:
+            # Rejoin at the current virtual time: an idle tenant does
+            # not bank credit, and its stale tag must not let it
+            # monopolize the next releases.
+            self._tags[tenant] = max(self._tags[tenant], self._virtual)
+        queue.append(item)
+        self._size += 1
+
+    def pop(self) -> tuple[str, T]:
+        """Release the next item, start-time-fair across tenants."""
+        if self._size == 0:
+            raise ServeError("pop from empty fair queues")
+        chosen: str | None = None
+        best: tuple[float, int] | None = None
+        for name, queue in self._queues.items():
+            if not queue:
+                continue
+            key = (self._tags[name], self._order[name])
+            if best is None or key < best:
+                best = key
+                chosen = name
+        assert chosen is not None and best is not None
+        self._virtual = best[0]
+        item = self._queues[chosen].popleft()
+        self._tags[chosen] = best[0] + 1.0 / self._weights[chosen]
+        self._size -= 1
+        return chosen, item

@@ -1,0 +1,21 @@
+"""Tenant-tagged requests — the currency of the serving gateway.
+
+A :class:`ServeRequest` is a :class:`~repro.library.LibraryRequest`
+plus the tenant that issued it.  The gateway pushes the request object
+itself through the backend (the multi-drive system preserves identity
+across retries and requeues), so when the completion listener fires the
+tenant rides along and per-tenant accounting needs no side tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.library.requests import LibraryRequest
+
+
+@dataclass(frozen=True)
+class ServeRequest(LibraryRequest):
+    """One tenant's request with its arrival time and target."""
+
+    tenant: str = "default"

@@ -1,0 +1,148 @@
+"""The library's opened serving surface and degraded-mode budgets.
+
+The ``begin() / submit() / finish()`` triple must serve exactly what
+``run()`` serves, and the wall-clock / simulated-time budgets of
+:class:`~repro.resilience.ResilienceConfig` must trip the sticky
+fallback scheduler with a ``system.degraded`` event — deterministic in
+the zero-budget case, which every machine exceeds.
+"""
+
+import pytest
+
+from repro.exceptions import LibraryError
+from repro.geometry import tiny_tape
+from repro.library import (
+    Cartridge,
+    MultiDriveSystem,
+    poisson_library_stream,
+)
+from repro.obs import EventBus
+from repro.resilience import ResilienceConfig
+
+
+def shelf(count=2):
+    return [
+        Cartridge(f"tape-{index}", tiny_tape(seed=index + 1))
+        for index in range(count)
+    ]
+
+
+def stream(cartridges, seed=3, rate=180.0):
+    return poisson_library_stream(
+        [c.label for c in cartridges],
+        rate_per_hour=rate,
+        total_segments=cartridges[0].geometry.total_segments,
+        seed=seed,
+    )
+
+
+class TestOpenedSurface:
+    def test_incremental_matches_run(self):
+        cartridges = shelf()
+        requests = stream(cartridges)
+
+        whole = MultiDriveSystem(cartridges, drives=2)
+        whole_stats = whole.run(requests)
+
+        piecewise = MultiDriveSystem(shelf(), drives=2)
+        piecewise.begin()
+        for request in sorted(
+            requests, key=lambda r: r.arrival_seconds
+        ):
+            piecewise.submit(request)
+        piecewise_stats = piecewise.finish()
+
+        assert piecewise_stats.samples == whole_stats.samples
+        assert piecewise.lost == 0
+
+    def test_submit_requires_begin(self):
+        system = MultiDriveSystem(shelf(), drives=1)
+        with pytest.raises(LibraryError):
+            system.submit(stream(shelf())[0])
+
+    def test_finish_requires_begin(self):
+        system = MultiDriveSystem(shelf(), drives=1)
+        with pytest.raises(LibraryError):
+            system.finish()
+
+    def test_begin_is_one_shot(self):
+        system = MultiDriveSystem(shelf(), drives=1)
+        system.begin()
+        with pytest.raises(LibraryError):
+            system.begin()
+
+    def test_listeners_see_every_outcome(self):
+        cartridges = shelf()
+        requests = stream(cartridges)
+        system = MultiDriveSystem(cartridges, drives=2)
+        completed = []
+        system.completion_listeners.append(
+            lambda request, seconds, drive: completed.append(
+                (request, seconds, drive)
+            )
+        )
+        system.run(requests)
+        assert len(completed) + len(system.failed) == len(requests)
+        # Identity, not copies: listeners get the submitted objects.
+        submitted = {id(r) for r in requests}
+        assert all(id(r) in submitted for r, _, _ in completed)
+        for request, seconds, _drive in completed:
+            assert seconds >= request.arrival_seconds
+
+
+class TestDegradedBudgets:
+    def test_zero_wall_budget_trips_degraded(self):
+        bus = EventBus()
+        events = bus.collect("system.degraded")
+        system = MultiDriveSystem(
+            shelf(),
+            drives=2,
+            bus=bus,
+            resilience=ResilienceConfig(
+                schedule_wall_budget_seconds=0.0
+            ),
+        )
+        assert not system.degraded
+        system.run(stream(shelf()))
+        assert system.degraded
+        assert events
+        assert events[0].reason.startswith("scheduling took")
+        assert events[0].to_algorithm == "SORT"
+
+    def test_tiny_execution_budget_trips_degraded(self):
+        bus = EventBus()
+        events = bus.collect("system.degraded")
+        system = MultiDriveSystem(
+            shelf(),
+            drives=2,
+            bus=bus,
+            resilience=ResilienceConfig(
+                execution_budget_seconds=0.001
+            ),
+        )
+        system.run(stream(shelf()))
+        assert system.degraded
+        assert events[0].reason.startswith("batch execution took")
+
+    def test_degraded_switches_scheduler_but_loses_nothing(self):
+        cartridges = shelf()
+        requests = stream(cartridges)
+        system = MultiDriveSystem(
+            cartridges,
+            drives=2,
+            resilience=ResilienceConfig(
+                schedule_wall_budget_seconds=0.0,
+                fallback_algorithm="FIFO",
+            ),
+        )
+        stats = system.run(requests)
+        assert system.degraded
+        assert stats.count + len(system.failed) == len(requests)
+        assert system.lost == 0
+        # Batches scheduled after the trip carry the fallback's name.
+        assert system.batches[-1].algorithm == "FIFO"
+
+    def test_no_budget_never_degrades(self):
+        system = MultiDriveSystem(shelf(), drives=2)
+        system.run(stream(shelf()))
+        assert not system.degraded

@@ -1,0 +1,84 @@
+"""DeadlineBatchPolicy: the deadline-aware batch cut."""
+
+import math
+
+import pytest
+
+from repro.online import BatchPolicy, DeadlineBatchPolicy
+from repro.online.batch_queue import BatchQueue
+from repro.workload import TimedRequest
+
+
+def request(arrival, segment=0):
+    return TimedRequest(
+        arrival_seconds=arrival, segment=segment, length=1
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_seconds": 0.0},
+            {"deadline_seconds": -1.0},
+            {"deadline_seconds": float("nan")},
+            {"cut_slack_seconds": -1.0},
+            {"cut_slack_seconds": float("nan")},
+            {"deadline_seconds": 10.0, "cut_slack_seconds": 10.0},
+            {"deadline_seconds": 10.0, "cut_slack_seconds": 20.0},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            DeadlineBatchPolicy(**kwargs)
+
+
+class TestCut:
+    def test_defaults_degenerate_to_base_policy(self):
+        base = BatchPolicy(max_batch=8, max_wait_seconds=100.0)
+        deadline = DeadlineBatchPolicy(
+            max_batch=8, max_wait_seconds=100.0
+        )
+        assert deadline.hold_seconds() == base.hold_seconds()
+        assert deadline.next_deadline_seconds(
+            5.0
+        ) == base.next_deadline_seconds(5.0)
+
+    def test_deadline_tightens_the_hold(self):
+        policy = DeadlineBatchPolicy(
+            max_wait_seconds=1000.0,
+            deadline_seconds=300.0,
+            cut_slack_seconds=100.0,
+        )
+        assert policy.hold_seconds() == 200.0
+        assert policy.next_deadline_seconds(50.0) == 250.0
+
+    def test_max_wait_still_wins_when_tighter(self):
+        policy = DeadlineBatchPolicy(
+            max_wait_seconds=60.0,
+            deadline_seconds=1000.0,
+            cut_slack_seconds=10.0,
+        )
+        assert policy.hold_seconds() == 60.0
+
+    def test_infinite_deadline_means_no_time_cut(self):
+        policy = DeadlineBatchPolicy(
+            max_wait_seconds=float("inf")
+        )
+        assert math.isinf(policy.hold_seconds())
+        assert math.isinf(policy.next_deadline_seconds(0.0))
+
+    def test_queue_flushes_at_the_deadline_cut(self):
+        queue = BatchQueue(
+            policy=DeadlineBatchPolicy(
+                max_batch=100,
+                max_wait_seconds=float("inf"),
+                deadline_seconds=300.0,
+                cut_slack_seconds=100.0,
+            )
+        )
+        queue.push(request(0.0))
+        queue.push(request(50.0))
+        assert not queue.ready(now_seconds=199.0, drive_idle=False)
+        assert queue.ready(now_seconds=200.0, drive_idle=False)
+        assert len(queue.flush()) == 2

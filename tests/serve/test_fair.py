@@ -1,0 +1,138 @@
+"""Weighted fair queuing: the SFQ invariants, property-checked.
+
+The two guarantees the gateway's fairness rests on (see the
+``repro.serve.fair`` module docstring):
+
+* **proportional share** — continuously backlogged tenants receive
+  releases in proportion to their weights (within one release);
+* **no starvation** — a backlogged tenant waits at most
+  ``ceil(W / w)`` pops for its next release, whatever the others do.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ServeError
+from repro.serve import WeightedFairQueues
+
+#: Small weight vocabularies keep ratios exact in float arithmetic.
+weight_sets = st.dictionaries(
+    keys=st.sampled_from(["a", "b", "c", "d", "e"]),
+    values=st.sampled_from([0.5, 1.0, 2.0, 4.0, 8.0]),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestBasics:
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ServeError):
+            WeightedFairQueues({})
+        with pytest.raises(ServeError):
+            WeightedFairQueues({"t": 0.0})
+
+    def test_unknown_tenant(self):
+        queues = WeightedFairQueues({"a": 1.0})
+        with pytest.raises(ServeError):
+            queues.push("b", 1)
+        with pytest.raises(ServeError):
+            queues.depth("b")
+
+    def test_pop_empty_raises(self):
+        queues = WeightedFairQueues({"a": 1.0})
+        with pytest.raises(ServeError):
+            queues.pop()
+
+    def test_fifo_within_tenant(self):
+        queues = WeightedFairQueues({"a": 1.0})
+        for item in (10, 11, 12):
+            queues.push("a", item)
+        assert [queues.pop()[1] for _ in range(3)] == [10, 11, 12]
+
+    def test_two_to_one_interleave(self):
+        queues = WeightedFairQueues({"heavy": 2.0, "light": 1.0})
+        for index in range(12):
+            queues.push("heavy", index)
+            queues.push("light", index)
+        order = [queues.pop()[0] for _ in range(9)]
+        # Start-fair 2:1 share: two heavy releases per light one.
+        assert order.count("heavy") == 6
+        assert order.count("light") == 3
+
+    def test_idle_tenant_banks_no_credit(self):
+        queues = WeightedFairQueues({"a": 1.0, "b": 1.0})
+        for index in range(10):
+            queues.push("a", index)
+        for _ in range(8):
+            queues.pop()
+        # b was idle the whole time; on rejoining it gets its fair
+        # interleave, not 8 banked back-to-back releases.
+        for index in range(10):
+            queues.push("b", index)
+        order = [queues.pop()[0] for _ in range(4)]
+        assert order.count("b") <= 3
+
+
+class TestProperties:
+    @given(weights=weight_sets, pops=st.integers(1, 120))
+    @settings(max_examples=120, deadline=None)
+    def test_proportional_share_under_backlog(self, weights, pops):
+        """Backlogged tenants split releases by weight.
+
+        The SFQ tag invariant (every finish tag lies within ``1/w`` of
+        the virtual time) pins each tenant's count to
+        ``[share - n, share + 1]`` for ``n`` tenants.
+        """
+        queues = WeightedFairQueues(weights)
+        for name in weights:
+            for item in range(200):
+                queues.push(name, item)
+        counts = dict.fromkeys(weights, 0)
+        for _ in range(min(pops, len(queues))):
+            name, _ = queues.pop()
+            counts[name] += 1
+        total = sum(counts.values())
+        total_weight = sum(weights.values())
+        slack = len(weights)
+        for name, weight in weights.items():
+            share = total * weight / total_weight
+            assert share - slack - 1e-9 <= counts[name] <= share + 1 + 1e-9
+
+    @given(weights=weight_sets, churn=st.integers(0, 50))
+    @settings(max_examples=120, deadline=None)
+    def test_no_starvation(self, weights, churn):
+        """A backlogged tenant is served within ceil(W / w) pops."""
+        victim = sorted(weights)[0]
+        queues = WeightedFairQueues(weights)
+        for name in weights:
+            for item in range(300):
+                queues.push(name, item)
+        # Churn the queues to an arbitrary interior state first.
+        for _ in range(churn):
+            queues.pop()
+        if queues.depth(victim) == 0:
+            return
+        total_weight = sum(weights.values())
+        bound = math.ceil(total_weight / weights[victim]) + len(weights)
+        for pop_count in range(1, bound + 1):
+            name, _ = queues.pop()
+            if name == victim:
+                return
+        raise AssertionError(
+            f"{victim!r} not served within {bound} pops"
+        )
+
+    @given(weights=weight_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_conservation(self, weights):
+        """Every push is eventually popped exactly once."""
+        queues = WeightedFairQueues(weights)
+        pushed = []
+        for index, name in enumerate(sorted(weights) * 7):
+            queues.push(name, (name, index))
+            pushed.append((name, index))
+        popped = [queues.pop()[1] for _ in range(len(queues))]
+        assert sorted(popped) == sorted(pushed)
+        assert len(queues) == 0

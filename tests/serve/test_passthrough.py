@@ -1,0 +1,94 @@
+"""The pass-through guarantee.
+
+A one-tenant gateway with no caps, no deadline, and no backpressure
+must be a no-op: the backend serves exactly the schedule it would have
+served bare, and the response-time samples are **bit-identical** —
+`GatewayArrival` ranks before every backend event at the same instant,
+so admission-and-release at arrival time leaves the backend's event
+order untouched.
+"""
+
+import pytest
+
+from repro.geometry import tiny_tape
+from repro.library import MultiDriveSystem, poisson_library_stream
+from repro.library.cartridge import Cartridge
+from repro.scheduling import get_scheduler
+from repro.serve import (
+    Gateway,
+    ServeConfig,
+    ServeRequest,
+    TenantConfig,
+)
+
+
+def shelf(count=3):
+    return [
+        Cartridge(f"tape-{index}", tiny_tape(seed=index + 1))
+        for index in range(count)
+    ]
+
+
+def tagged_stream(cartridges, seed, rate=240.0, horizon=3600.0):
+    """A Poisson library stream, re-tagged for the gateway."""
+    requests = poisson_library_stream(
+        [c.label for c in cartridges],
+        rate_per_hour=rate,
+        total_segments=cartridges[0].geometry.total_segments,
+        seed=seed,
+        horizon_seconds=horizon,
+    )
+    return requests, [
+        ServeRequest(
+            arrival_seconds=r.arrival_seconds,
+            label=r.label,
+            segment=r.segment,
+            length=r.length,
+            tenant="only",
+        )
+        for r in requests
+    ]
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+@pytest.mark.parametrize("drives", [1, 2])
+def test_bit_identical_to_bare_backend(seed, drives):
+    cartridges = shelf()
+    bare_requests, served_requests = tagged_stream(cartridges, seed)
+
+    bare = MultiDriveSystem(cartridges, drives=drives)
+    bare_stats = bare.run(bare_requests)
+
+    backend = MultiDriveSystem(shelf(), drives=drives)
+    gateway = Gateway(
+        ServeConfig(tenants=(TenantConfig(name="only"),)),
+        system=backend,
+    )
+    report = gateway.run(served_requests)
+
+    assert backend.stats.samples == bare_stats.samples
+    assert report.lost == 0
+    assert report.completed + report.failed == len(bare_requests)
+
+
+@pytest.mark.parametrize("algorithm", ["FIFO", "SORT", "LOSS"])
+def test_bit_identical_across_schedulers(algorithm):
+    cartridges = shelf(2)
+    bare_requests, served_requests = tagged_stream(cartridges, seed=5)
+
+    bare = MultiDriveSystem(
+        cartridges, drives=2, scheduler=get_scheduler(algorithm)
+    )
+    bare_stats = bare.run(bare_requests)
+
+    backend = MultiDriveSystem(
+        shelf(2), drives=2, scheduler=get_scheduler(algorithm)
+    )
+    gateway = Gateway(
+        ServeConfig(tenants=(TenantConfig(name="only"),)),
+        system=backend,
+    )
+    gateway.run(served_requests)
+
+    assert backend.stats.samples == bare_stats.samples
+    assert len(backend.batches) == len(bare.batches)

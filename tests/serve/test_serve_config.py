@@ -1,0 +1,72 @@
+"""ServeConfig / TenantConfig validation."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.serve import ServeConfig, TenantConfig
+
+
+class TestTenantConfig:
+    def test_defaults(self):
+        tenant = TenantConfig(name="gold")
+        assert tenant.weight == 1.0
+        assert tenant.max_outstanding is None
+        assert math.isinf(tenant.deadline_seconds)
+        assert math.isinf(tenant.slo_seconds)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"name": "t", "weight": 0.0},
+            {"name": "t", "weight": -1.0},
+            {"name": "t", "weight": float("nan")},
+            {"name": "t", "max_outstanding": 0},
+            {"name": "t", "deadline_seconds": 0.0},
+            {"name": "t", "deadline_seconds": float("nan")},
+            {"name": "t", "slo_seconds": -5.0},
+            {"name": "t", "slo_seconds": float("nan")},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ServeError):
+            TenantConfig(**kwargs)
+
+
+class TestServeConfig:
+    def test_lookup_by_name(self):
+        config = ServeConfig(
+            tenants=(
+                TenantConfig(name="gold", weight=4.0),
+                TenantConfig(name="bronze"),
+            )
+        )
+        assert config.tenant("gold").weight == 4.0
+        with pytest.raises(ServeError):
+            config.tenant("nobody")
+
+    def test_tenants_coerced_to_tuple(self):
+        config = ServeConfig(tenants=[TenantConfig(name="t")])
+        assert isinstance(config.tenants, tuple)
+
+    def test_rejects_empty_tenants(self):
+        with pytest.raises(ServeError):
+            ServeConfig(tenants=())
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ServeError):
+            ServeConfig(
+                tenants=(
+                    TenantConfig(name="t"),
+                    TenantConfig(name="t"),
+                )
+            )
+
+    def test_rejects_bad_backend_depth(self):
+        with pytest.raises(ServeError):
+            ServeConfig(
+                tenants=(TenantConfig(name="t"),),
+                max_backend_depth=0,
+            )

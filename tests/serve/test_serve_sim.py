@@ -1,0 +1,104 @@
+"""The serve-sim experiment: golden regression + gate semantics.
+
+A small-config sweep is frozen as JSON under ``tests/serve/golden/``;
+the comparison is exact (see ``tests/experiments/test_golden.py`` for
+the regeneration workflow: ``--regen-golden``).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig, serve_sim
+from repro.serve import TenantLoadSpec
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+_TENANTS = tuple(
+    TenantLoadSpec(
+        name=spec.name,
+        users=max(spec.users // 1000, 1),
+        rate_per_hour=spec.rate_per_hour / 2,
+        weight=spec.weight,
+    )
+    for spec in serve_sim.DEFAULT_TENANTS
+)
+
+
+def small_run():
+    return serve_sim.run_point(
+        ExperimentConfig(),
+        drives=2,
+        tenants=_TENANTS,
+        horizon_hours=0.5,
+    )
+
+
+def test_golden(regen_golden):
+    """The small sweep's records match the frozen fixture exactly."""
+    points = small_run()
+    result = serve_sim.ServeSweepResult(
+        label="serve-sim", points=tuple(points)
+    )
+    records = json.loads(json.dumps(result.to_dict()))
+    path = GOLDEN_DIR / "serve_sim.json"
+    if regen_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(records, indent=1) + "\n")
+    if not path.exists():
+        pytest.fail(
+            f"golden fixture {path} is missing; generate it with "
+            "pytest tests/serve/test_serve_sim.py --regen-golden"
+        )
+    frozen = json.loads(path.read_text())
+    assert records == frozen, (
+        "serve-sim output drifted from its golden fixture; if the "
+        "change is intentional, rerun with --regen-golden"
+    )
+
+
+def test_run_is_deterministic():
+    assert small_run() == small_run()
+
+
+def test_smoke_sweep_passes_the_gate():
+    result = serve_sim.run(smoke=True)
+    assert result.all_complete
+    assert result.slo_ok
+    assert result.total_users == sum(
+        spec.users for spec in serve_sim._SMOKE_TENANTS
+    )
+    # Smoke shrinks to one grid point.
+    assert {p.drives for p in result.points} == {2}
+
+
+def test_fair_share_orders_tenant_means():
+    """With backpressure binding, the premium tier's mean wins.
+
+    A tight backend depth keeps the fair queues backlogged, so the
+    8:1 gold-over-batch weight shows up in the response times.
+    """
+    points = serve_sim.run_point(
+        ExperimentConfig(),
+        drives=2,
+        tenants=_TENANTS,
+        horizon_hours=0.5,
+        backend_depth=2,
+    )
+    by_tenant = {p.tenant: p for p in points}
+    gold = by_tenant["gold"].mean_response_seconds
+    batch = by_tenant["batch"].mean_response_seconds
+    assert gold is not None and batch is not None
+    assert gold < batch
+
+
+def test_export_is_json_safe():
+    points = small_run()
+    result = serve_sim.ServeSweepResult(
+        label="serve-sim", points=tuple(points)
+    )
+    payload = json.dumps(result.to_dict())
+    for record in json.loads(payload):
+        assert record["lost"] == 0
+        assert record["slo (s)"] is None or record["slo (s)"] > 0

@@ -1,0 +1,49 @@
+"""The repro.api facade's demotion shim for moved observability names."""
+
+import warnings
+
+import pytest
+
+from repro import api, obs
+
+
+class TestFacadeShim:
+    @pytest.fixture()
+    def fresh_facade(self, monkeypatch):
+        """The facade with its warned-once memory cleared."""
+        monkeypatch.setattr(api, "_warned", set())
+        return api
+
+    def test_every_moved_name_resolves_to_obs(self, fresh_facade):
+        for name in fresh_facade._MOVED:
+            with pytest.warns(DeprecationWarning, match="repro.obs"):
+                resolved = getattr(fresh_facade, name)
+            assert resolved is getattr(obs, name)
+
+    def test_warns_exactly_once_per_name(self, fresh_facade):
+        with pytest.warns(DeprecationWarning) as caught:
+            fresh_facade.Subscription
+        assert len(caught) == 1
+        # Second access: silent, even under -W error.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert fresh_facade.Subscription is obs.Subscription
+
+    def test_moved_names_are_not_in_all(self):
+        for name in api._MOVED:
+            assert name not in api.__all__
+
+    def test_dir_advertises_moved_names(self):
+        listed = dir(api)
+        for name in api._MOVED:
+            assert name in listed
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            api.NoSuchName
+
+    def test_blessed_names_stay_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for name in api.__all__:
+                getattr(api, name)
