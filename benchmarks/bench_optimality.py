@@ -1,0 +1,69 @@
+"""LTSP frontier — exact solver throughput and the n = 1536 guard.
+
+The acceptance bar for the exact LTSP scheduler is hard: a full-tape
+batch of 1536 requests must solve in under 60 seconds.  In practice
+the interval-flow construction solves it in well under a second, so
+the guard has two orders of magnitude of headroom — if it ever trips,
+the solver regressed from near-linear to something combinatorial.
+"""
+
+import time
+
+import pytest
+
+from repro.geometry import generate_tape
+from repro.model import LinearizedModel, LocateTimeModel
+from repro.scheduling import get_scheduler
+from repro.workload import UniformWorkload
+
+#: The ISSUE acceptance ceiling for a full-tape exact solve.
+EXACT_WALL_CLOCK_CEILING_S = 60.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tape = generate_tape(seed=1)
+    model = LocateTimeModel(tape)
+    workload = UniformWorkload(
+        total_segments=tape.total_segments, seed=17
+    )
+    return model, LinearizedModel(model), workload
+
+
+def _batch(workload, size):
+    origin, batch = workload.sample_batch_with_origin(size, False)
+    return origin, batch.tolist()
+
+
+def test_exact_at_192(benchmark, setup):
+    model, linear, workload = setup
+    origin, batch = _batch(workload, 192)
+    schedule = benchmark(
+        get_scheduler("LTSP-exact").schedule, linear, origin, batch
+    )
+    assert len(schedule) == 192
+
+
+def test_exact_at_1536_under_the_ceiling(benchmark, setup):
+    model, linear, workload = setup
+    origin, batch = _batch(workload, 1536)
+    exact = get_scheduler("LTSP-exact")
+
+    started = time.perf_counter()
+    schedule = exact.schedule(linear, origin, batch)
+    wall = time.perf_counter() - started
+
+    assert len(schedule) == 1536
+    assert wall < EXACT_WALL_CLOCK_CEILING_S
+    benchmark.extra_info["wall_clock_s"] = round(wall, 3)
+    benchmark.extra_info["ceiling_s"] = EXACT_WALL_CLOCK_CEILING_S
+    benchmark(exact.schedule, linear, origin, batch)
+
+
+def test_sweep_at_1536(benchmark, setup):
+    model, linear, workload = setup
+    origin, batch = _batch(workload, 1536)
+    schedule = benchmark(
+        get_scheduler("LTSP-sweep").schedule, linear, origin, batch
+    )
+    assert len(schedule) == 1536

@@ -19,7 +19,8 @@ working for one release behind a :class:`DeprecationWarning` shim (see
 The facade groups:
 
 * **geometry / model** — synthetic cartridges and the locate-time model;
-* **scheduling** — the paper's eight algorithms, schedules, execution;
+* **scheduling** — the paper's eight algorithms, the LTSP frontier
+  solvers (exact, repair, sweep, greedy), schedules, execution;
 * **online** — the batching service loop, the robotic library, and the
   staging-cache front-end;
 * **serving** — the SLA-aware gateway of :mod:`repro.serve` (tenants,
@@ -67,6 +68,7 @@ from repro.experiments.export import result_to_rows, write_result
 from repro.experiments.result import TabularResult
 from repro.geometry.generator import generate_tape, tiny_tape
 from repro.geometry.tape import TapeGeometry
+from repro.model.linearize import LinearizedModel
 from repro.model.locate import LocateTimeModel
 from repro.obs import (
     EventBus,
@@ -112,6 +114,14 @@ from repro.scheduling.base import (
 )
 from repro.scheduling.estimator import estimate_schedule_seconds
 from repro.scheduling.executor import ExecutionResult, execute_schedule
+from repro.scheduling.ltsp import (
+    LtspExactScheduler,
+    LtspGreedyScheduler,
+    LtspRepairScheduler,
+    LtspSweepScheduler,
+    exact_ltsp_order,
+    linear_deadhead_sections,
+)
 from repro.scheduling.request import Request
 from repro.scheduling.schedule import Schedule
 from repro.serve import (
@@ -157,10 +167,15 @@ __all__ = [
     "Finding",
     "LibraryBatchRecord",
     "LibraryRequest",
+    "LinearizedModel",
     "LintError",
     "LintRun",
     "LocateFault",
     "LocateTimeModel",
+    "LtspExactScheduler",
+    "LtspGreedyScheduler",
+    "LtspRepairScheduler",
+    "LtspSweepScheduler",
     "MetricsError",
     "MetricsRegistry",
     "MultiDriveSystem",
@@ -201,12 +216,14 @@ __all__ = [
     "bind_standard_metrics",
     "cache_stats_from_events",
     "estimate_schedule_seconds",
+    "exact_ltsp_order",
     "exchange_policy_names",
     "execute_schedule",
     "generate_tape",
     "get_assignment_policy",
     "get_exchange_policy",
     "get_scheduler",
+    "linear_deadhead_sections",
     "load_serve_trace",
     "poisson_library_stream",
     "read_events_jsonl",

@@ -93,13 +93,15 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=sorted(
             {*_CONFIGURED, *_SEED_ONLY, "cache-sim", "chaos",
-             "library-sim", "serve-sim", "trace", "all"}
+             "library-sim", "optimality", "serve-sim", "trace", "all"}
         ),
         help=(
             "which figure/table to regenerate, 'cache-sim' for the "
             "disk staging cache extension, 'chaos' for a fault-"
             "injection sweep of the hardened serving path, "
             "'library-sim' for the multi-drive robotic library sweep, "
+            "'optimality' for the LTSP frontier chart (exact linear "
+            "optimum vs every heuristic past the Held-Karp ceiling), "
             "'serve-sim' for the multi-tenant SLA gateway sweep, "
             "or 'trace' for an instrumented run with telemetry "
             "cross-checks"
@@ -258,6 +260,34 @@ def build_parser() -> argparse.ArgumentParser:
             "in the backend at once (default: "
             f"{serve_sim.DEFAULT_BACKEND_DEPTH}; 0 = unbounded)"
         ),
+    )
+    frontier = parser.add_argument_group(
+        "optimality options (ignored by the paper experiments)"
+    )
+    frontier.add_argument(
+        "--frontier-length", type=int, action="append", default=None,
+        metavar="N",
+        help=(
+            "frontier batch size; repeat the flag for a sweep "
+            f"(default: {' '.join(map(str, optimality.DEFAULT_FRONTIER_LENGTHS))})"
+        ),
+    )
+    frontier.add_argument(
+        "--frontier-algorithm", action="append", default=None,
+        metavar="NAME",
+        help=(
+            "strategy charted against the exact linear optimum; "
+            "repeat the flag for a sweep (default: "
+            f"{' '.join(optimality.DEFAULT_FRONTIER_ALGORITHMS)})"
+        ),
+    )
+    frontier.add_argument(
+        "--frontier-trials", type=int, default=3, metavar="N",
+        help="trials per frontier batch size (default: 3)",
+    )
+    frontier.add_argument(
+        "--no-frontier", action="store_true",
+        help="optimality: print only the lower-bound gap table",
     )
     trace = parser.add_argument_group(
         "trace options (ignored by the paper experiments)"
@@ -461,6 +491,53 @@ def main(argv: Sequence[str] | None = None) -> int:
         # A silently dropped request or a blown p999 SLO is a
         # serving-layer bug, not a statistic.
         return 0 if result.all_complete and result.slo_ok else 1
+    if args.experiment == "optimality":
+        if args.frontier_length and any(
+            n < 2 for n in args.frontier_length
+        ):
+            parser.error("--frontier-length must be >= 2")
+        if args.frontier_trials < 1:
+            parser.error("--frontier-trials must be >= 1")
+        frontier_lengths = (
+            tuple(args.frontier_length) if args.frontier_length
+            else optimality.DEFAULT_FRONTIER_LENGTHS
+        )
+        frontier_trials = args.frontier_trials
+        if args.smoke:
+            # The CI gate: a short grid that still crosses the
+            # Held-Karp ceiling.
+            frontier_lengths = (8, 48, 192)
+            frontier_trials = 1
+        result = optimality.run(
+            config,
+            frontier=not args.no_frontier,
+            frontier_algorithms=(
+                tuple(args.frontier_algorithm)
+                if args.frontier_algorithm
+                else optimality.DEFAULT_FRONTIER_ALGORITHMS
+            ),
+            frontier_lengths=frontier_lengths,
+            frontier_trials=frontier_trials,
+        )
+        optimality.report(result)
+        if args.out is not None:
+            from repro.experiments.export import write_result
+
+            written = write_result(
+                result.frontier if result.frontier is not None
+                else result,
+                args.out,
+            )
+            print(f"exported to {written}")
+        # A heuristic beating the exact linear optimum is a solver
+        # bug, not a statistic.
+        if result.frontier is not None:
+            worst = min(
+                (stats.mean for stats in result.frontier.gaps.values()),
+                default=0.0,
+            )
+            return 0 if worst >= -1e-6 else 1
+        return 0
     if args.experiment == "trace":
         result = trace_run.main(
             config,

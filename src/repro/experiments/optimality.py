@@ -1,39 +1,131 @@
 """Optimality gaps of the heuristics (extension experiment).
 
 The paper can compare heuristics against OPT only up to 12 requests.
-Using the assignment-relaxation lower bound
-(:mod:`repro.analysis.bounds`) we can bound every heuristic's distance
-from optimal at any batch size: the gap to the bound is an upper bound
-on the gap to OPT.
+This experiment bounds every heuristic's distance from optimal at any
+batch size, two ways:
 
-Caveat worth stating: the bound itself loosens as batches grow (it
-ignores the path structure entirely), so large-N gaps overstate the
-true distance from optimal; the *ordering* of algorithms at equal N is
-the robust signal.  At small N, where OPT is available, the table
-shows both (and the OPT row bounds how loose the bound is).
+* **Lower-bound gaps** (the original table): the assignment-relaxation
+  bound of :mod:`repro.analysis.bounds` upper-bounds the distance from
+  OPT but loosens as batches grow, so large-N gaps overstate the true
+  distance; the *ordering* of algorithms at equal N is the robust
+  signal.
+* **The LTSP frontier** (``--frontier``): the exact polynomial solver
+  of :mod:`repro.scheduling.ltsp` is a true optimum for the linearized
+  locate cost at *any* batch size, so past the Held–Karp ceiling
+  (``OPT_MAX_LENGTH``) every heuristic's schedule is re-costed under
+  the linear model and charted as a percent above the exact linear
+  optimum — a gap that cannot be negative and does not loosen with N.
+  The table also charts Bachmat's asymptotic space-time prediction
+  (math/0601025, adapted to a bounded number of passes): total linear
+  head travel approaches one sweep of the expected batch span plus the
+  expected lead-in,
+  ``rate * L * ((n - 1)/(n + 1) + 1/4)``.
+
+The frontier gap is measured on *total linear head travel* (deadhead
+plus read legs), the quantity the Cardonha/Cire-style ratio guarantees
+bound and the one Bachmat's asymptote predicts; see
+``docs/OPTIMALITY.md`` for how to read the chart.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.analysis.bounds import schedule_lower_bound
+from repro.constants import SCAN_SECONDS_PER_SECTION
 from repro.experiments.config import ExperimentConfig, OPT_MAX_LENGTH
 from repro.experiments.report import print_table
 from repro.experiments.result import TabularResult
 from repro.experiments.stats import RunningStats
 from repro.geometry.generator import generate_tape
+from repro.geometry.tape import TAPE_PHYS_LENGTH
+from repro.model.distance_matrix import out_positions
+from repro.model.linearize import LinearizedModel
 from repro.model.locate import LocateTimeModel
 from repro.scheduling.base import get_scheduler
+from repro.scheduling.estimator import locate_sequence_times
+from repro.scheduling.request import request_lengths
 from repro.workload.random_uniform import UniformWorkload
 
-#: Heuristics ranked in the table.
+#: Heuristics ranked in the lower-bound table.
 DEFAULT_ALGORITHMS: tuple[str, ...] = (
     "OPT", "LOSS", "LOSS+oropt", "SLTF", "SCAN", "WEAVE", "SORT", "FIFO",
 )
 
 #: Batch sizes: spanning OPT's range and far beyond it.
 DEFAULT_LENGTHS: tuple[int, ...] = (8, 12, 48, 96, 192)
+
+#: Strategies charted against the exact linear optimum.  ``LOSS+oropt``
+#: is deliberately absent: its O(n^2)-per-round polish is too slow at
+#: the frontier's large batch sizes.
+DEFAULT_FRONTIER_ALGORITHMS: tuple[str, ...] = (
+    "OPT", "LOSS", "SLTF", "SCAN",
+    "LTSP-exact", "LTSP-repair", "LTSP-sweep", "LTSP-greedy",
+)
+
+#: Frontier batch sizes: through and far past the Held–Karp ceiling.
+DEFAULT_FRONTIER_LENGTHS: tuple[int, ...] = (
+    8, 12, 16, 48, 96, 192, 384, 768, 1536,
+)
+
+
+def bachmat_prediction_seconds(length: int) -> float:
+    """Bachmat's asymptotic total-travel prediction for a batch of N.
+
+    The space-time lower bound of math/0601025, adapted to a bounded
+    number of passes: one sweep of the expected span of N uniform
+    requests, ``(N - 1)/(N + 1)`` of the tape, plus the expected
+    lead-in from a uniform head position to the nearer end of the
+    span, ``1/4`` of the tape, all at scan speed.
+    """
+    span = (length - 1.0) / (length + 1.0)
+    return SCAN_SECONDS_PER_SECTION * TAPE_PHYS_LENGTH * (span + 0.25)
+
+
+@dataclass(frozen=True)
+class FrontierResult(TabularResult):
+    """Percent above the exact linear optimum per (algorithm, N).
+
+    ``exact_seconds`` holds the optimum itself (mean total linear head
+    travel of the exact LTSP order, seconds) and ``bachmat_seconds``
+    the asymptotic prediction, so the table reads as: the frontier,
+    where theory says it should converge, and how far above it each
+    heuristic lands.
+    """
+
+    algorithms: tuple[str, ...]
+    lengths: tuple[int, ...]
+    gaps: dict[tuple[str, int], RunningStats]
+    exact_seconds: dict[int, RunningStats]
+    bachmat_seconds: dict[int, float]
+
+    def headers(self) -> list[str]:
+        """Columns of :meth:`rows`."""
+        return [
+            "length", "exact_linear_seconds", "bachmat_seconds",
+            *self.algorithms,
+        ]
+
+    def rows(self) -> list[list]:
+        """One row per N: frontier, prediction, then gap % per algorithm."""
+        rows = []
+        for length in self.lengths:
+            exact = self.exact_seconds.get(length)
+            row: list = [
+                length,
+                None if exact is None or exact.count == 0 else exact.mean,
+                self.bachmat_seconds.get(length),
+            ]
+            for algorithm in self.algorithms:
+                stats = self.gaps.get((algorithm, length))
+                row.append(
+                    None if stats is None or stats.count == 0
+                    else stats.mean
+                )
+            rows.append(row)
+        return rows
 
 
 @dataclass(frozen=True)
@@ -43,6 +135,7 @@ class OptimalityResult(TabularResult):
     algorithms: tuple[str, ...]
     lengths: tuple[int, ...]
     gaps: dict[tuple[str, int], RunningStats]
+    frontier: FrontierResult | None = field(default=None)
 
     def headers(self) -> list[str]:
         """Columns of :meth:`rows`: N, then one per algorithm."""
@@ -63,13 +156,92 @@ class OptimalityResult(TabularResult):
         return rows
 
 
+def _linear_travel_seconds(linear: LinearizedModel, schedule) -> float:
+    """Total linear head travel of a schedule: deadhead + read legs."""
+    deadhead = float(locate_sequence_times(linear, schedule).sum())
+    segments = schedule.segments()
+    if segments.size == 0:
+        return deadhead
+    lengths = request_lengths(schedule.requests)
+    geometry = linear.geometry
+    exits = out_positions(segments, lengths, geometry.total_segments)
+    read_legs = float(
+        np.abs(
+            geometry.phys_of(exits) - geometry.phys_of(segments)
+        ).sum()
+    ) * linear.seconds_per_section
+    return deadhead + read_legs
+
+
+def run_frontier(
+    config: ExperimentConfig | None = None,
+    algorithms: tuple[str, ...] = DEFAULT_FRONTIER_ALGORITHMS,
+    lengths: tuple[int, ...] = DEFAULT_FRONTIER_LENGTHS,
+    trials: int = 3,
+) -> FrontierResult:
+    """Chart every strategy against the exact linear optimum.
+
+    Schedulers run against the *true* piecewise model (exactly as they
+    would in production); the resulting orders are then re-costed under
+    the linearized model and compared with the exact LTSP optimum for
+    the same batch.  ``OPT`` is skipped past ``OPT_MAX_LENGTH``.
+    """
+    config = config or ExperimentConfig()
+    tape = generate_tape(seed=config.tape_seed)
+    model = LocateTimeModel(tape)
+    linear = LinearizedModel(model)
+    workload = UniformWorkload(
+        total_segments=tape.total_segments, seed=config.workload_seed
+    )
+    exact = get_scheduler("LTSP-exact")
+    schedulers = {name: get_scheduler(name) for name in algorithms}
+
+    gaps: dict[tuple[str, int], RunningStats] = {}
+    exact_seconds: dict[int, RunningStats] = {}
+    for length in lengths:
+        for _ in range(trials):
+            origin, batch = workload.sample_batch_with_origin(
+                length, origin_at_start=False
+            )
+            optimum = _linear_travel_seconds(
+                linear, exact.schedule(linear, origin, batch)
+            )
+            exact_seconds.setdefault(length, RunningStats()).add(optimum)
+            for name in algorithms:
+                if name.startswith("OPT") and length > OPT_MAX_LENGTH:
+                    continue
+                schedule = schedulers[name].schedule(model, origin, batch)
+                travel = _linear_travel_seconds(linear, schedule)
+                gaps.setdefault((name, length), RunningStats()).add(
+                    100.0 * (travel / optimum - 1.0)
+                )
+    return FrontierResult(
+        algorithms=algorithms,
+        lengths=lengths,
+        gaps=gaps,
+        exact_seconds=exact_seconds,
+        bachmat_seconds={
+            length: bachmat_prediction_seconds(length) for length in lengths
+        },
+    )
+
+
 def run(
     config: ExperimentConfig | None = None,
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
     lengths: tuple[int, ...] = DEFAULT_LENGTHS,
     trials: int = 6,
+    *,
+    frontier: bool = False,
+    frontier_algorithms: tuple[str, ...] = DEFAULT_FRONTIER_ALGORITHMS,
+    frontier_lengths: tuple[int, ...] = DEFAULT_FRONTIER_LENGTHS,
+    frontier_trials: int = 3,
 ) -> OptimalityResult:
-    """Measure per-algorithm gaps above the lower bound."""
+    """Measure per-algorithm gaps above the lower bound.
+
+    With ``frontier=True``, additionally run :func:`run_frontier` and
+    attach its result.
+    """
     config = config or ExperimentConfig()
     tape = generate_tape(seed=config.tape_seed)
     model = LocateTimeModel(tape)
@@ -94,13 +266,24 @@ def run(
                 gaps.setdefault((name, length), RunningStats()).add(
                     100.0 * (schedule.estimated_seconds / bound - 1.0)
                 )
+    frontier_result = (
+        run_frontier(
+            config,
+            algorithms=frontier_algorithms,
+            lengths=frontier_lengths,
+            trials=frontier_trials,
+        )
+        if frontier
+        else None
+    )
     return OptimalityResult(
-        algorithms=algorithms, lengths=lengths, gaps=gaps
+        algorithms=algorithms, lengths=lengths, gaps=gaps,
+        frontier=frontier_result,
     )
 
 
 def report(result: OptimalityResult) -> None:
-    """Print the gap table."""
+    """Print the gap table (and the frontier table when present)."""
     print_table(
         ["N", *result.algorithms],
         result.rows(),
@@ -110,10 +293,28 @@ def report(result: OptimalityResult) -> None:
             "bound (upper-bounds the distance from OPT)"
         ),
     )
+    if result.frontier is not None:
+        report_frontier(result.frontier)
 
 
-def main(config: ExperimentConfig | None = None) -> OptimalityResult:
+def report_frontier(frontier: FrontierResult) -> None:
+    """Print the LTSP frontier table."""
+    print_table(
+        ["N", "frontier s", "bachmat s", *frontier.algorithms],
+        frontier.rows(),
+        precision=1,
+        title=(
+            "LTSP frontier: exact linear optimum (s), Bachmat "
+            "asymptote (s), and % of linear head travel above exact "
+            "per algorithm"
+        ),
+    )
+
+
+def main(
+    config: ExperimentConfig | None = None, *, frontier: bool = False
+) -> OptimalityResult:
     """Run and report."""
-    result = run(config)
+    result = run(config, frontier=frontier)
     report(result)
     return result

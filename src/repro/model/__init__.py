@@ -7,6 +7,7 @@ Public surface::
         rewind_time, max_rewind_time,
         EvenOddPerturbation, ShortLocateDeviation,
         schedule_distance_matrix, out_positions,
+        LinearizedModel,
     )
 """
 
@@ -15,6 +16,7 @@ from repro.model.distance_matrix import (
     out_positions,
     schedule_distance_matrix,
 )
+from repro.model.linearize import LinearizedModel
 from repro.model.locate import LocateTimeModel
 from repro.model.perturb import (
     EvenOddPerturbation,
@@ -25,6 +27,7 @@ from repro.model.rewind import max_rewind_time, rewind_time
 
 __all__ = [
     "EvenOddPerturbation",
+    "LinearizedModel",
     "LocateCase",
     "LocateTimeModel",
     "ModelWrapper",

@@ -45,6 +45,14 @@ from repro.scheduling.loss_sparse import (
     SparseLossScheduler,
     sparse_loss_order,
 )
+from repro.scheduling.ltsp import (
+    LtspExactScheduler,
+    LtspGreedyScheduler,
+    LtspRepairScheduler,
+    LtspSweepScheduler,
+    exact_ltsp_order,
+    linear_deadhead_sections,
+)
 from repro.scheduling.opt import (
     BruteForceOptScheduler,
     OptScheduler,
@@ -77,6 +85,10 @@ __all__ = [
     "ImprovedLossScheduler",
     "LookaheadScheduler",
     "LossScheduler",
+    "LtspExactScheduler",
+    "LtspGreedyScheduler",
+    "LtspRepairScheduler",
+    "LtspSweepScheduler",
     "OptScheduler",
     "RawLossScheduler",
     "ReadEntireTapeScheduler",
@@ -96,12 +108,14 @@ __all__ = [
     "coalesce_by_threshold",
     "estimate_locate_seconds",
     "estimate_schedule_seconds",
+    "exact_ltsp_order",
     "execute_schedule",
     "expand_groups",
     "full_read_seconds",
     "get_scheduler",
     "held_karp_path",
     "improve_schedule",
+    "linear_deadhead_sections",
     "locate_sequence_times",
     "lookahead_order",
     "loss_path",

@@ -1,0 +1,513 @@
+"""LTSP: exact and approximate linear-tape schedulers.
+
+The paper's OPT is an asymmetric-TSP path solver; our Held–Karp
+implementation (:mod:`repro.scheduling.opt`) is exact but exponential,
+so the heuristics are only ever certified against the true optimum for
+batches of ~16 requests.  The Linear Tape Scheduling Problem literature
+(Honoré, Simon & Suter 2021, arXiv:2112.09384; Cardonha & Cire 2021,
+arXiv:2112.07018; Cardonha & Villa Real 2018, arXiv:1810.09005) shows
+that once locate costs are *linear* in head travel the problem stops
+being NP-hard: exact polynomial algorithms and constant-factor
+sequencing policies exist.  This module brings that optimality frontier
+to the serpentine model via the linearized cost adapter
+(:class:`~repro.model.linearize.LinearizedModel`):
+
+* :func:`exact_ltsp_order` — exact minimizer of total linear locate
+  time, in O(n log n) time.  Serving a request moves the head from its
+  entry coordinate to its exit coordinate "for free" (transfer time is
+  order-independent), so the problem is the stacker-crane problem on a
+  line with a fixed start and a free end (Atallah & Kosaraju 1988): per
+  elementary interval of the line, the net number of deadhead crossings
+  is forced by flow conservation, gaps between the occupied span and
+  the start are bridged by one out-and-back, and an Eulerian path
+  through arcs-plus-deadheads realizes the bound.  The per-interval
+  lower bound (net imbalance, plus two crossings for any empty interval
+  separating the start from work beyond it) matches the construction,
+  so the result is exact — property-tested against Held–Karp and brute
+  force on the linearized matrix in ``tests/scheduling/test_ltsp_oracle``.
+* :class:`LtspExactScheduler` (``LTSP-exact``) — the exact linear order
+  as a registered strategy (estimates still come from whatever model
+  the caller schedules against).
+* :class:`LtspRepairScheduler` (``LTSP-repair``) — the serpentine
+  repair pass: exact linear order, then
+  :func:`~repro.scheduling.improve.or_opt_order` relocation under the
+  *true* piecewise distance matrix.
+* :class:`LtspSweepScheduler` (``LTSP-sweep``) — the better of the two
+  monotone sweeps, the classic linear-storage sequencing policy in the
+  style analyzed by Cardonha & Cire.  Its total linear head travel
+  (deadheads plus read legs) is at most ``3x`` the optimum: the sweep
+  costs at most span + lead-in + 2 * (total read legs), and the optimum
+  is at least the span term and at least the read legs
+  (``docs/OPTIMALITY.md`` has the three-line proof).
+* :class:`LtspGreedyScheduler` (``LTSP-greedy``) — nearest-entry-next
+  under the linear cost, the linear analogue of SLTF (no constant
+  factor; worst case Θ(log n), like nearest-neighbour on a line).
+
+Tie-breaking everywhere is pinned, not incidental: batches are
+canonicalized by ``(segment, length)`` before any coordinate math, so
+every scheduler here is deterministic and invariant under relabeling of
+the input batch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import SchedulingError
+from repro.model.distance_matrix import out_positions
+from repro.scheduling.base import Scheduler, register
+from repro.scheduling.improve import DEFAULT_MAX_ROUNDS, or_opt_order
+from repro.scheduling.request import Request, request_lengths
+
+#: Batch size above which the repair pass runs a single Or-opt sweep
+#: instead of the full round budget (the sweep is O(n^2) per round).
+DEFAULT_REPAIR_LIMIT = 512
+
+
+def _canonical(requests: tuple[Request, ...]) -> list[Request]:
+    """Relabeling-invariant batch order: ascending ``(segment, length)``."""
+    return sorted(requests, key=lambda r: (r.segment, r.length))
+
+
+def _coordinates(
+    model, origin: int, requests: Sequence[Request]
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Origin, entry, and exit coordinates on the linear axis."""
+    geometry = model.geometry
+    segments = np.fromiter(
+        (r.segment for r in requests), dtype=np.int64, count=len(requests)
+    )
+    lengths = request_lengths(requests)
+    exits = out_positions(segments, lengths, geometry.total_segments)
+    origin_phys = float(geometry.phys_of(int(origin)))
+    entry_phys = np.asarray(geometry.phys_of(segments), dtype=np.float64)
+    exit_phys = np.asarray(geometry.phys_of(exits), dtype=np.float64)
+    return origin_phys, entry_phys, exit_phys
+
+
+def linear_deadhead_sections(
+    origin_phys: float,
+    entry_phys: np.ndarray,
+    exit_phys: np.ndarray,
+    order: Sequence[int],
+) -> float:
+    """Total deadhead travel of a visit order, in section units.
+
+    The linear analogue of summing the locate edges of a schedule:
+    lead-in from the origin to the first entry, then from each exit to
+    the next entry.
+    """
+    visit = np.asarray(order, dtype=np.int64)
+    if visit.size == 0:
+        return 0.0
+    lead_in = abs(entry_phys[visit[0]] - origin_phys)
+    if visit.size == 1:
+        return float(lead_in)
+    hops = np.abs(entry_phys[visit[1:]] - exit_phys[visit[:-1]])
+    return float(lead_in + hops.sum())
+
+
+def exact_ltsp_order(
+    origin_phys: float,
+    entry_phys: np.ndarray,
+    exit_phys: np.ndarray,
+) -> list[int]:
+    """Exact minimum-deadhead visit order on the line.
+
+    Parameters
+    ----------
+    origin_phys:
+        Starting head coordinate.
+    entry_phys, exit_phys:
+        Per-request service arcs: serving request ``i`` requires being
+        at ``entry_phys[i]`` and leaves the head at ``exit_phys[i]``
+        (the travel between the two is the read leg, which every order
+        pays equally and therefore does not count as deadhead).
+
+    Returns
+    -------
+    A visit order (permutation of ``range(n)``) whose total deadhead —
+    :func:`linear_deadhead_sections` — is minimal.  Ties between optimal
+    orders resolve deterministically (smallest end coordinate, then
+    input order within each coordinate pair).
+
+    Notes
+    -----
+    This is the stacker-crane problem on a line with fixed start and
+    free end.  Let the event coordinates (origin, entries, exits) cut
+    the line into elementary intervals.  For a candidate end vertex
+    ``t`` the optimum decomposes into three per-interval terms, each a
+    lower bound on any feasible trajectory and jointly achievable:
+
+    * *flow* — conservation forces the net deadhead crossings of each
+      interval to ``delta - net_arcs`` (``delta`` is +1 between origin
+      and ``t``);
+    * *forced bridges* — an arc-free interval separating the
+      origin/end span from arc work beyond it must be crossed out and
+      back once;
+    * *connectivity* — the multigraph of service arcs plus deadhead
+      edges can still fall apart when arcs fly over an inner cluster
+      without touching it (free movement stops at any coordinate, but
+      an arc traversal is atomic).  Every component must join the
+      single Euler walk, and any extra crossings come in out-and-back
+      pairs, so the cheapest repair is a minimum spanning set of
+      doubled intervals.  On a line the MST only ever uses gaps
+      between consecutive active vertices, so Kruskal over those gaps
+      is exact.
+
+    The end vertex is chosen lazily: closed-form flow+bridge lower
+    bounds for every ``t`` at once, then exact resolution (with the
+    MST term) in increasing lower-bound order until the bound passes
+    the best exact cost.  Extracting the service order from an
+    Eulerian path of the final multigraph realises the bound exactly.
+    """
+    n = int(entry_phys.shape[0])
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+
+    coords = np.unique(
+        np.concatenate(
+            (np.asarray([origin_phys], dtype=np.float64),
+             np.asarray(entry_phys, dtype=np.float64),
+             np.asarray(exit_phys, dtype=np.float64))
+        )
+    )
+    num_vertices = coords.shape[0]
+    num_intervals = num_vertices - 1
+    origin_idx = int(np.searchsorted(coords, origin_phys))
+    entry_idx = np.searchsorted(coords, entry_phys).astype(np.int64)
+    exit_idx = np.searchsorted(coords, exit_phys).astype(np.int64)
+
+    if num_intervals == 0:
+        # Everything (origin included) sits on one coordinate.
+        return list(range(n))
+
+    interval_len = np.diff(coords)
+
+    # Per-interval service-arc crossing counts, via difference arrays.
+    right_diff = np.zeros(num_vertices, dtype=np.int64)
+    left_diff = np.zeros(num_vertices, dtype=np.int64)
+    rightward = entry_idx < exit_idx
+    leftward = entry_idx > exit_idx
+    np.add.at(right_diff, entry_idx[rightward], 1)
+    np.add.at(right_diff, exit_idx[rightward], -1)
+    np.add.at(left_diff, exit_idx[leftward], 1)
+    np.add.at(left_diff, entry_idx[leftward], -1)
+    arcs_right = np.cumsum(right_diff)[:num_intervals]
+    arcs_left = np.cumsum(left_diff)[:num_intervals]
+    arc_net = arcs_right - arcs_left
+    arc_free = (arcs_right + arcs_left) == 0
+
+    # Prefix sums over intervals (index k sums intervals < k).
+    def prefix(values: np.ndarray) -> np.ndarray:
+        return np.concatenate(([0.0], np.cumsum(values)))
+
+    cost_keep = prefix(interval_len * np.abs(arc_net))
+    cost_plus = prefix(interval_len * np.abs(1 - arc_net))
+    cost_minus = prefix(interval_len * np.abs(1 + arc_net))
+    gap_len = prefix(interval_len * arc_free)
+
+    arc_lo = int(min(entry_idx.min(), exit_idx.min()))
+    arc_hi = int(max(entry_idx.max(), exit_idx.max()))
+
+    # Closed-form flow + forced-bridge lower bound for every t at once.
+    t_all = np.arange(num_vertices)
+    lo = np.minimum(t_all, origin_idx)
+    hi = np.maximum(t_all, origin_idx)
+    inside_plus = np.where(
+        t_all >= origin_idx,
+        cost_plus[hi] - cost_plus[lo],
+        cost_minus[hi] - cost_minus[lo],
+    )
+    flow_cost = cost_keep[num_intervals] - (
+        cost_keep[hi] - cost_keep[lo]
+    ) + inside_plus
+    hull_lo = np.minimum(arc_lo, lo)
+    hull_hi = np.maximum(arc_hi, hi)
+    bridge_cost = 2.0 * (
+        (gap_len[hull_hi] - gap_len[hull_lo]) - (gap_len[hi] - gap_len[lo])
+    )
+    lower_bound = flow_cost + bridge_cost
+
+    def resolve(end_idx: int) -> tuple[float, np.ndarray, np.ndarray]:
+        """Exact cost and deadhead multiplicities for one end vertex."""
+        end_lo, end_hi = int(lo[end_idx]), int(hi[end_idx])
+        delta = np.zeros(num_intervals, dtype=np.int64)
+        delta[end_lo:end_hi] = 1 if end_idx >= origin_idx else -1
+        flow = delta - arc_net
+        dead_right = np.maximum(flow, 0)
+        dead_left = np.maximum(-flow, 0)
+        bridged = np.zeros(num_intervals, dtype=bool)
+        bridged[int(hull_lo[end_idx]):int(hull_hi[end_idx])] = True
+        bridged[end_lo:end_hi] = False
+        bridged &= arc_free
+        dead_right = dead_right + bridged
+        dead_left = dead_left + bridged
+        base_cost = float(lower_bound[end_idx])
+
+        # Connectivity repair: union arcs and crossed intervals, then
+        # Kruskal over gaps between consecutive active vertices.
+        parent = list(range(num_vertices))
+
+        def find(v: int) -> int:
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        for u, v in zip(entry_idx.tolist(), exit_idx.tolist()):
+            parent[find(u)] = find(v)
+        crossed = (dead_right + dead_left) > 0
+        active = np.zeros(num_vertices, dtype=bool)
+        active[entry_idx] = True
+        active[exit_idx] = True
+        active[origin_idx] = True
+        active[end_idx] = True
+        active[:-1] |= crossed
+        active[1:] |= crossed
+        for k in np.flatnonzero(crossed).tolist():
+            parent[find(k)] = find(k + 1)
+        active_idx = np.flatnonzero(active)
+        gaps = sorted(
+            (
+                float(coords[active_idx[i + 1]] - coords[active_idx[i]]),
+                int(active_idx[i]),
+                int(active_idx[i + 1]),
+            )
+            for i in range(active_idx.shape[0] - 1)
+        )
+        extra_cost = 0.0
+        for gap, u, v in gaps:
+            root_u, root_v = find(u), find(v)
+            if root_u != root_v:
+                parent[root_u] = root_v
+                extra_cost += 2.0 * gap
+                dead_right[u:v] += 1
+                dead_left[u:v] += 1
+        return base_cost + extra_cost, dead_right, dead_left
+
+    # Lazy best-first over end vertices: resolve in lower-bound order
+    # (ties to the smaller index) until the bound passes the best
+    # exact cost; deterministic because updates require a strict win.
+    best_cost = float(np.inf)
+    best_dead: tuple[np.ndarray, np.ndarray] | None = None
+    for end_idx in np.argsort(lower_bound, kind="stable").tolist():
+        if lower_bound[end_idx] > best_cost:
+            break
+        total, dead_right, dead_left = resolve(int(end_idx))
+        if total < best_cost:
+            best_cost = total
+            best_dead = (dead_right, dead_left)
+
+    assert best_dead is not None  # at least one end vertex resolves
+    dead_right, dead_left = best_dead
+    return _euler_service_order(
+        num_vertices, origin_idx, entry_idx, exit_idx,
+        dead_right, dead_left,
+    )
+
+
+def _euler_service_order(
+    num_vertices: int,
+    origin_idx: int,
+    entry_idx: np.ndarray,
+    exit_idx: np.ndarray,
+    dead_right: np.ndarray,
+    dead_left: np.ndarray,
+) -> list[int]:
+    """Hierholzer walk over service arcs + deadheads; arc labels in order.
+
+    Adjacency entries are ``[target, request_ids, remaining]``: service
+    arcs grouped by (entry, exit) vertex pair carry their request ids;
+    deadhead edges carry a multiplicity.  Entries are consumed in
+    insertion order (arcs first, in canonical batch order), which makes
+    the extracted order deterministic.
+    """
+    adjacency: list[list[list]] = [[] for _ in range(num_vertices)]
+    groups: dict[tuple[int, int], list] = {}
+    for request_id, (u, v) in enumerate(
+        zip(entry_idx.tolist(), exit_idx.tolist())
+    ):
+        entry = groups.get((u, v))
+        if entry is None:
+            entry = [v, [], 0]
+            groups[(u, v)] = entry
+            adjacency[u].append(entry)
+        entry[1].append(request_id)
+        entry[2] += 1
+    for k, count in enumerate(dead_right.tolist()):
+        if count:
+            adjacency[k].append([k + 1, None, count])
+    for k, count in enumerate(dead_left.tolist()):
+        if count:
+            adjacency[k + 1].append([k, None, count])
+
+    cursor = [0] * num_vertices
+    stack: list[tuple[int, int]] = [(origin_idx, -1)]
+    walk: list[int] = []
+    while stack:
+        vertex, _ = stack[-1]
+        entries = adjacency[vertex]
+        position = cursor[vertex]
+        while position < len(entries) and entries[position][2] == 0:
+            position += 1
+        cursor[vertex] = position
+        if position < len(entries):
+            target, request_ids, _ = entries[position]
+            entries[position][2] -= 1
+            if request_ids is None:
+                stack.append((target, -1))
+            else:
+                stack.append((target, request_ids.pop(0)))
+        else:
+            walk.append(stack.pop()[1])
+    order = [label for label in reversed(walk) if label >= 0]
+    if len(order) != entry_idx.shape[0]:
+        raise SchedulingError(
+            "LTSP Euler walk dropped requests: served "
+            f"{len(order)} of {entry_idx.shape[0]}"
+        )
+    return order
+
+
+@register
+class LtspExactScheduler(Scheduler):
+    """Exact optimal order under the linearized locate cost.
+
+    The order minimizes total linear deadhead
+    (:func:`exact_ltsp_order`); the schedule estimate still comes from
+    whatever model the caller passes, so under the true piecewise model
+    this is a (strong) heuristic, and under a
+    :class:`~repro.model.linearize.LinearizedModel` it is exact.
+    """
+
+    name = "LTSP-exact"
+
+    def _order(
+        self, model, origin: int, requests: tuple[Request, ...]
+    ) -> Sequence[Request]:
+        batch = _canonical(requests)
+        origin_phys, entry_phys, exit_phys = _coordinates(
+            model, origin, batch
+        )
+        order = exact_ltsp_order(origin_phys, entry_phys, exit_phys)
+        return [batch[i] for i in order]
+
+
+@register
+class LtspRepairScheduler(Scheduler):
+    """Linear-exact order, repaired under the true piecewise model.
+
+    The serpentine-repair pass of the optimality frontier: take the
+    exact LTSP order (optimal for the linear relaxation) and run the
+    Or-opt relocation search against the caller's actual distance
+    matrix, recovering most of what the linearization dropped
+    (reposition overheads, reversal penalties, read-in legs).  Never
+    worse than ``LTSP-exact`` under the scheduling model.
+    """
+
+    name = "LTSP-repair"
+
+    def __init__(
+        self,
+        *,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        repair_limit: int = DEFAULT_REPAIR_LIMIT,
+    ) -> None:
+        self.max_rounds = int(max_rounds)
+        self.repair_limit = int(repair_limit)
+
+    def _order(
+        self, model, origin: int, requests: tuple[Request, ...]
+    ) -> Sequence[Request]:
+        batch = _canonical(requests)
+        origin_phys, entry_phys, exit_phys = _coordinates(
+            model, origin, batch
+        )
+        order = exact_ltsp_order(origin_phys, entry_phys, exit_phys)
+        from repro.model.distance_matrix import schedule_distance_matrix
+
+        segments = np.fromiter(
+            (r.segment for r in batch), dtype=np.int64, count=len(batch)
+        )
+        distance = schedule_distance_matrix(
+            model, origin, segments, lengths=request_lengths(batch)
+        )
+        rounds = (
+            self.max_rounds
+            if len(batch) <= self.repair_limit
+            else 1
+        )
+        repaired = or_opt_order(distance, order, max_rounds=rounds)
+        return [batch[i] for i in repaired]
+
+
+@register
+class LtspSweepScheduler(Scheduler):
+    """The better of the two monotone sweeps under the linear cost.
+
+    The classic linear-storage sequencing policy: serve requests in
+    ascending entry order, or in descending entry order, whichever
+    costs less linear deadhead from the current origin.  Total linear
+    head travel is at most three times the exact optimum (see
+    ``docs/OPTIMALITY.md``).  Ties prefer the ascending sweep.
+    """
+
+    name = "LTSP-sweep"
+
+    def _order(
+        self, model, origin: int, requests: tuple[Request, ...]
+    ) -> Sequence[Request]:
+        batch = _canonical(requests)
+        origin_phys, entry_phys, exit_phys = _coordinates(
+            model, origin, batch
+        )
+        ascending = np.argsort(entry_phys, kind="stable").tolist()
+        descending = np.argsort(-entry_phys, kind="stable").tolist()
+        up_sections = linear_deadhead_sections(
+            origin_phys, entry_phys, exit_phys, ascending
+        )
+        down_sections = linear_deadhead_sections(
+            origin_phys, entry_phys, exit_phys, descending
+        )
+        order = ascending if up_sections <= down_sections else descending
+        return [batch[i] for i in order]
+
+
+@register
+class LtspGreedyScheduler(Scheduler):
+    """Nearest-entry-next under the linear cost (linear SLTF).
+
+    From the current exit coordinate, serve the request with the
+    nearest entry coordinate; equal distances resolve to the lowest
+    ``(segment, length)``.  Kept as the cheap baseline policy of the
+    frontier — no constant approximation factor (nearest-neighbour on a
+    line is Θ(log n) in the worst case), but near-exact on uniform
+    batches.
+    """
+
+    name = "LTSP-greedy"
+
+    def _order(
+        self, model, origin: int, requests: tuple[Request, ...]
+    ) -> Sequence[Request]:
+        batch = _canonical(requests)
+        origin_phys, entry_phys, exit_phys = _coordinates(
+            model, origin, batch
+        )
+        remaining = list(range(len(batch)))
+        position = origin_phys
+        order: list[int] = []
+        while remaining:
+            distances = np.abs(entry_phys[remaining] - position)
+            # argmin's first-occurrence tie rule is the pinned
+            # tie-break: `remaining` holds canonical (segment, length)
+            # order.
+            chosen = remaining.pop(int(np.argmin(distances)))
+            order.append(chosen)
+            position = float(exit_phys[chosen])
+        return [batch[i] for i in order]

@@ -14,14 +14,21 @@ non-empty sections:
    lowest-numbered request, so only one candidate per non-empty section
    needs a locate-time evaluation.
 
-Three variants are provided (all produce the same schedule up to ties;
-the ablation benchmark compares their cost):
+Three variants are provided (the ablation benchmark compares their
+cost):
 
 * :class:`SltfScheduler` — the section fast path (the paper's
   recommended form; registered as ``SLTF``);
 * :class:`SltfNaiveScheduler` — the literal O(n²) greedy;
 * :class:`SltfCoalesceScheduler` — greedy over distance-coalesced
   groups (threshold ``T``, default 1410 segments = two sections).
+
+Tie-breaking is pinned, not incidental: both greedy variants scan
+candidates in ascending ``(segment, length)`` order and take the
+*first* minimum (``np.argmin``), so equal locate times resolve to the
+lowest ``(segment, length)`` in both — the fast path and the naive
+greedy therefore produce identical schedules, ties included
+(regression-tested in ``tests/scheduling/test_sltf_ties.py``).
 """
 
 from __future__ import annotations

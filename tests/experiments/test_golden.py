@@ -24,7 +24,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import ExperimentConfig, figure4, figure5, figure7
+from repro.experiments import (
+    ExperimentConfig,
+    figure4,
+    figure5,
+    figure7,
+    optimality,
+)
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -40,6 +46,17 @@ GOLDEN_RUNS = {
         _CONFIG, algorithms=("FIFO", "SORT", "LOSS", "OPT")
     ),
     "figure7": lambda: figure7.run(_CONFIG),
+    "optimality": lambda: optimality.run(
+        _CONFIG,
+        algorithms=("OPT", "LOSS", "SLTF", "SCAN"),
+        lengths=(8, 12, 48),
+        trials=2,
+    ),
+    "optimality_frontier": lambda: optimality.run_frontier(
+        _CONFIG,
+        lengths=(8, 16, 48, 96),
+        trials=2,
+    ),
 }
 
 

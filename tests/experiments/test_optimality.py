@@ -52,3 +52,79 @@ class TestOptimalityExperiment:
         assert rows[1][1] is None  # OPT cell at 48
         optimality.report(result)
         assert "lower bound" in capsys.readouterr().out
+
+    def test_frontier_absent_by_default(self, result):
+        assert result.frontier is None
+
+
+@pytest.fixture(scope="module")
+def frontier():
+    return optimality.run_frontier(
+        ExperimentConfig(scale="quick"),
+        algorithms=(
+            "OPT", "LOSS", "SLTF",
+            "LTSP-exact", "LTSP-repair", "LTSP-sweep", "LTSP-greedy",
+        ),
+        lengths=(8, 48, 192),
+        trials=2,
+    )
+
+
+class TestFrontier:
+    def test_gaps_nonnegative(self, frontier):
+        # The exact linear optimum is a true lower bound: no strategy
+        # may land below it, at any batch size.
+        for stats in frontier.gaps.values():
+            assert stats.mean >= -1e-9
+
+    def test_exact_gap_is_zero(self, frontier):
+        for length in frontier.lengths:
+            assert frontier.gaps[
+                ("LTSP-exact", length)
+            ].mean == pytest.approx(0.0, abs=1e-9)
+
+    def test_sweep_within_its_ratio(self, frontier):
+        # 3-approximation on total linear travel; in practice the
+        # sweep hugs the frontier.
+        for length in frontier.lengths:
+            assert frontier.gaps[("LTSP-sweep", length)].mean <= 200.0
+
+    def test_opt_skipped_past_held_karp_ceiling(self, frontier):
+        assert ("OPT", 8) in frontier.gaps
+        assert ("OPT", 48) not in frontier.gaps
+        assert ("OPT", 192) not in frontier.gaps
+
+    def test_bachmat_prediction_tracks_the_frontier_at_scale(
+        self, frontier
+    ):
+        # The asymptote is a large-N statement: at N = 192 it should
+        # land within ~15% of the measured exact optimum.
+        exact = frontier.exact_seconds[192].mean
+        predicted = frontier.bachmat_seconds[192]
+        assert abs(predicted - exact) / exact < 0.15
+
+    def test_rows_shape_and_report(self, frontier, capsys):
+        rows = frontier.rows()
+        assert len(rows) == len(frontier.lengths)
+        width = 3 + len(frontier.algorithms)
+        assert all(len(row) == width for row in rows)
+        optimality.report_frontier(frontier)
+        out = capsys.readouterr().out
+        assert "LTSP frontier" in out
+
+    def test_attached_by_run_flag(self):
+        result = optimality.run(
+            ExperimentConfig(scale="quick"),
+            algorithms=("LOSS",),
+            lengths=(8,),
+            trials=1,
+            frontier=True,
+            frontier_algorithms=("LTSP-exact", "LTSP-sweep"),
+            frontier_lengths=(8, 16),
+            frontier_trials=1,
+        )
+        assert result.frontier is not None
+        assert result.frontier.lengths == (8, 16)
+        records = result.frontier.to_dict()
+        assert records[0]["length"] == 8
+        assert "bachmat_seconds" in records[0]

@@ -1,0 +1,122 @@
+"""Tests for the linearized locate-cost adapter."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SCAN_SECONDS_PER_SECTION
+from repro.model import LinearizedModel, schedule_distance_matrix
+
+
+@pytest.fixture()
+def linear(tiny_model):
+    return LinearizedModel(tiny_model)
+
+
+class TestLinearizedModel:
+    def test_cost_is_scan_speed_times_distance(self, tiny_model, linear):
+        geometry = tiny_model.geometry
+        for src, dst in ((0, 5), (5, 0), (3, 3), (1, 17)):
+            expected = SCAN_SECONDS_PER_SECTION * abs(
+                float(geometry.phys_of(dst)) - float(geometry.phys_of(src))
+            )
+            assert linear.locate_time(src, dst) == pytest.approx(expected)
+
+    def test_symmetric(self, linear, rng):
+        total = linear.geometry.total_segments
+        pairs = rng.integers(0, total, size=(20, 2))
+        for src, dst in pairs:
+            assert linear.locate_time(
+                int(src), int(dst)
+            ) == pytest.approx(linear.locate_time(int(dst), int(src)))
+
+    def test_zero_on_identical_segments(self, linear):
+        assert linear.locate_time(7, 7) == pytest.approx(0.0)
+
+    def test_vector_surfaces_agree(self, linear, rng):
+        total = linear.geometry.total_segments
+        source = int(rng.integers(0, total))
+        destinations = rng.integers(0, total, size=16)
+        batched = linear.locate_times(source, destinations)
+        scalar = [
+            linear.locate_time(source, int(d)) for d in destinations
+        ]
+        np.testing.assert_allclose(batched, scalar)
+        paired = linear.times(
+            np.full(16, source, dtype=np.int64), destinations
+        )
+        np.testing.assert_allclose(paired, scalar)
+        matrix = linear.pairwise_times(
+            np.asarray([source], dtype=np.int64), destinations
+        )
+        np.testing.assert_allclose(matrix[0], scalar)
+
+    def test_travel_sections_is_phys_distance(self, linear, rng):
+        total = linear.geometry.total_segments
+        source = int(rng.integers(0, total))
+        destinations = rng.integers(0, total, size=8)
+        geometry = linear.geometry
+        expected = np.abs(
+            geometry.phys_of(destinations.astype(np.int64))
+            - geometry.phys_of(source)
+        )
+        np.testing.assert_allclose(
+            linear.travel_sections(source, destinations), expected
+        )
+
+    def test_rewind_is_linear(self, linear):
+        geometry = linear.geometry
+        seconds = linear.rewind_seconds(5)
+        assert seconds == pytest.approx(
+            float(geometry.phys_of(5)) * linear.seconds_per_section
+        )
+
+    def test_default_rate_comes_from_base_model(self, tiny_model):
+        linear = LinearizedModel(tiny_model)
+        assert linear.seconds_per_section == pytest.approx(
+            tiny_model.scan_seconds_per_section
+        )
+
+    def test_custom_rate(self, tiny_model):
+        linear = LinearizedModel(tiny_model, seconds_per_section=2.5)
+        geometry = tiny_model.geometry
+        assert linear.locate_time(0, 9) == pytest.approx(
+            2.5 * abs(
+                float(geometry.phys_of(9)) - float(geometry.phys_of(0))
+            )
+        )
+
+    def test_oracle_matches_locate_times(self, linear, rng):
+        total = linear.geometry.total_segments
+        source = int(rng.integers(0, total))
+        destinations = rng.integers(0, total, size=8)
+        measure = linear.oracle()
+        np.testing.assert_allclose(
+            measure(source, destinations),
+            linear.locate_times(source, destinations),
+        )
+
+    def test_lower_bounds_the_piecewise_model_locates(
+        self, tiny_model, linear, rng
+    ):
+        """Linearization drops overheads: never above the true cost."""
+        total = tiny_model.geometry.total_segments
+        source = int(rng.integers(0, total))
+        destinations = rng.integers(0, total, size=32)
+        slack = tiny_model.reposition_seconds + tiny_model.reversal_seconds
+        true_times = tiny_model.locate_times(source, destinations)
+        lin_times = linear.locate_times(source, destinations)
+        assert np.all(lin_times <= true_times + slack + 1e-9)
+
+    def test_distance_matrix_builder_accepts_the_adapter(
+        self, linear, rng
+    ):
+        total = linear.geometry.total_segments
+        segments = rng.choice(total - 1, size=6, replace=False).astype(
+            np.int64
+        )
+        matrix = schedule_distance_matrix(linear, 0, segments)
+        assert matrix.shape == (7, 6)
+        assert np.all(np.isinf(np.diag(matrix[1:])))
+
+    def test_repr_mentions_rate(self, linear):
+        assert "LinearizedModel" in repr(linear)

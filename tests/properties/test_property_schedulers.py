@@ -5,24 +5,31 @@ from hypothesis import given, settings, strategies as st
 
 from repro.drive import SimulatedDrive
 from repro.geometry import tiny_tape
-from repro.model import LocateTimeModel
+from repro.model import LinearizedModel, LocateTimeModel, out_positions
 from repro.scheduling import (
     execute_schedule,
     get_scheduler,
     held_karp_path,
     brute_force_path,
+    locate_sequence_times,
     loss_path,
+    request_lengths,
 )
 
 _TAPE = tiny_tape(seed=21, tracks=4)
 _MODEL = LocateTimeModel(_TAPE)
+_LINEAR = LinearizedModel(_MODEL)
 
 segments = st.integers(min_value=0, max_value=_TAPE.total_segments - 1)
 batches = st.lists(segments, min_size=1, max_size=24, unique=True)
 algorithms = st.sampled_from(
     ["FIFO", "SORT", "SLTF", "SLTF-naive", "SLTF-coalesce",
      "SCAN", "WEAVE", "LOSS", "LOSS-raw", "LOSS-sparse",
-     "LOSS+oropt", "READ"]
+     "LOSS+oropt", "READ",
+     "LTSP-exact", "LTSP-repair", "LTSP-sweep", "LTSP-greedy"]
+)
+ltsp_algorithms = st.sampled_from(
+    ["LTSP-exact", "LTSP-repair", "LTSP-sweep", "LTSP-greedy"]
 )
 
 
@@ -84,6 +91,66 @@ def test_held_karp_is_exact(matrix):
 
     assert sorted(dp) == list(range(n))
     assert cost(dp) <= cost(bf) + 1e-9
+
+
+def _linear_travel(schedule):
+    """Total linear head travel: deadhead plus read legs."""
+    deadhead = float(locate_sequence_times(_LINEAR, schedule).sum())
+    segs = schedule.segments()
+    lengths = request_lengths(schedule.requests)
+    exits = out_positions(segs, lengths, _TAPE.total_segments)
+    read_legs = float(
+        np.abs(_TAPE.phys_of(exits) - _TAPE.phys_of(segs)).sum()
+    ) * _LINEAR.seconds_per_section
+    return deadhead + read_legs
+
+
+@given(batch=batches, origin=segments, name=ltsp_algorithms)
+@settings(max_examples=80, deadline=None)
+def test_ltsp_schedulers_are_deterministic_and_relabel_stable(
+    batch, origin, name
+):
+    """Same schedule for the same batch in any arrival order."""
+    scheduler = get_scheduler(name)
+    first = scheduler.schedule(_MODEL, origin, batch)
+    second = scheduler.schedule(_MODEL, origin, list(reversed(batch)))
+    assert [r.segment for r in first] == [r.segment for r in second]
+    assert first.estimated_seconds == second.estimated_seconds
+
+
+@given(batch=batches, origin=segments)
+@settings(max_examples=80, deadline=None)
+def test_sweep_respects_three_approximation_on_linear_costs(
+    batch, origin
+):
+    """The sweep policy's total linear travel is at most 3x optimal.
+
+    Proof sketch (docs/OPTIMALITY.md): the better sweep's deadhead is
+    at most span + lead-in + 2F where F is the total read-leg travel;
+    the optimum's total is at least max(span + lead-in, F); hence
+    sweep_total <= OPT + 2F <= 3 * OPT.
+    """
+    optimum = _linear_travel(
+        get_scheduler("LTSP-exact").schedule(_LINEAR, origin, batch)
+    )
+    sweep = _linear_travel(
+        get_scheduler("LTSP-sweep").schedule(_LINEAR, origin, batch)
+    )
+    assert sweep <= 3.0 * optimum + 1e-6
+
+
+@given(batch=batches, origin=segments, name=ltsp_algorithms)
+@settings(max_examples=60, deadline=None)
+def test_ltsp_schedulers_never_beat_exact_linear_travel(
+    batch, origin, name
+):
+    optimum = _linear_travel(
+        get_scheduler("LTSP-exact").schedule(_LINEAR, origin, batch)
+    )
+    other = _linear_travel(
+        get_scheduler(name).schedule(_LINEAR, origin, batch)
+    )
+    assert other >= optimum - 1e-6
 
 
 @given(matrix=distance_matrices(max_size=10))

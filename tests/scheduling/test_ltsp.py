@@ -1,0 +1,214 @@
+"""Unit tests for the LTSP subsystem (solver core + schedulers)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.model import LinearizedModel
+from repro.scheduling import (
+    Request,
+    exact_ltsp_order,
+    get_scheduler,
+    linear_deadhead_sections,
+)
+from repro.scheduling.ltsp import (
+    LtspExactScheduler,
+    LtspGreedyScheduler,
+    LtspRepairScheduler,
+    LtspSweepScheduler,
+)
+
+
+def brute_force_deadhead(origin, entry, exit_, n):
+    return min(
+        linear_deadhead_sections(origin, entry, exit_, order)
+        for order in itertools.permutations(range(n))
+    )
+
+
+class TestExactOrder:
+    def test_empty(self):
+        assert exact_ltsp_order(0.0, np.zeros(0), np.zeros(0)) == []
+
+    def test_single(self):
+        assert exact_ltsp_order(
+            0.0, np.asarray([5.0]), np.asarray([6.0])
+        ) == [0]
+
+    def test_all_on_one_coordinate(self):
+        entry = np.asarray([2.0, 2.0, 2.0])
+        exit_ = np.asarray([2.0, 2.0, 2.0])
+        order = exact_ltsp_order(2.0, entry, exit_)
+        assert order == [0, 1, 2]
+        assert linear_deadhead_sections(2.0, entry, exit_, order) == 0.0
+
+    def test_simple_sweep(self):
+        entry = np.asarray([1.0, 3.0, 5.0])
+        exit_ = np.asarray([2.0, 4.0, 6.0])
+        order = exact_ltsp_order(0.0, entry, exit_)
+        assert order == [0, 1, 2]
+        assert linear_deadhead_sections(0.0, entry, exit_, order) == 3.0
+
+    def test_nested_cluster_needs_connectivity_repair(self):
+        """Arcs flying over a disconnected inner cluster.
+
+        Flow balancing alone says zero deadhead (the two long arcs
+        cancel), but the head must still break off to serve the inner
+        pair: the optimum detours to the cluster and ends there (the
+        free end), 4 sections.  This is the case a pure per-interval
+        construction gets wrong.
+        """
+        entry = np.asarray([0.0, 10.0, 4.0, 5.0])
+        exit_ = np.asarray([10.0, 0.0, 5.0, 4.0])
+        order = exact_ltsp_order(0.0, entry, exit_)
+        assert sorted(order) == [0, 1, 2, 3]
+        cost = linear_deadhead_sections(0.0, entry, exit_, order)
+        assert cost == pytest.approx(
+            brute_force_deadhead(0.0, entry, exit_, 4)
+        )
+        assert cost == pytest.approx(4.0)
+
+    def test_disjoint_clusters_bridged(self):
+        """Two separated clusters: the gap is paid once, not twice."""
+        entry = np.asarray([0.0, 1.0, 9.0, 10.0])
+        exit_ = np.asarray([1.0, 0.0, 10.0, 9.0])
+        order = exact_ltsp_order(0.0, entry, exit_)
+        cost = linear_deadhead_sections(0.0, entry, exit_, order)
+        assert cost == pytest.approx(
+            brute_force_deadhead(0.0, entry, exit_, 4)
+        )
+
+    def test_origin_isolated_between_clusters(self):
+        """Head starts in dead space between two arc clusters."""
+        entry = np.asarray([0.0, 1.0, 9.0, 10.0])
+        exit_ = np.asarray([1.0, 0.0, 10.0, 9.0])
+        order = exact_ltsp_order(5.0, entry, exit_)
+        cost = linear_deadhead_sections(5.0, entry, exit_, order)
+        assert cost == pytest.approx(
+            brute_force_deadhead(5.0, entry, exit_, 4)
+        )
+
+    @pytest.mark.parametrize("trial", range(30))
+    def test_matches_brute_force_on_random_arcs(self, rng, trial):
+        n = int(rng.integers(2, 7))
+        entry = rng.uniform(0.0, 14.0, size=n)
+        exit_ = np.where(
+            rng.random(n) < 0.5,
+            np.minimum(entry + rng.uniform(0.0, 2.0, size=n), 14.0),
+            entry,
+        )
+        origin = float(rng.uniform(0.0, 14.0))
+        order = exact_ltsp_order(origin, entry, exit_)
+        assert sorted(order) == list(range(n))
+        assert linear_deadhead_sections(
+            origin, entry, exit_, order
+        ) == pytest.approx(
+            brute_force_deadhead(origin, entry, exit_, n), abs=1e-9
+        )
+
+    def test_deterministic(self, rng):
+        entry = rng.uniform(0.0, 14.0, size=12)
+        exit_ = np.minimum(entry + rng.uniform(0.0, 1.0, size=12), 14.0)
+        first = exact_ltsp_order(7.0, entry, exit_)
+        second = exact_ltsp_order(7.0, entry, exit_)
+        assert first == second
+
+
+class TestLtspSchedulers:
+    @pytest.fixture()
+    def linear(self, tiny_model):
+        return LinearizedModel(tiny_model)
+
+    def _batch(self, model, rng, n=12):
+        total = model.geometry.total_segments
+        segments = rng.choice(total - 3, size=n, replace=False)
+        lengths = rng.integers(1, 4, size=n)
+        return [
+            Request(int(s), int(length))
+            for s, length in zip(segments, lengths)
+        ]
+
+    def test_exact_is_optimal_under_linear_model(
+        self, tiny_model, linear, rng
+    ):
+        batch = self._batch(tiny_model, rng, n=7)
+        exact = LtspExactScheduler().schedule(linear, 0, batch)
+        opt = get_scheduler("OPT").schedule(linear, 0, batch)
+        assert exact.estimated_seconds == pytest.approx(
+            opt.estimated_seconds, abs=1e-6
+        )
+
+    def test_repair_never_worse_than_exact_under_true_model(
+        self, tiny_model, rng
+    ):
+        for _ in range(5):
+            batch = self._batch(tiny_model, rng)
+            origin = int(rng.integers(0, tiny_model.geometry.total_segments))
+            exact = LtspExactScheduler().schedule(
+                tiny_model, origin, batch
+            )
+            repaired = LtspRepairScheduler().schedule(
+                tiny_model, origin, batch
+            )
+            assert (
+                repaired.estimated_seconds
+                <= exact.estimated_seconds + 1e-6
+            )
+
+    def test_repair_limit_drops_to_one_round(self, tiny_model, rng):
+        batch = self._batch(tiny_model, rng, n=8)
+        eager = LtspRepairScheduler(repair_limit=4)
+        relaxed = LtspRepairScheduler()
+        fast = eager.schedule(tiny_model, 0, batch)
+        thorough = relaxed.schedule(tiny_model, 0, batch)
+        assert sorted(r.segment for r in fast) == sorted(
+            r.segment for r in thorough
+        )
+        assert thorough.estimated_seconds <= fast.estimated_seconds + 1e-6
+
+    def test_sweep_picks_the_cheaper_direction(self, linear):
+        # Serpentine ids are not physically monotone: pick the
+        # physically lowest and highest segments explicitly.
+        total = linear.geometry.total_segments
+        phys = np.asarray(
+            linear.geometry.phys_of(np.arange(total - 1, dtype=np.int64))
+        )
+        low = int(np.argmin(phys))
+        high = int(np.argmax(phys))
+        batch = [Request(low, 1), Request(high, 1)]
+        # Head parked at the physical top: descending sweep wins.
+        schedule = LtspSweepScheduler().schedule(linear, high, batch)
+        assert [r.segment for r in schedule] == [high, low]
+        # Head parked at the physical bottom: ascending sweep wins.
+        schedule = LtspSweepScheduler().schedule(linear, low, batch)
+        assert [r.segment for r in schedule] == [low, high]
+
+    @pytest.mark.parametrize(
+        "scheduler_cls",
+        [
+            LtspExactScheduler,
+            LtspRepairScheduler,
+            LtspSweepScheduler,
+            LtspGreedyScheduler,
+        ],
+    )
+    def test_relabeling_invariance(
+        self, scheduler_cls, tiny_model, rng
+    ):
+        """The schedule ignores the arrival order of the batch."""
+        batch = self._batch(tiny_model, rng)
+        shuffled = list(batch)
+        rng.shuffle(shuffled)
+        scheduler = scheduler_cls()
+        first = scheduler.schedule(tiny_model, 5, batch)
+        second = scheduler.schedule(tiny_model, 5, shuffled)
+        assert [
+            (r.segment, r.length) for r in first
+        ] == [(r.segment, r.length) for r in second]
+
+    def test_registered_names(self):
+        for name in (
+            "LTSP-exact", "LTSP-repair", "LTSP-sweep", "LTSP-greedy"
+        ):
+            assert get_scheduler(name).name == name

@@ -1,0 +1,235 @@
+"""Differential oracle: the exact LTSP solver versus everything else.
+
+On the linearized locate model the polynomial solver of
+:mod:`repro.scheduling.ltsp` and the exponential Held–Karp solver of
+:mod:`repro.scheduling.opt` minimize the *same* objective, so their
+costs must agree exactly wherever Held–Karp is feasible — and past
+that ceiling the exact LTSP cost is a true optimum every registered
+scheduler must respect.  These tests sweep random tapes, head origins,
+batch shapes, and coalesce thresholds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import tiny_tape
+from repro.model import (
+    LinearizedModel,
+    LocateTimeModel,
+    out_positions,
+    schedule_distance_matrix,
+)
+from repro.scheduling import (
+    Request,
+    SltfCoalesceScheduler,
+    brute_force_path,
+    exact_ltsp_order,
+    get_scheduler,
+    held_karp_path,
+    locate_sequence_times,
+    scheduler_names,
+)
+from repro.scheduling.ltsp import linear_deadhead_sections
+
+_TAPE_SEEDS = (3, 21, 33)
+_TAPES = {seed: tiny_tape(seed=seed, tracks=4) for seed in _TAPE_SEEDS}
+_MODELS = {seed: LocateTimeModel(tape) for seed, tape in _TAPES.items()}
+_LINEAR = {seed: LinearizedModel(m) for seed, m in _MODELS.items()}
+
+tape_seeds = st.sampled_from(_TAPE_SEEDS)
+fractions = st.floats(min_value=0.0, max_value=1.0 - 1e-9)
+request_shapes = st.lists(
+    st.tuples(fractions, st.integers(min_value=1, max_value=3)),
+    min_size=1,
+    max_size=9,
+)
+
+
+def _batch(tape, shapes):
+    total = tape.total_segments
+    return [
+        Request(min(int(f * total), total - length), length)
+        for f, length in shapes
+    ]
+
+
+def _origin(tape, fraction):
+    return min(int(fraction * tape.total_segments), tape.total_segments - 1)
+
+
+def _linear_matrix(seed, origin, batch):
+    segments = np.asarray([r.segment for r in batch], dtype=np.int64)
+    lengths = np.asarray([r.length for r in batch], dtype=np.int64)
+    return schedule_distance_matrix(
+        _LINEAR[seed], origin, segments, lengths=lengths
+    )
+
+
+def _exact_order(seed, origin, batch):
+    tape = _TAPES[seed]
+    segments = np.asarray([r.segment for r in batch], dtype=np.int64)
+    lengths = np.asarray([r.length for r in batch], dtype=np.int64)
+    exits = out_positions(segments, lengths, tape.total_segments)
+    return exact_ltsp_order(
+        float(tape.phys_of(origin)),
+        np.asarray(tape.phys_of(segments), dtype=np.float64),
+        np.asarray(tape.phys_of(exits), dtype=np.float64),
+    )
+
+
+def path_cost(matrix, order):
+    cost = matrix[0, order[0]]
+    for a, b in zip(order, order[1:]):
+        cost += matrix[a + 1, b]
+    return float(cost)
+
+
+@given(seed=tape_seeds, shapes=request_shapes, origin_f=fractions)
+@settings(max_examples=150, deadline=None)
+def test_exact_matches_held_karp(seed, shapes, origin_f):
+    """Same optimum as Held–Karp on the linearized distance matrix."""
+    tape = _TAPES[seed]
+    batch = _batch(tape, shapes)
+    origin = _origin(tape, origin_f)
+    matrix = _linear_matrix(seed, origin, batch)
+    order = _exact_order(seed, origin, batch)
+    assert sorted(order) == list(range(len(batch)))
+    assert path_cost(matrix, order) == pytest.approx(
+        path_cost(matrix, held_karp_path(matrix)), abs=1e-9
+    )
+
+
+@given(
+    seed=tape_seeds,
+    shapes=st.lists(
+        st.tuples(fractions, st.integers(min_value=1, max_value=3)),
+        min_size=1,
+        max_size=7,
+    ),
+    origin_f=fractions,
+)
+@settings(max_examples=60, deadline=None)
+def test_exact_matches_brute_force(seed, shapes, origin_f):
+    """Cross-check against full permutation enumeration (n <= 7)."""
+    tape = _TAPES[seed]
+    batch = _batch(tape, shapes)
+    origin = _origin(tape, origin_f)
+    matrix = _linear_matrix(seed, origin, batch)
+    order = _exact_order(seed, origin, batch)
+    assert path_cost(matrix, order) == pytest.approx(
+        path_cost(matrix, brute_force_path(matrix)), abs=1e-9
+    )
+
+
+@pytest.mark.parametrize("n", [10, 11, 12])
+@pytest.mark.parametrize("seed", _TAPE_SEEDS)
+def test_exact_matches_held_karp_up_to_twelve(seed, n, rng):
+    """Every n <= 12 oracle case agrees with Held–Karp."""
+    tape = _TAPES[seed]
+    total = tape.total_segments
+    for _ in range(3):
+        batch = [
+            Request(int(s), int(length))
+            for s, length in zip(
+                rng.integers(0, total, size=n),
+                rng.integers(1, 4, size=n),
+            )
+        ]
+        origin = int(rng.integers(0, total))
+        matrix = _linear_matrix(seed, origin, batch)
+        order = _exact_order(seed, origin, batch)
+        assert path_cost(matrix, order) == pytest.approx(
+            path_cost(matrix, held_karp_path(matrix)), abs=1e-9
+        )
+
+
+def _comparable_names():
+    return [
+        name for name in scheduler_names()
+        if name not in ("READ", "AUTO") and not name.startswith("OPT")
+    ]
+
+
+@given(
+    seed=tape_seeds,
+    shapes=st.lists(
+        st.tuples(fractions, st.integers(min_value=1, max_value=3)),
+        min_size=1,
+        max_size=16,
+        unique_by=lambda t: t[0],
+    ),
+    origin_f=fractions,
+    name=st.sampled_from(sorted(_comparable_names())),
+)
+@settings(max_examples=120, deadline=None)
+def test_no_registered_scheduler_beats_exact(seed, shapes, origin_f, name):
+    """The exact linear optimum lower-bounds every registered strategy.
+
+    Each scheduler plans under the linearized model; its order's linear
+    deadhead must be at least the exact LTSP optimum's.
+    """
+    tape = _TAPES[seed]
+    linear = _LINEAR[seed]
+    batch = _batch(tape, shapes)
+    origin = _origin(tape, origin_f)
+    optimum = path_cost(
+        _linear_matrix(seed, origin, batch),
+        _exact_order(seed, origin, batch),
+    )
+    schedule = get_scheduler(name).schedule(linear, origin, batch)
+    deadhead = float(locate_sequence_times(linear, schedule).sum())
+    assert deadhead >= optimum - 1e-6
+
+
+@given(
+    seed=tape_seeds,
+    shapes=st.lists(
+        st.tuples(fractions, st.integers(min_value=1, max_value=2)),
+        min_size=1,
+        max_size=10,
+        unique_by=lambda t: t[0],
+    ),
+    origin_f=fractions,
+    threshold=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_coalesce_thresholds_never_beat_exact(
+    seed, shapes, origin_f, threshold
+):
+    """SLTF-coalesce respects the optimum at every threshold."""
+    tape = _TAPES[seed]
+    linear = _LINEAR[seed]
+    batch = _batch(tape, shapes)
+    origin = _origin(tape, origin_f)
+    optimum = path_cost(
+        _linear_matrix(seed, origin, batch),
+        _exact_order(seed, origin, batch),
+    )
+    scheduler = SltfCoalesceScheduler(threshold=threshold)
+    schedule = scheduler.schedule(linear, origin, batch)
+    deadhead = float(locate_sequence_times(linear, schedule).sum())
+    assert deadhead >= optimum - 1e-6
+
+
+@given(seed=tape_seeds, shapes=request_shapes, origin_f=fractions)
+@settings(max_examples=60, deadline=None)
+def test_exact_cost_equals_deadhead_helper(seed, shapes, origin_f):
+    """Matrix path cost and the deadhead helper agree on the order."""
+    tape = _TAPES[seed]
+    batch = _batch(tape, shapes)
+    origin = _origin(tape, origin_f)
+    order = _exact_order(seed, origin, batch)
+    segments = np.asarray([r.segment for r in batch], dtype=np.int64)
+    lengths = np.asarray([r.length for r in batch], dtype=np.int64)
+    exits = out_positions(segments, lengths, tape.total_segments)
+    sections = linear_deadhead_sections(
+        float(tape.phys_of(origin)),
+        np.asarray(tape.phys_of(segments), dtype=np.float64),
+        np.asarray(tape.phys_of(exits), dtype=np.float64),
+        order,
+    )
+    rate = _LINEAR[seed].seconds_per_section
+    assert sections * rate == pytest.approx(
+        path_cost(_linear_matrix(seed, origin, batch), order), abs=1e-9
+    )

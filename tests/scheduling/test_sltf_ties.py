@@ -1,0 +1,84 @@
+"""SLTF tie-breaking: the audited, pinned behaviour.
+
+The module docstring of :mod:`repro.scheduling.sltf` claims the
+variants "produce the same schedule up to ties".  The audit of that
+claim: both greedy variants scan candidates in ascending
+``(segment, length)`` order and take the *first* minimum
+(``np.argmin``), so equal locate times resolve to the lowest
+``(segment, length)`` — deterministically, in both.  These tests pin
+that rule with a constructed exact tie and with a cross-variant
+agreement sweep, so a future refactor that silently changes the rule
+(e.g. by switching to an unstable sort or a last-minimum scan) fails
+loudly instead of shifting schedules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import get_scheduler
+
+
+def _find_exact_tie(model):
+    """An (origin, low, high) with bitwise-equal nonzero locate times."""
+    total = model.geometry.total_segments
+    for origin in range(0, total, 7):
+        times = model.locate_times(origin, np.arange(total))
+        order = np.argsort(times, kind="stable")
+        sorted_times = times[order]
+        equal = np.flatnonzero(
+            (np.diff(sorted_times) == 0.0) & (sorted_times[:-1] > 0.0)
+        )
+        for index in equal:
+            a = int(order[index])
+            b = int(order[index + 1])
+            if origin not in (a, b):
+                return origin, min(a, b), max(a, b)
+    raise AssertionError(
+        "no exact locate-time tie found on the tiny tape; the tie "
+        "regression needs a new construction"
+    )
+
+
+@pytest.mark.parametrize("name", ["SLTF", "SLTF-naive"])
+def test_equal_locate_times_resolve_to_lowest_segment(tiny_model, name):
+    """On an exact tie, the lower (segment, length) is served first."""
+    origin, low, high = _find_exact_tie(tiny_model)
+    assert tiny_model.locate_time(origin, low) == tiny_model.locate_time(
+        origin, high
+    )
+    # Present the batch high-first so arrival order cannot mask the rule.
+    schedule = get_scheduler(name).schedule(tiny_model, origin, [high, low])
+    assert [r.segment for r in schedule] == [low, high]
+
+
+def test_fast_path_and_naive_agree_including_ties(tiny_model, rng):
+    """The variants produce bit-identical schedules, ties included."""
+    total = tiny_model.geometry.total_segments
+    fast = get_scheduler("SLTF")
+    naive = get_scheduler("SLTF-naive")
+    for _ in range(60):
+        size = int(rng.integers(2, 20))
+        batch = rng.choice(total, size=size, replace=False).tolist()
+        origin = int(rng.integers(0, total))
+        fast_order = [
+            r.segment for r in fast.schedule(tiny_model, origin, batch)
+        ]
+        naive_order = [
+            r.segment for r in naive.schedule(tiny_model, origin, batch)
+        ]
+        assert fast_order == naive_order
+
+
+def test_tie_rule_is_arrival_order_independent(tiny_model):
+    """Reversing the batch does not change who wins the tie."""
+    origin, low, high = _find_exact_tie(tiny_model)
+    for name in ("SLTF", "SLTF-naive"):
+        forward = get_scheduler(name).schedule(
+            tiny_model, origin, [low, high]
+        )
+        reverse = get_scheduler(name).schedule(
+            tiny_model, origin, [high, low]
+        )
+        assert [r.segment for r in forward] == [
+            r.segment for r in reverse
+        ]

@@ -185,6 +185,38 @@ class TestMain:
         with pytest.raises(SystemExit):
             main(["library-sim", "--drives", "0"])
 
+    def test_runs_optimality_smoke(self, capsys):
+        assert main(["optimality", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "LTSP frontier" in out
+        assert "lower bound" in out
+
+    def test_optimality_no_frontier(self, capsys):
+        assert main(
+            ["optimality", "--smoke", "--no-frontier"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "LTSP frontier" not in out
+
+    def test_optimality_rejects_bad_frontier_grid(self):
+        with pytest.raises(SystemExit):
+            main(["optimality", "--frontier-length", "1"])
+        with pytest.raises(SystemExit):
+            main(["optimality", "--frontier-trials", "0"])
+
+    def test_optimality_export(self, capsys, tmp_path):
+        out_file = tmp_path / "frontier.json"
+        assert main(
+            [
+                "optimality", "--smoke",
+                "--frontier-algorithm", "LTSP-exact",
+                "--frontier-algorithm", "LTSP-sweep",
+                "--out", str(out_file),
+            ]
+        ) == 0
+        assert out_file.exists()
+        assert "exported to" in capsys.readouterr().out
+
     def test_library_sim_export(self, capsys, tmp_path):
         out_file = tmp_path / "library.json"
         assert main(

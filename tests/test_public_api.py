@@ -70,7 +70,10 @@ class TestPublicSurface:
             "SimulatedDrive", "execute_schedule", "get_scheduler",
             "generate_tape", "LocateTimeModel", "SegmentCache",
             "BatchPolicy", "TapeLibrary", "result_to_rows",
-            "write_result",
+            "write_result", "LinearizedModel", "LtspExactScheduler",
+            "LtspRepairScheduler", "LtspSweepScheduler",
+            "LtspGreedyScheduler", "exact_ltsp_order",
+            "linear_deadhead_sections",
         ):
             assert name in api.__all__, name
             assert getattr(api, name) is not None
