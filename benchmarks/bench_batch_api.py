@@ -1,0 +1,106 @@
+"""Batch locate-time API micro-benchmarks.
+
+The ROADMAP once claimed the LOSS/SLTF hot path made per-pair Python
+calls into the locate-time model.  That is no longer true — the model
+exposes ``locate_times`` / ``times`` / ``pairwise_times`` and both
+matrix construction and greedy selection go through them — and these
+benchmarks keep it true: a counting spy wrapped around the model
+asserts the vectorized entry points (not the scalar ``locate_time``)
+carry the work, and the matrix micro-bench checks the batch result
+against a scalar reference loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import generate_tape
+from repro.model.distance_matrix import schedule_distance_matrix
+from repro.model.locate import LocateTimeModel
+from repro.scheduling import get_scheduler
+
+BATCH = 64
+SEED = 17
+
+
+class CountingModel:
+    """Delegating spy that counts scalar vs batch locate calls."""
+
+    def __init__(self, model: LocateTimeModel) -> None:
+        self._model = model
+        self.geometry = model.geometry
+        self.scalar_calls = 0
+        self.batch_calls = 0
+
+    def locate_time(self, source: int, destination: int) -> float:
+        self.scalar_calls += 1
+        return self._model.locate_time(source, destination)
+
+    def locate_times(self, source, destinations) -> np.ndarray:
+        self.batch_calls += 1
+        return self._model.locate_times(source, destinations)
+
+    def times(self, sources, destinations) -> np.ndarray:
+        self.batch_calls += 1
+        return self._model.times(sources, destinations)
+
+    def pairwise_times(self, sources, destinations) -> np.ndarray:
+        self.batch_calls += 1
+        return self._model.pairwise_times(sources, destinations)
+
+
+def _batch(model: LocateTimeModel, size: int = BATCH) -> np.ndarray:
+    rng = np.random.default_rng(SEED)
+    return rng.integers(
+        0, model.geometry.total_segments, size=size, dtype=np.int64
+    )
+
+
+def test_matrix_uses_pairwise_batch_api(benchmark):
+    """``schedule_distance_matrix`` is array-at-a-time, not per-pair."""
+    model = LocateTimeModel(generate_tape(seed=SEED))
+    segments = _batch(model)
+
+    spy = CountingModel(model)
+    rect = benchmark(schedule_distance_matrix, spy, 0, segments)
+
+    assert spy.scalar_calls == 0
+    assert spy.batch_calls >= 1
+    # Scalar reference: entry [i, j] from the spec in distance_matrix.
+    total = model.geometry.total_segments
+    sources = [0] + [min(s + 1, total - 1) for s in segments]
+    for i in (0, 1, len(segments)):
+        for j in (0, len(segments) - 1):
+            if i == j + 1:
+                assert rect[i, j] == np.inf
+            else:
+                expected = model.locate_time(sources[i], int(segments[j]))
+                assert rect[i, j] == expected
+
+
+def test_loss_schedules_through_batch_api(benchmark):
+    """LOSS matrix construction never falls back to scalar locates."""
+    model = LocateTimeModel(generate_tape(seed=SEED))
+    segments = [int(s) for s in _batch(model)]
+    spy = CountingModel(model)
+    scheduler = get_scheduler("LOSS")
+
+    schedule = benchmark(scheduler.schedule, spy, 0, segments)
+
+    assert len(schedule.requests) == len(segments)
+    assert spy.scalar_calls == 0
+    assert spy.batch_calls >= 1
+
+
+def test_sltf_schedules_through_batch_api(benchmark):
+    """SLTF's greedy scan costs candidates one source-row at a time."""
+    model = LocateTimeModel(generate_tape(seed=SEED))
+    segments = [int(s) for s in _batch(model)]
+    spy = CountingModel(model)
+    scheduler = get_scheduler("SLTF")
+
+    schedule = benchmark(scheduler.schedule, spy, 0, segments)
+
+    assert len(schedule.requests) == len(segments)
+    assert spy.scalar_calls == 0
+    assert spy.batch_calls >= 1

@@ -55,6 +55,7 @@ def test_library_sim_sweep(benchmark, quick_config):
         library_sim.run,
         quick_config,
         drives=(1, 2, 4),
+        arms=(1,),
         assignments=("affinity",),
         horizon_hours=1.0,
     )
@@ -63,3 +64,23 @@ def test_library_sim_sweep(benchmark, quick_config):
     assert all(m is not None for m in means)
     # The sweep's headline: each added drive strictly helps.
     assert means[0] > means[1] > means[2]
+
+
+def test_library_sim_arm_sweep(benchmark, quick_config):
+    result = run_once(
+        benchmark,
+        library_sim.run,
+        quick_config,
+        drives=(4,),
+        arms=(1, 2),
+        assignments=("affinity",),
+        horizon_hours=2.0,
+    )
+    assert result.all_complete
+    by_arms = {p.arms: p for p in result.points}
+    one, two = by_arms[1], by_arms[2]
+    # The arm-pool headline: at 4 drives the single arm is the
+    # bottleneck; a second arm lowers mean response and keeps every
+    # arm below saturation.
+    assert two.mean_response_seconds < one.mean_response_seconds
+    assert two.max_arm_occupancy < 0.90

@@ -86,9 +86,12 @@ from repro.obs import (
 from repro.library import (
     LibraryBatchRecord,
     LibraryRequest,
+    MediaAgingModel,
     MultiDriveSystem,
+    arm_policy_names,
     assignment_policy_names,
     exchange_policy_names,
+    get_arm_policy,
     get_assignment_policy,
     get_exchange_policy,
     poisson_library_stream,
@@ -100,6 +103,12 @@ from repro.online.batch_queue import (
     DeadlineBatchPolicy,
 )
 from repro.online.metrics import CacheStats, ResponseStats
+from repro.online.striping import (
+    LogicalRead,
+    StripedReadCoordinator,
+    StripedVolume,
+    striped_volume,
+)
 from repro.online.system import BatchRecord, TertiaryStorageSystem
 from repro.resilience import (
     FaultInjector,
@@ -172,10 +181,12 @@ __all__ = [
     "LintRun",
     "LocateFault",
     "LocateTimeModel",
+    "LogicalRead",
     "LtspExactScheduler",
     "LtspGreedyScheduler",
     "LtspRepairScheduler",
     "LtspSweepScheduler",
+    "MediaAgingModel",
     "MetricsError",
     "MetricsRegistry",
     "MultiDriveSystem",
@@ -197,6 +208,8 @@ __all__ = [
     "ServeRequest",
     "ShedRecord",
     "SimulatedDrive",
+    "StripedReadCoordinator",
+    "StripedVolume",
     "TabularResult",
     "TapeGeometry",
     "TapeLibrary",
@@ -212,6 +225,7 @@ __all__ = [
     "UnknownTenant",
     "ZipfArrivals",
     "__version__",
+    "arm_policy_names",
     "assignment_policy_names",
     "bind_standard_metrics",
     "cache_stats_from_events",
@@ -220,6 +234,7 @@ __all__ = [
     "exchange_policy_names",
     "execute_schedule",
     "generate_tape",
+    "get_arm_policy",
     "get_assignment_policy",
     "get_exchange_policy",
     "get_scheduler",
@@ -232,6 +247,7 @@ __all__ = [
     "run_lint",
     "save_serve_trace",
     "scheduler_names",
+    "striped_volume",
     "summarize_events",
     "tiny_tape",
     "write_events_csv",

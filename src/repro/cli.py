@@ -220,6 +220,31 @@ def build_parser() -> argparse.ArgumentParser:
             "it is surfaced as failed (default: 2)"
         ),
     )
+    chaos_group.add_argument(
+        "--library", action="store_true",
+        help=(
+            "chaos: run the durability variant instead — logical "
+            "reads on a replicated striped volume over the multi-arm "
+            "library, with media aging, injected faults, degraded "
+            "reads, and background repair traffic; exits non-zero on "
+            "any silent loss or on data loss despite redundancy"
+        ),
+    )
+    chaos_group.add_argument(
+        "--replicas", type=int, action="append", default=None,
+        metavar="R",
+        help=(
+            "chaos --library: redundancy level; repeat the flag for "
+            "a sweep (default: 1 2 3, or 1 2 with --smoke)"
+        ),
+    )
+    chaos_group.add_argument(
+        "--stripe-unit", type=int, default=4, metavar="N",
+        help=(
+            "chaos --library: logical segments per stripe unit "
+            "(default: 4)"
+        ),
+    )
     library = parser.add_argument_group(
         "library-sim options (ignored by the paper experiments)"
     )
@@ -248,6 +273,22 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "when a mounted tape may be released back to the shelf "
             "(default: drain)"
+        ),
+    )
+    library.add_argument(
+        "--arms", type=int, action="append", default=None,
+        metavar="K",
+        help=(
+            "robot arms in the pool; library-sim: repeat the flag "
+            "for a sweep (default: 1 2); chaos --library: the last "
+            "value given is used (default: 2)"
+        ),
+    )
+    library.add_argument(
+        "--arm-policy", default="least-busy", metavar="NAME",
+        help=(
+            "arm-assignment policy for multi-arm pools "
+            "(default: least-busy)"
         ),
     )
     serve = parser.add_argument_group(
@@ -404,6 +445,37 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error("--max-attempts must be >= 1")
         if args.max_requeues < 0:
             parser.error("--max-requeues must be >= 0")
+        if args.library:
+            if args.replicas and any(r < 1 for r in args.replicas):
+                parser.error("--replicas must be >= 1")
+            if args.stripe_unit < 1:
+                parser.error("--stripe-unit must be >= 1")
+            if args.arms and any(k < 1 for k in args.arms):
+                parser.error("--arms must be >= 1")
+            lib_result = chaos.main_library(
+                config,
+                replicas=(
+                    tuple(args.replicas) if args.replicas else None
+                ),
+                drives=(args.drives or [4])[-1],
+                arms=(args.arms or [2])[-1],
+                cartridges=(
+                    args.cartridges if args.cartridges is not None
+                    else 6
+                ),
+                stripe_unit=args.stripe_unit,
+                rate_per_hour=args.rate_per_hour,
+                horizon_hours=args.horizon_hours,
+                smoke=args.smoke,
+            )
+            if args.out is not None:
+                from repro.experiments.export import write_result
+
+                written = write_result(lib_result, args.out)
+                print(f"exported to {written}")
+            # Both durability invariants are correctness gates: no
+            # silent loss, and no data loss once replicated.
+            return 0 if lib_result.ok else 1
         result = chaos.main(
             config,
             fault_rates=(
@@ -431,9 +503,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error("--drives must be >= 1")
         if args.cartridges is not None and args.cartridges < 1:
             parser.error("--cartridges must be >= 1")
+        if args.arms and any(k < 1 for k in args.arms):
+            parser.error("--arms must be >= 1")
         result = library_sim.main(
             config,
             drives=tuple(args.drives) if args.drives else None,
+            arms=tuple(args.arms) if args.arms else None,
+            arm_policy=args.arm_policy,
             cartridges=(
                 args.cartridges if args.cartridges is not None
                 else library_sim.DEFAULT_CARTRIDGES

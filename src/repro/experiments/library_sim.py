@@ -1,12 +1,12 @@
-"""Multi-drive library experiment: drives × policy × arrival rate.
+"""Multi-drive library experiment: arms × drives × policy × rate.
 
 ``python -m repro library-sim`` services the same Poisson request
 stream — addressed uniformly to a shelf of cartridges — on a
-:class:`~repro.library.MultiDriveSystem` at every point of a
-(drives, assignment policy, arrival rate) grid, reporting the paper's
-response-time percentiles next to the quantities only a multi-drive
-library has: per-drive utilization, robot occupancy, and exchanges per
-request.  The headline check is **zero lost requests** at every point
+:class:`~repro.library.MultiDriveSystem` at every point of an
+(arms, drives, assignment policy, arrival rate) grid, reporting the
+paper's response-time percentiles next to the quantities only a
+multi-drive library has: per-drive utilization, robot-arm occupancy
+(aggregate and busiest-arm), and exchanges per request.  The headline check is **zero lost requests** at every point
 (a request neither completed nor surfaced as failed is a kernel bug,
 not a statistic), and the expected shape is mean response time falling
 strictly as drives are added at a fixed arrival rate.
@@ -24,6 +24,7 @@ from repro.library.cartridge import (
     DEFAULT_EXCHANGE_SECONDS,
 )
 from repro.library.policies import (
+    get_arm_policy,
     get_assignment_policy,
     get_exchange_policy,
 )
@@ -38,6 +39,9 @@ DEFAULT_DRIVES = (1, 2, 4)
 #: Assignment-policy grid when the caller does not pass one.
 DEFAULT_ASSIGNMENTS = ("affinity", "least-loaded")
 
+#: Arm-count grid when the caller does not pass one.
+DEFAULT_ARMS = (1, 2)
+
 #: Cartridges on the shelf by default.
 DEFAULT_CARTRIDGES = 8
 
@@ -50,6 +54,7 @@ class LibraryPoint:
     """One (drives, policy, rate) grid point's outcome."""
 
     drives: int
+    arms: int
     cartridges: int
     assignment: str
     exchange: str
@@ -65,6 +70,7 @@ class LibraryPoint:
     p99_response_seconds: float | None
     drive_utilization: float
     robot_occupancy: float
+    max_arm_occupancy: float
     mean_mount_wait_seconds: float
 
     @property
@@ -85,11 +91,11 @@ class LibrarySweepResult:
     def headers(self) -> list[str]:
         """Columns of :meth:`rows`."""
         return [
-            "drives", "cartridges", "assignment", "exchange",
+            "drives", "arms", "cartridges", "assignment", "exchange",
             "rate/h", "requests", "completed", "failed", "lost",
             "batches", "exchanges", "exch/req", "mean (s)",
             "p50 (s)", "p99 (s)", "drive util", "robot occ",
-            "mount wait (s)",
+            "arm occ", "mount wait (s)",
         ]
 
     def rows(self) -> list[list]:
@@ -97,6 +103,7 @@ class LibrarySweepResult:
         return [
             [
                 point.drives,
+                point.arms,
                 point.cartridges,
                 point.assignment,
                 point.exchange,
@@ -113,6 +120,7 @@ class LibrarySweepResult:
                 point.p99_response_seconds,
                 point.drive_utilization,
                 point.robot_occupancy,
+                point.max_arm_occupancy,
                 point.mean_mount_wait_seconds,
             ]
             for point in self.points
@@ -144,6 +152,8 @@ def _shelf(config: ExperimentConfig, cartridges: int) -> list[Cartridge]:
 def run_point(
     config: ExperimentConfig,
     drives: int,
+    arms: int = 1,
+    arm_policy: str = "least-busy",
     cartridges: int = DEFAULT_CARTRIDGES,
     assignment: str = "affinity",
     exchange: str = "drain",
@@ -171,6 +181,8 @@ def run_point(
     system = MultiDriveSystem(
         shelf,
         drives=drives,
+        arms=arms,
+        arm_assignment=get_arm_policy(arm_policy),
         scheduler=get_scheduler(algorithm),
         policy=BatchPolicy(max_batch=max_batch),
         assignment=get_assignment_policy(assignment),
@@ -189,8 +201,10 @@ def run_point(
     has_samples = stats.count > 0
     makespan = system.clock_seconds
     busy = sum(bay.busy_seconds for bay in system.bays)
+    occupancies = system.robot.occupancies(makespan)
     return LibraryPoint(
         drives=drives,
+        arms=arms,
         cartridges=len(shelf),
         assignment=assignment,
         exchange=exchange,
@@ -217,6 +231,9 @@ def run_point(
             system.robot.busy_seconds / makespan
             if makespan > 0 else 0.0
         ),
+        max_arm_occupancy=(
+            max(occupancies) if occupancies else 0.0
+        ),
         mean_mount_wait_seconds=(
             sum(event.wait_seconds for event in mount_waits)
             / len(mount_waits)
@@ -228,6 +245,8 @@ def run_point(
 def run(
     config: ExperimentConfig | None = None,
     drives=None,
+    arms=None,
+    arm_policy: str = "least-busy",
     cartridges: int = DEFAULT_CARTRIDGES,
     assignments=None,
     exchange: str = "drain",
@@ -237,20 +256,23 @@ def run(
     algorithm: str = "LOSS",
     smoke: bool = False,
 ) -> LibrarySweepResult:
-    """Sweep the (drives, assignment policy, rate) grid.
+    """Sweep the (arms, drives, assignment policy, rate) grid.
 
-    ``smoke=True`` shrinks the grid to the CI gate: 2 drives, 8
+    ``smoke=True`` shrinks the grid to the CI gate: 2 drives, 1 arm, 8
     cartridges, one policy, a short horizon — fast, and still a real
     end-to-end mount/dispatch/complete cycle.
     """
     config = config or ExperimentConfig()
     if smoke:
         drives = (2,)
+        arms = (1,)
         assignments = ("affinity",)
         if horizon_hours is None:
             horizon_hours = 0.5
     if drives is None:
         drives = DEFAULT_DRIVES
+    if arms is None:
+        arms = DEFAULT_ARMS
     if assignments is None:
         assignments = DEFAULT_ASSIGNMENTS
     if rates is None:
@@ -260,6 +282,8 @@ def run(
         run_point(
             config,
             drives=drive_count,
+            arms=arm_count,
+            arm_policy=arm_policy,
             cartridges=cartridges,
             assignment=assignment,
             exchange=exchange,
@@ -270,6 +294,7 @@ def run(
             shelf=shelf,
         )
         for rate in rates
+        for arm_count in arms
         for assignment in assignments
         for drive_count in drives
     )
@@ -299,6 +324,8 @@ def report(result: LibrarySweepResult) -> None:
 def main(
     config: ExperimentConfig | None = None,
     drives=None,
+    arms=None,
+    arm_policy: str = "least-busy",
     cartridges: int = DEFAULT_CARTRIDGES,
     assignments=None,
     exchange: str = "drain",
@@ -312,6 +339,8 @@ def main(
     result = run(
         config,
         drives=drives,
+        arms=arms,
+        arm_policy=arm_policy,
         cartridges=cartridges,
         assignments=assignments,
         exchange=exchange,

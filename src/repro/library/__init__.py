@@ -1,13 +1,16 @@
-"""The robotic tape library: cartridges, drives, robot, kernel, system.
+"""The robotic tape library: cartridges, drives, arms, kernel, system.
 
 ``repro.library`` holds everything between "a request names a
 cartridge" and "a drive reads its segments": the cartridge shelf and
 single-drive :class:`TapeLibrary` (moved here from
 ``repro.online.library``), the discrete-event
-:class:`~repro.library.kernel.EventKernel`, the shared
-:class:`~repro.library.robot.RobotArm`, pluggable drive-assignment and
-exchange policies, and the N-drive :class:`MultiDriveSystem` that ties
-them together.  See ``docs/LIBRARY.md``.
+:class:`~repro.library.kernel.EventKernel`, the
+:class:`~repro.library.robot.ArmPool` of
+:class:`~repro.library.robot.RobotArm` exchange servers, pluggable
+drive-assignment / exchange / arm-assignment policies, the
+:class:`~repro.library.aging.MediaAgingModel` of per-cartridge wear,
+and the N-drive :class:`MultiDriveSystem` that ties them together.
+See ``docs/LIBRARY.md``.
 """
 
 # Cartridge names first: repro.online imports them from the submodule
@@ -18,46 +21,63 @@ from repro.library.cartridge import (
     DEFAULT_EXCHANGE_SECONDS,
     TapeLibrary,
 )
+from repro.library.aging import MediaAgingModel
 from repro.library.drives import DriveBay, DriveState
 from repro.library.kernel import EventKernel
 from repro.library.policies import (
+    ArmAssignmentPolicy,
+    ArmView,
     AssignmentPolicy,
+    DedicatedBayArms,
     DrainBatchExchange,
     ExchangePolicy,
+    LeastBusyArms,
     LeastLoadedAssignment,
     PreemptOnDeadlineExchange,
+    RoundRobinArms,
     TapeAffinityAssignment,
     TapeQueueView,
+    arm_policy_names,
     assignment_policy_names,
     exchange_policy_names,
+    get_arm_policy,
     get_assignment_policy,
     get_exchange_policy,
 )
 from repro.library.requests import LibraryRequest, poisson_library_stream
-from repro.library.robot import ExchangeJob, RobotArm
+from repro.library.robot import ArmPool, ExchangeJob, RobotArm
 from repro.library.system import LibraryBatchRecord, MultiDriveSystem
 
 __all__ = [
+    "ArmAssignmentPolicy",
+    "ArmPool",
+    "ArmView",
     "AssignmentPolicy",
     "Cartridge",
     "DEFAULT_EXCHANGE_SECONDS",
+    "DedicatedBayArms",
     "DrainBatchExchange",
     "DriveBay",
     "DriveState",
     "EventKernel",
     "ExchangeJob",
     "ExchangePolicy",
+    "LeastBusyArms",
     "LeastLoadedAssignment",
     "LibraryBatchRecord",
     "LibraryRequest",
+    "MediaAgingModel",
     "MultiDriveSystem",
     "PreemptOnDeadlineExchange",
     "RobotArm",
+    "RoundRobinArms",
     "TapeAffinityAssignment",
     "TapeLibrary",
     "TapeQueueView",
+    "arm_policy_names",
     "assignment_policy_names",
     "exchange_policy_names",
+    "get_arm_policy",
     "get_assignment_policy",
     "get_exchange_policy",
     "poisson_library_stream",

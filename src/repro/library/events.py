@@ -41,12 +41,14 @@ class RequestArrived(SimEvent):
 
 @dataclass(frozen=True, slots=True)
 class MountStarted(SimEvent):
-    """The robot arm began an exchange for a drive bay."""
+    """A robot arm began an exchange for a drive bay."""
 
     priority: ClassVar[int] = 10
 
     drive: int
     label: str
+    #: Arm performing the exchange (0 in a single-arm library).
+    arm: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,6 +61,8 @@ class MountCompleted(SimEvent):
     label: str
     requested_seconds: float
     robot_seconds: float
+    #: Arm that performed the exchange (0 in a single-arm library).
+    arm: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,9 +78,16 @@ class BatchCompleted(SimEvent):
 
 @dataclass(frozen=True, slots=True)
 class RobotIdle(SimEvent):
-    """The robot arm finished a job and can take the next one."""
+    """A robot arm finished a job and can take the next one.
+
+    Carries the arm index so each arm of a pool reacts only to its own
+    idle transitions; the default keeps a bare ``RobotIdle()`` meaning
+    "the single arm", as before the arm pool existed.
+    """
 
     priority: ClassVar[int] = 25
+
+    arm: int = 0
 
 
 @dataclass(frozen=True, slots=True)

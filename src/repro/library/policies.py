@@ -1,6 +1,6 @@
-"""Pluggable drive-assignment and exchange policies.
+"""Pluggable drive-assignment, exchange, and arm-assignment policies.
 
-Two decisions turn per-tape batch schedules into a multi-drive system:
+Three decisions turn per-tape batch schedules into a multi-drive system:
 
 * **Assignment** — an idle drive bay can mount a tape; *which* waiting
   tape should it take?  :class:`TapeAffinityAssignment` goes to the
@@ -13,11 +13,19 @@ Two decisions turn per-tape batch schedules into a multi-drive system:
   :class:`DrainBatchExchange` never releases until the mounted tape's
   queue is empty; :class:`PreemptOnDeadlineExchange` releases once any
   other tape's oldest request has waited past a deadline.
+* **Arm assignment** — a library with more than one robot arm must
+  route each cartridge exchange to an arm.  :class:`LeastBusyArms`
+  picks the arm with the shortest queue (shallowest backlog first);
+  :class:`RoundRobinArms` deals exchanges out cyclically;
+  :class:`DedicatedBayArms` statically partitions drive bays over arms
+  (``drive % arms`` — no interference between partitions, at the cost
+  of idle arms while their bays are quiet).
 
-Policies see only :class:`TapeQueueView` snapshots — label, depth,
-oldest arrival — never the system internals, so new policies are easy
-to add and trivially deterministic.  Ties break on the tape label, so
-policy decisions are a pure function of the views.
+Policies see only snapshots — :class:`TapeQueueView` (label, depth,
+oldest arrival) or :class:`ArmView` (index, busy, queue depth, busy
+time) — never the system internals, so new policies are easy to add
+and trivially deterministic.  Ties break on the tape label or the arm
+index, so policy decisions are a pure function of the views.
 """
 
 from __future__ import annotations
@@ -182,6 +190,90 @@ class PreemptOnDeadlineExchange:
         )
 
 
+@dataclass(frozen=True)
+class ArmView:
+    """What an arm-assignment policy may see about one robot arm."""
+
+    index: int
+    busy: bool
+    queued: int
+    busy_seconds: float
+
+    @property
+    def backlog(self) -> int:
+        """Jobs ahead of a new submission (queue plus the one in hand)."""
+        return self.queued + (1 if self.busy else 0)
+
+
+class ArmAssignmentPolicy(Protocol):
+    """Chooses which robot arm performs a cartridge exchange."""
+
+    name: str
+
+    def choose(
+        self, drive: int, arms: Sequence[ArmView]
+    ) -> int:
+        """Pick the index of the arm that takes the exchange for
+        drive bay ``drive``."""
+        ...
+
+
+class LeastBusyArms:
+    """Hand the exchange to the arm with the shortest backlog.
+
+    Work-conserving: an idle arm always beats a busy one, so no
+    exchange waits while another arm sits idle.  Ties (equal backlog)
+    fall back to accumulated busy time, then the arm index, so a fresh
+    pool fills from arm 0 upward.
+    """
+
+    name = "least-busy"
+
+    def choose(self, drive: int, arms: Sequence[ArmView]) -> int:
+        best = min(
+            arms,
+            key=lambda view: (
+                view.backlog,
+                view.busy_seconds,
+                view.index,
+            ),
+        )
+        return best.index
+
+
+class RoundRobinArms:
+    """Deal exchanges out cyclically, one arm after another.
+
+    Oblivious to queue state: spreads *submissions* evenly even when
+    job durations are skewed, which makes it a useful fairness
+    baseline against :class:`LeastBusyArms` in the benchmarks.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, drive: int, arms: Sequence[ArmView]) -> int:
+        index = self._next % len(arms)
+        self._next += 1
+        return arms[index].index
+
+
+class DedicatedBayArms:
+    """Statically partition drive bays over arms (``drive % arms``).
+
+    Models a library whose bays are physically reachable by only one
+    arm each: no cross-arm interference, but an arm idles while its
+    bays have no exchanges even if the other partition is saturated.
+    """
+
+    name = "dedicated"
+
+    def choose(self, drive: int, arms: Sequence[ArmView]) -> int:
+        return arms[drive % len(arms)].index
+
+
 _ASSIGNMENT_POLICIES = {
     "affinity": TapeAffinityAssignment,
     "least-loaded": LeastLoadedAssignment,
@@ -190,6 +282,12 @@ _ASSIGNMENT_POLICIES = {
 _EXCHANGE_POLICIES = {
     "drain": DrainBatchExchange,
     "preempt": PreemptOnDeadlineExchange,
+}
+
+_ARM_POLICIES = {
+    "least-busy": LeastBusyArms,
+    "round-robin": RoundRobinArms,
+    "dedicated": DedicatedBayArms,
 }
 
 
@@ -222,4 +320,20 @@ def get_exchange_policy(name: str) -> ExchangePolicy:
         known = ", ".join(exchange_policy_names())
         raise ValueError(
             f"unknown exchange policy {name!r}; known: {known}"
+        ) from None
+
+
+def arm_policy_names() -> list[str]:
+    """Registered arm-assignment policy names, sorted."""
+    return sorted(_ARM_POLICIES)
+
+
+def get_arm_policy(name: str) -> ArmAssignmentPolicy:
+    """Instantiate an arm-assignment policy by name."""
+    try:
+        return _ARM_POLICIES[name]()
+    except KeyError:
+        known = ", ".join(arm_policy_names())
+        raise ValueError(
+            f"unknown arm policy {name!r}; known: {known}"
         ) from None

@@ -7,9 +7,22 @@ requests address named cartridges, accumulate in per-tape batch
 queues, and idle drive bays pick tapes via a pluggable
 :class:`~repro.library.policies.AssignmentPolicy` (which tape next) and
 :class:`~repro.library.policies.ExchangePolicy` (when to give one up).
-A single shared :class:`~repro.library.robot.RobotArm` serializes every
-cartridge exchange, charging the same rewind-to-BOT and exchange costs
-as the single-drive :class:`~repro.library.cartridge.TapeLibrary`.
+Cartridge exchanges go through an
+:class:`~repro.library.robot.ArmPool` of ``arms`` robot arms routed by
+an :class:`~repro.library.policies.ArmAssignmentPolicy`; each arm
+charges the same rewind-to-BOT and exchange costs as the single-drive
+:class:`~repro.library.cartridge.TapeLibrary`, and a 1-arm pool
+serializes exchanges exactly like the original shared arm
+(bit-identical, pinned by the arm-pool golden tests).
+
+With ``aging=`` the library also models media wear
+(:class:`~repro.library.aging.MediaAgingModel`): every completed mount
+cycle of a cartridge drifts the *actual* drive behaviour away from the
+pristine model the scheduler plans with and grows a bad-spot read-fault
+rate, so old tapes produce exactly the estimated-vs-actual gap of the
+paper's Fig. 8/9 sensitivity studies — plus real failures for the
+resilience layer (and the striped-volume degraded reads above it) to
+absorb.
 
 Per-drive batch execution reuses the existing machinery unchanged —
 the configured scheduling algorithm (LOSS/SLTF/SCAN/...), the
@@ -53,10 +66,12 @@ from dataclasses import dataclass, replace
 from repro.drive.simulated import SimulatedDrive
 from repro.exceptions import LibraryError, UnknownTape
 from repro.library import events as sim
+from repro.library.aging import MediaAgingModel
 from repro.library.cartridge import Cartridge, DEFAULT_EXCHANGE_SECONDS
 from repro.library.drives import DriveBay, DriveState
 from repro.library.kernel import EventKernel
 from repro.library.policies import (
+    ArmAssignmentPolicy,
     AssignmentPolicy,
     DrainBatchExchange,
     ExchangePolicy,
@@ -64,9 +79,10 @@ from repro.library.policies import (
     TapeQueueView,
 )
 from repro.library.requests import LibraryRequest
-from repro.library.robot import ExchangeJob, RobotArm
+from repro.library.robot import ArmPool, ExchangeJob
 from repro.obs.bus import EventBus
 from repro.obs.events import (
+    ArmExchangeRecorded,
     BatchCompleted,
     BatchStarted,
     DegradedMode,
@@ -115,7 +131,7 @@ def _derived_seed(seed: int, drive_index: int, mount_index: int) -> int:
 
 
 class MultiDriveSystem:
-    """N drives, M cartridges, one robot arm, in simulated time.
+    """N drives, M cartridges, K robot arms, in simulated time.
 
     Parameters
     ----------
@@ -123,6 +139,13 @@ class MultiDriveSystem:
         The shelf (labels must be unique).
     drives:
         Number of drive bays.
+    arms:
+        Number of robot arms in the pool (default 1 — the original
+        single shared arm, bit-identical to it).
+    arm_assignment:
+        Which arm performs each exchange when ``arms > 1``
+        (default: least-busy; see
+        :class:`~repro.library.policies.ArmAssignmentPolicy`).
     scheduler:
         Per-batch scheduling algorithm (default: the paper's LOSS),
         shared by every bay.
@@ -149,6 +172,13 @@ class MultiDriveSystem:
         :class:`~repro.resilience.FaultInjector` with a per-(bay,
         mount) derived seed.  Implies a default ``resilience`` config
         if none was given.
+    aging:
+        Optional :class:`~repro.library.aging.MediaAgingModel`; each
+        cartridge's drive-side behaviour degrades with its completed
+        mount cycles (locate drift plus growing bad-spot read faults)
+        while the scheduler keeps planning with the pristine model.
+        Implies a default ``resilience`` config if the model can
+        inject faults and none was given.
     preload:
         Labels mounted (at no cost, position 0) into bays 0..k-1
         before time zero — the paper's "robot has just loaded a new
@@ -162,6 +192,8 @@ class MultiDriveSystem:
         *,  # configuration is keyword-only, per the package-wide
         # constructor convention (see docs/API.md).
         drives: int = 2,
+        arms: int = 1,
+        arm_assignment: ArmAssignmentPolicy | None = None,
         scheduler: Scheduler | None = None,
         policy: BatchPolicy | None = None,
         assignment: AssignmentPolicy | None = None,
@@ -170,6 +202,7 @@ class MultiDriveSystem:
         bus: EventBus | None = None,
         resilience: ResilienceConfig | None = None,
         fault_plan: FaultPlan | None = None,
+        aging: MediaAgingModel | None = None,
         preload: Sequence[str] | None = None,
     ) -> None:
         if drives < 1:
@@ -196,12 +229,21 @@ class MultiDriveSystem:
         self.bus = bus
         self.resilience = resilience
         self.fault_plan = fault_plan
+        self.aging = aging
         if fault_plan is not None and fault_plan.any_faults:
+            if self.resilience is None:
+                self.resilience = ResilienceConfig()
+        if aging is not None and aging.any_faults:
             if self.resilience is None:
                 self.resilience = ResilienceConfig()
 
         self.kernel = EventKernel()
-        self.robot = RobotArm(self.kernel, exchange_seconds)
+        self.robot = ArmPool(
+            self.kernel,
+            exchange_seconds,
+            arms=arms,
+            assignment=arm_assignment,
+        )
         self.bays = [DriveBay(index) for index in range(drives)]
         self._queues: dict[str, BatchQueue] = {
             label: BatchQueue(policy=self.policy, bus=bus)
@@ -237,6 +279,8 @@ class MultiDriveSystem:
         self._in_flight: dict[int, tuple] = {}
         self._requests: list[LibraryRequest] = []
         self._mount_count = 0
+        #: Completed mount cycles per cartridge label (media wear).
+        self._label_mounts: dict[str, int] = {}
         self._ran = False
 
         self.kernel.on(sim.RequestArrived, self._on_arrival)
@@ -424,9 +468,36 @@ class MultiDriveSystem:
     # -- drive construction --------------------------------------------------
 
     def _build_drive(self, cartridge: Cartridge, drive_index: int):
+        cycles = self._label_mounts.get(cartridge.label, 0)
+        self._label_mounts[cartridge.label] = cycles + 1
+        model = cartridge.model
+        if self.aging is not None:
+            # The drive gets the aged (actual) behaviour; the
+            # scheduler keeps planning with the pristine
+            # ``cartridge.model`` — the Fig. 8/9 estimated-vs-actual
+            # gap, driven by wear.  Zero completed cycles returns the
+            # base model unwrapped.
+            model = self.aging.aged_model(
+                model, cartridge.label, cycles
+            )
         drive = SimulatedDrive(
-            cartridge.model, initial_position=0, bus=self.bus
+            model, initial_position=0, bus=self.bus
         )
+        plan = self._effective_fault_plan(drive_index, cycles)
+        if plan is not None:
+            return FaultInjector(drive, plan, bus=self.bus)
+        return drive
+
+    def _effective_fault_plan(
+        self, drive_index: int, cycles: int
+    ) -> FaultPlan | None:
+        """The injected-fault plan for one mount: the configured plan
+        (per-(bay, mount) derived seed) plus the mounted cartridge's
+        accumulated bad-spot read-fault rate, or None when neither
+        injects anything."""
+        aged_read = 0.0
+        if self.aging is not None and cycles > 0:
+            aged_read = self.aging.read_fault_probability(cycles)
         if self.fault_plan is not None and self.fault_plan.any_faults:
             plan = replace(
                 self.fault_plan,
@@ -434,8 +505,24 @@ class MultiDriveSystem:
                     self.fault_plan.seed, drive_index, self._mount_count
                 ),
             )
-            return FaultInjector(drive, plan, bus=self.bus)
-        return drive
+            if aged_read > 0.0:
+                plan = replace(
+                    plan,
+                    read_fault_probability=min(
+                        1.0,
+                        plan.read_fault_probability + aged_read,
+                    ),
+                )
+            return plan
+        if aged_read > 0.0:
+            assert self.aging is not None
+            return FaultPlan(
+                read_fault_probability=aged_read,
+                seed=_derived_seed(
+                    self.aging.seed, drive_index, self._mount_count
+                ),
+            )
+        return None
 
     # -- dispatch pump -------------------------------------------------------
 
@@ -640,6 +727,17 @@ class MultiDriveSystem:
                     label=event.label,
                     wait_seconds=now - event.requested_seconds,
                     robot_seconds=event.robot_seconds,
+                    arm=event.arm,
+                )
+            )
+            self.bus.publish(
+                ArmExchangeRecorded(
+                    seconds=now,
+                    arm=event.arm,
+                    drive=event.drive,
+                    label=event.label,
+                    busy_seconds=event.robot_seconds,
+                    queued=self.robot.arms[event.arm].queued,
                 )
             )
         if (

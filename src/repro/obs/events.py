@@ -444,6 +444,90 @@ class MountWaitRecorded(Event):
     label: str
     wait_seconds: float
     robot_seconds: float
+    #: Arm that performed the exchange (0 in a single-arm library, so
+    #: traces written before the arm pool existed still parse).
+    arm: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ArmExchangeRecorded(Event):
+    """One robot arm finished a cartridge exchange.
+
+    Published by the multi-arm library at each completed exchange, next
+    to :class:`MountWaitRecorded`: where the mount-wait event measures
+    what the *bay* experienced, this one attributes the work to the
+    *arm* that did it.  ``busy_seconds`` is this job's arm occupancy
+    and ``queued`` the jobs still waiting on this arm afterwards, so
+    summing ``busy_seconds`` per ``arm`` over a run and dividing by the
+    makespan gives per-arm occupancy (see
+    :func:`~repro.obs.metrics.bind_standard_metrics`).
+    """
+
+    name: ClassVar[str] = "library.arm.exchange"
+
+    arm: int
+    drive: int
+    label: str
+    busy_seconds: float
+    queued: int
+
+
+# -- repair layer ------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DegradedRead(Event):
+    """A striped read fell back to a surviving replica.
+
+    Published by the striped-read coordinator when a sub-request
+    exhausted the resilience layer's budgets on one cartridge and was
+    re-issued against replica ``replica`` (the copy that actually
+    served it).  A degraded read is a durability near-miss: the data
+    survived, but only because redundancy was provisioned.
+    """
+
+    name: ClassVar[str] = "repair.degraded_read"
+
+    label: str
+    segment: int
+    replica: int
+    logical_segment: int
+
+
+@dataclass(frozen=True, slots=True)
+class RepairStarted(Event):
+    """Background repair traffic was enqueued for a degraded unit.
+
+    The coordinator re-reads the surviving copy of the whole stripe
+    unit so the lost copy can be re-replicated; the read competes with
+    user traffic for drives, arms, and cartridges — that contention is
+    the cost the chaos sweep charts.
+    """
+
+    name: ClassVar[str] = "repair.start"
+
+    label: str
+    segment: int
+    length: int
+    replica: int
+
+
+@dataclass(frozen=True, slots=True)
+class RepairCompleted(Event):
+    """A background repair read finished.
+
+    ``wait_seconds`` spans from the moment the repair was enqueued to
+    the completion of its re-read — the window during which the
+    degraded unit had reduced redundancy.
+    """
+
+    name: ClassVar[str] = "repair.complete"
+
+    label: str
+    segment: int
+    length: int
+    replica: int
+    wait_seconds: float
 
 
 # -- serve layer -------------------------------------------------------------

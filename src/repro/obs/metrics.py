@@ -224,6 +224,10 @@ def bind_standard_metrics(
       batch completions — utilization once divided by the horizon);
     * ``library.mount_wait_seconds`` histogram and
       ``robot.busy_seconds`` counter (multi-drive library exchanges);
+    * ``arm.<n>.busy_seconds`` / ``arm.<n>.exchanges`` counters
+      (per-arm occupancy of the arm pool, from
+      ``library.arm.exchange`` events) and the ``repair.wait_seconds``
+      histogram (reduced-redundancy window of background repairs);
     * per-tenant serving metrics from the gateway events:
       ``serve.tenant.<t>.response_seconds`` histograms (p999 SLOs),
       ``serve.tenant.<t>.queue_depth`` gauges,
@@ -268,6 +272,15 @@ def bind_standard_metrics(
             )
             registry.counter("robot.busy_seconds").inc(
                 event.robot_seconds
+            )
+        elif name == "library.arm.exchange":
+            registry.counter(
+                f"arm.{event.arm}.busy_seconds"
+            ).inc(event.busy_seconds)
+            registry.counter(f"arm.{event.arm}.exchanges").inc()
+        elif name == "repair.complete":
+            registry.histogram("repair.wait_seconds").observe(
+                event.wait_seconds
             )
         elif name == "serve.admit":
             registry.gauge(

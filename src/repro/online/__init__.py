@@ -16,9 +16,13 @@ from repro.library.cartridge import (
 )
 from repro.online.metrics import CacheStats, ResponseStats
 from repro.online.striping import (
+    LogicalRead,
     StripeMapping,
     StripedBatchResult,
+    StripedReadCoordinator,
     StripedTapeArray,
+    StripedVolume,
+    striped_volume,
 )
 from repro.online.system import BatchRecord, TertiaryStorageSystem
 
@@ -31,9 +35,13 @@ __all__ = [
     "DEFAULT_EXCHANGE_SECONDS",
     "DeadlineBatchPolicy",
     "ResponseStats",
+    "LogicalRead",
     "StripeMapping",
     "StripedBatchResult",
+    "StripedReadCoordinator",
     "StripedTapeArray",
+    "StripedVolume",
+    "striped_volume",
     "TapeLibrary",
     "TertiaryStorageSystem",
 ]

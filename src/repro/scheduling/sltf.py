@@ -38,7 +38,6 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.constants import DEFAULT_COALESCE_THRESHOLD
-from repro.model.distance_matrix import out_positions
 from repro.scheduling.base import Scheduler, register
 from repro.scheduling.coalesce import (
     Group,
@@ -49,13 +48,16 @@ from repro.scheduling.request import Request
 
 
 def _out_position(model, request: Request) -> int:
-    """Head position after consuming a request."""
-    return int(
-        out_positions(
-            np.asarray([request.segment]),
-            np.asarray([request.length]),
-            model.geometry.total_segments,
-        )[0]
+    """Head position after consuming a request.
+
+    Scalar arithmetic on the greedy hot path: the same clamp as
+    :func:`repro.model.distance_matrix.out_positions` without paying
+    for two array allocations and a vectorized call per request
+    (bit-identical; pinned by the tie-break regression suite).
+    """
+    return min(
+        request.segment + request.length,
+        model.geometry.total_segments - 1,
     )
 
 

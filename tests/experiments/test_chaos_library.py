@@ -1,0 +1,75 @@
+"""The library durability chaos sweep (``repro chaos --library``).
+
+One smoke-scale sweep (replicas 1 and 2, short horizon) is shared by
+every test; the assertions are the CI gate's contract: every logical
+read is accounted for at every redundancy level (``zero_lost``),
+replication actually protects (``redundancy_protects``), and the
+tabular protocol round-trips for export.
+"""
+
+import pytest
+
+from repro.experiments import chaos
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return chaos.run_library(ExperimentConfig(), smoke=True)
+
+
+class TestLibraryChaosSweep:
+    def test_gates_hold(self, sweep):
+        assert sweep.zero_lost
+        assert sweep.redundancy_protects
+        assert sweep.ok
+
+    def test_every_read_is_accounted_for(self, sweep):
+        for point in sweep.points:
+            assert point.reads > 0
+            assert point.lost == 0
+            assert (
+                point.completed + point.failed_reads == point.reads
+            )
+            assert 0.0 <= point.durability <= 1.0
+
+    def test_replicated_level_completes_everything(self, sweep):
+        by_replicas = {p.replicas: p for p in sweep.points}
+        assert set(by_replicas) == {1, 2}
+        replicated = by_replicas[2]
+        assert replicated.failed_reads == 0
+        assert replicated.durability == 1.0
+        # Faults were genuinely injected, so surviving them means the
+        # replica fallback (or a lucky retry) did real work.
+        assert replicated.faults_injected > 0
+
+    def test_degraded_reads_trigger_repairs(self, sweep):
+        replicated = next(
+            p for p in sweep.points if p.replicas == 2
+        )
+        if replicated.degraded_reads:
+            assert replicated.repairs_started > 0
+            assert (
+                replicated.repairs_completed
+                + replicated.repairs_failed
+                <= replicated.repairs_started
+            )
+
+    def test_same_workload_at_every_level(self, sweep):
+        reads = {point.reads for point in sweep.points}
+        assert len(reads) == 1
+
+    def test_tabular_protocol(self, sweep):
+        headers = sweep.headers()
+        rows = sweep.rows()
+        assert len(rows) == len(sweep.points)
+        assert all(len(row) == len(headers) for row in rows)
+        records = sweep.to_dict()
+        assert records[0]["replicas"] == 1
+        assert records[-1]["lost"] == 0
+
+    def test_report_prints_table_and_verdict(self, sweep, capsys):
+        chaos.report_library(sweep)
+        out = capsys.readouterr().out
+        assert "replicas" in out
+        assert "zero silent loss" in out

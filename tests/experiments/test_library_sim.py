@@ -87,12 +87,13 @@ class TestSweepShape:
 class TestPointEdgeCases:
     def test_empty_point_reports_none_percentiles(self):
         point = library_sim.LibraryPoint(
-            drives=1, cartridges=1, assignment="affinity",
+            drives=1, arms=1, cartridges=1, assignment="affinity",
             exchange="drain", rate_per_hour=1.0, requests=0,
             completed=0, failed=0, lost=0, batches=0, exchanges=0,
             mean_response_seconds=None, p50_response_seconds=None,
             p99_response_seconds=None, drive_utilization=0.0,
-            robot_occupancy=0.0, mean_mount_wait_seconds=0.0,
+            robot_occupancy=0.0, max_arm_occupancy=0.0,
+            mean_mount_wait_seconds=0.0,
         )
         assert point.exchanges_per_request == 0.0
 
