@@ -2,10 +2,12 @@
 
 A static-analysis pass only ratchets anything if developers actually
 run it, and they only run it if it is fast.  The pytest-benchmark
-case tracks the full-tree wall time in reports; the timed guard
-pins the hard ceiling from the PR contract: linting all of
-``src/repro`` — parse, six rules, cross-module passes, suppression
-filtering — must finish in under 10 seconds.
+case tracks the full-tree wall time in reports; the timed guards
+pin the hard ceilings from the PR contracts: linting all of
+``src/repro`` — parse, per-module rules, cross-module passes,
+suppression filtering — must finish in under 10 seconds, and the
+whole-program *flow* analysis (graph build + RPR007-RPR010) must
+finish in under 30 seconds.
 """
 
 import time
@@ -13,13 +15,16 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import run_lint
+from repro.lint import flow_rules, run_lint
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 SRC = REPO_ROOT / "src" / "repro"
 
 #: Hard wall-time ceiling for one full-tree run (seconds).
 FULL_TREE_BUDGET_SECONDS = 10.0
+
+#: Hard wall-time ceiling for one flow-only analysis (seconds).
+FLOW_BUDGET_SECONDS = 30.0
 
 
 @pytest.fixture(scope="module")
@@ -45,4 +50,32 @@ def test_full_tree_lint_under_budget(warm):
         f"full-tree lint took {best:.2f}s — over the "
         f"{FULL_TREE_BUDGET_SECONDS:.0f}s budget; profile the rules "
         "before raising this ceiling"
+    )
+
+
+def test_flow_analysis_of_src_repro(benchmark, warm):
+    """Track the whole-program flow pass (graph + RPR007-RPR010)."""
+    run = benchmark(
+        run_lint, [SRC], rules=flow_rules(), root=REPO_ROOT
+    )
+    assert run.files_checked == warm.files_checked
+
+
+def test_flow_analysis_under_budget(warm):
+    """Timed guard: flow-only analysis, best of 3 under 30 s.
+
+    Every run rebuilds the symbol table and call graph from scratch
+    (fresh ProjectContext), so this bounds the true cold cost the CI
+    gate pays — not a memoized rerun.
+    """
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        run = run_lint([SRC], rules=flow_rules(), root=REPO_ROOT)
+        best = min(best, time.perf_counter() - start)
+    assert run.files_checked > 100
+    assert best < FLOW_BUDGET_SECONDS, (
+        f"flow analysis took {best:.2f}s — over the "
+        f"{FLOW_BUDGET_SECONDS:.0f}s budget; profile the graph "
+        "build and fixpoint before raising this ceiling"
     )

@@ -32,6 +32,10 @@ from repro.analysis.rates import ios_per_hour
 #: Records per tape segment (a 32 KB segment holds 128 records of 256 B).
 RECORDS_PER_SEGMENT = 128
 
+#: Entry-point seed of this example (tape and query stream both derive
+#: from it, so reruns print identical tables).
+EXAMPLE_SEED = 11
+
 
 def segments_for_records(
     record_ids: np.ndarray,
@@ -56,7 +60,7 @@ def main() -> None:
     total_records = tape.total_segments * RECORDS_PER_SEGMENT
     print(f"relation: {total_records:,} records on {tape.label}")
 
-    rng = np.random.default_rng(11)
+    rng = np.random.default_rng(EXAMPLE_SEED)
     schedulers = {
         "FIFO (unscheduled)": FifoScheduler(),
         "AUTO (paper policy)": AutoScheduler(),

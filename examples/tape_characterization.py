@@ -33,6 +33,9 @@ from repro import (
 )
 from repro.scheduling import LossScheduler
 
+#: Entry-point seed for the post-calibration validation batch.
+VALIDATION_SEED = 2
+
 
 def main() -> None:
     # The cartridge in the drive (we pretend not to know its layout).
@@ -57,7 +60,7 @@ def main() -> None:
     model = LocateTimeModel(calibrated)
 
     # --- validate scheduling with the calibrated model --------------------
-    rng = np.random.default_rng(2)
+    rng = np.random.default_rng(VALIDATION_SEED)
     batch = rng.choice(mounted.total_segments, size=96,
                        replace=False).tolist()
     schedule = LossScheduler().schedule(model, 0, batch)

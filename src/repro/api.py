@@ -62,7 +62,7 @@ from repro.exceptions import (
     TraceError,
     UnknownTenant,
 )
-from repro.lint import Finding, LintRun, run_lint
+from repro.lint import Finding, LintRun, ProjectGraph, flow_rules, run_lint
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.export import result_to_rows, write_result
 from repro.experiments.result import TabularResult
@@ -192,6 +192,7 @@ __all__ = [
     "MultiDriveSystem",
     "NoSamplesError",
     "PoissonArrivals",
+    "ProjectGraph",
     "ReadFault",
     "ReproError",
     "Request",
@@ -233,6 +234,7 @@ __all__ = [
     "exact_ltsp_order",
     "exchange_policy_names",
     "execute_schedule",
+    "flow_rules",
     "generate_tape",
     "get_arm_policy",
     "get_assignment_policy",

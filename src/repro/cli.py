@@ -85,7 +85,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "Additionally, 'repro lint [PATH...]' runs the "
-            "repo-aware static-analysis gate (RPR001-RPR006); see "
+            "repo-aware static-analysis gate (RPR001-RPR010, "
+            "including the cross-module flow analyses); see "
             "'repro lint --help' and docs/STATIC_ANALYSIS.md."
         ),
     )

@@ -4,9 +4,12 @@ A pluggable AST-based rule engine that mechanically enforces the
 conventions the reproduction's correctness rests on: determinism
 (RPR001), float discipline (RPR002), the exception taxonomy (RPR003),
 the obs-event registry (RPR004), API/shim integrity (RPR005), and
-second-based unit naming (RPR006).  Run it as ``python -m repro lint
-src/repro``; see ``docs/STATIC_ANALYSIS.md`` for the catalog,
-suppression syntax, and the baseline-ratchet workflow.
+second-based unit naming (RPR006) — plus the cross-module flow
+analyses of :mod:`repro.lint.flow`: RNG lineage (RPR007), RNG
+sharing across pool/actor boundaries (RPR008), nondeterminism taint
+(RPR009), and the phase partition (RPR010).  Run it as ``python -m
+repro lint src/repro``; see ``docs/STATIC_ANALYSIS.md`` for the
+catalog, suppression syntax, and the baseline-ratchet workflow.
 """
 
 from __future__ import annotations
@@ -18,8 +21,16 @@ from repro.lint.baseline import (
     load_baseline,
     save_baseline,
 )
+from repro.lint.changed import changed_rel_paths
 from repro.lint.core import Finding, ModuleContext, ProjectContext
 from repro.lint.engine import LintRun, run_lint
+from repro.lint.flow import (
+    FLOW_CODES,
+    ProjectGraph,
+    build_graph,
+    flow_rules,
+    project_graph,
+)
 from repro.lint.report import render_json, render_text
 from repro.lint.rules import (
     REGISTRY,
@@ -31,16 +42,22 @@ from repro.lint.rules import (
 
 __all__ = [
     "BaselineDiff",
+    "FLOW_CODES",
     "Finding",
     "LintRun",
     "ModuleContext",
     "ProjectContext",
+    "ProjectGraph",
     "REGISTRY",
     "Rule",
+    "build_graph",
+    "changed_rel_paths",
     "default_rules",
     "diff_baseline",
     "finding_counts",
+    "flow_rules",
     "load_baseline",
+    "project_graph",
     "register",
     "render_json",
     "render_text",

@@ -1,0 +1,79 @@
+"""Git-aware file selection for ``repro lint --changed``.
+
+Incremental linting must not weaken the cross-module rules: the flow
+analyses (RPR007-RPR010) are only sound when they see the whole
+project, because a call-graph edge or a class definition in an
+*unchanged* file can make a *changed* line a violation.  So
+``--changed`` never narrows the parse — it narrows the **report**.
+The engine still walks every file; findings are then filtered to the
+files git says differ from ``HEAD`` (staged, unstaged, and
+untracked).
+
+When git is unavailable, the tree is not a repository, or the diff
+cannot be resolved, :func:`changed_rel_paths` returns ``None`` and
+the caller falls back to full-tree reporting — degrading to *more*
+checking, never less.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+#: Git commands whose union is "what differs from HEAD right now".
+_GIT_QUERIES = (
+    ("git", "diff", "--name-only", "--diff-filter=d", "HEAD"),
+    ("git", "ls-files", "--others", "--exclude-standard"),
+)
+
+
+def _git_lines(command: tuple[str, ...], root: Path) -> list[str] | None:
+    """Run one git query; None on any failure (missing git, not a repo)."""
+    try:
+        completed = subprocess.run(
+            command,
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return [line for line in completed.stdout.splitlines() if line]
+
+
+def changed_rel_paths(root: Path) -> set[str] | None:
+    """Root-relative posix paths of changed Python files under ``root``.
+
+    Git reports paths relative to the repository top level; the
+    engine keys findings relative to ``root`` (usually the cwd).
+    When the two differ, paths are rebased so the filter matches the
+    engine's keys.  Returns ``None`` when the changed set cannot be
+    determined — callers must then report on the full tree.  An
+    empty set is a real answer (clean worktree: nothing to report).
+    """
+    toplevel_lines = _git_lines(
+        ("git", "rev-parse", "--show-toplevel"), root
+    )
+    if not toplevel_lines:
+        return None
+    toplevel = Path(toplevel_lines[0])
+    changed: set[str] = set()
+    for command in _GIT_QUERIES:
+        lines = _git_lines(command, root)
+        if lines is None:
+            return None
+        for line in lines:
+            if not line.endswith(".py"):
+                continue
+            absolute = (toplevel / line).resolve()
+            try:
+                changed.add(
+                    absolute.relative_to(root.resolve()).as_posix()
+                )
+            except ValueError:
+                continue  # changed, but outside the linted root
+    return changed

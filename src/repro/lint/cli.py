@@ -5,6 +5,8 @@ Examples::
     python -m repro lint src/repro
     python -m repro lint src/repro --json > lint-report.json
     python -m repro lint src/repro --baseline tools/lint_baseline.json
+    python -m repro lint src/repro --flow --graph-dump call-graph.json
+    python -m repro lint --changed
     python -m repro lint --list-rules
 
 Exit status: 0 when clean (or clean modulo the baseline), 1 when any
@@ -14,6 +16,7 @@ new finding exists, 2 on usage or input errors.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -24,7 +27,9 @@ from repro.lint.baseline import (
     load_baseline,
     save_baseline,
 )
+from repro.lint.changed import changed_rel_paths
 from repro.lint.engine import run_lint
+from repro.lint.flow import flow_rules, project_graph
 from repro.lint.report import render_json, render_text
 from repro.lint.rules import rule_catalog
 
@@ -43,7 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Repo-aware static analysis: determinism, float "
             "discipline, exception taxonomy, obs-event registry, "
-            "API/shim integrity, unit naming (RPR001-RPR006)."
+            "API/shim integrity, unit naming (RPR001-RPR006) plus "
+            "cross-module flow analyses — RNG lineage/sharing, "
+            "nondeterminism taint, phase partition (RPR007-RPR010)."
         ),
     )
     parser.add_argument(
@@ -80,6 +87,30 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--flow", action="store_true",
+        help=(
+            "run only the cross-module flow rules (RPR007-RPR010): "
+            "RNG lineage/sharing, nondeterminism taint, phase "
+            "partition"
+        ),
+    )
+    parser.add_argument(
+        "--graph-dump", default=None, metavar="FILE",
+        help=(
+            "also write the project call/import graph as JSON to "
+            "FILE (CI publishes this artifact)"
+        ),
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help=(
+            "report only findings in files git says differ from "
+            "HEAD; the whole tree is still analyzed so cross-module "
+            "rules stay sound, and the run falls back to full-tree "
+            "reporting when the changed set cannot be determined"
+        ),
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
@@ -101,8 +132,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.paths
         else _default_paths()
     )
+    rules = flow_rules() if args.flow else None
+    report_rel_paths = None
+    if args.changed:
+        report_rel_paths = changed_rel_paths(Path.cwd())
+        if report_rel_paths is None:
+            print(
+                "repro lint: --changed could not resolve a git "
+                "diff; reporting on the full tree",
+                file=sys.stderr,
+            )
+        elif not report_rel_paths and args.graph_dump is None:
+            print("repro lint: --changed found no modified Python files")
+            return 0
     try:
-        run = run_lint(paths)
+        run = run_lint(
+            paths, rules=rules, report_rel_paths=report_rel_paths
+        )
+        if args.graph_dump is not None and run.project is not None:
+            record = project_graph(run.project).to_record()
+            Path(args.graph_dump).write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
         if args.update_baseline:
             save_baseline(Path(args.baseline), run.findings)
             print(

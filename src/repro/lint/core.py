@@ -270,6 +270,10 @@ class ProjectContext:
 
     root: Path
     modules: list[ModuleContext] = field(default_factory=list)
+    #: Scratch space shared by cross-module passes within one run —
+    #: the flow analyzer memoizes its project graph here so the four
+    #: flow rules build it once instead of four times.
+    cache: dict[str, object] = field(default_factory=dict)
 
     def by_rel_path(self) -> dict[str, ModuleContext]:
         """Index the run's modules by repo-relative path."""

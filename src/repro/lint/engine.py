@@ -39,7 +39,7 @@ def iter_python_files(paths: list[Path]) -> list[Path]:
     found: set[Path] = set()
     for path in paths:
         if path.is_dir():
-            for candidate in path.rglob("*.py"):
+            for candidate in sorted(path.rglob("*.py")):
                 if not _SKIP_DIRS.intersection(candidate.parts):
                     found.add(candidate)
         elif path.suffix == ".py":
@@ -100,18 +100,38 @@ class LintRun:
     unused_suppressions: list[tuple[str, int]] = field(
         default_factory=list
     )
+    #: The parsed project of the run — the flow analyzer's graph is
+    #: memoized on it, so ``--graph-dump`` serializes without a
+    #: second parse.
+    project: ProjectContext | None = None
 
 
 def _known_codes(rules: list[Rule]) -> set[str]:
-    return {rule.code for rule in rules} | {ENGINE_CODE}
+    # Every *registered* code is known, not just the active subset —
+    # ``--flow`` must not call a valid RPR002 suppression unknown.
+    from repro.lint.rules import REGISTRY
+
+    return (
+        {rule.code for rule in rules}
+        | set(REGISTRY)
+        | {ENGINE_CODE}
+    )
 
 
 def run_lint(
     paths: list[Path] | list[str],
     rules: list[Rule] | None = None,
     root: Path | None = None,
+    report_rel_paths: set[str] | None = None,
 ) -> LintRun:
-    """Lint the given files/directories with the given (or all) rules."""
+    """Lint the given files/directories with the given (or all) rules.
+
+    ``report_rel_paths`` restricts *reporting* (not analysis) to the
+    given repo-relative paths: the whole tree is still parsed and the
+    cross-module passes still see every module — so the flow rules
+    stay sound — but findings outside the selection are dropped.
+    This is the engine side of ``repro lint --changed``.
+    """
     if rules is None:
         rules = default_rules()
     root = Path.cwd() if root is None else Path(root)
@@ -130,13 +150,27 @@ def run_lint(
         raw.extend(rule.finish(project))
     raw.extend(_audit_suppressions(project, _known_codes(rules)))
     findings, suppressed, used = _apply_suppressions(project, raw)
-    unused = _unused_suppressions(project, used)
+    unused = _unused_suppressions(
+        project, used, {rule.code for rule in rules}
+    )
+    if report_rel_paths is not None:
+        findings = [
+            finding
+            for finding in findings
+            if finding.path in report_rel_paths
+        ]
+        unused = [
+            (path, line)
+            for path, line in unused
+            if path in report_rel_paths
+        ]
     findings.sort()
     return LintRun(
         findings=findings,
         files_checked=len(files),
         suppressed=suppressed,
         unused_suppressions=unused,
+        project=project,
     )
 
 
@@ -192,12 +226,21 @@ def _apply_suppressions(
 
 
 def _unused_suppressions(
-    project: ProjectContext, used: set[tuple[str, int]]
+    project: ProjectContext,
+    used: set[tuple[str, int]],
+    active_codes: set[str],
 ) -> list[tuple[str, int]]:
-    """Suppressions that matched nothing (candidates for removal)."""
+    """Suppressions that matched nothing (candidates for removal).
+
+    Under a rule subset (``--flow``), a suppression naming only
+    inactive rules is not "unused" — its rule never got the chance
+    to fire this run.
+    """
     unused = []
     for module in project.modules:
         for target, suppression in sorted(module.suppressions.items()):
+            if not suppression.codes & active_codes:
+                continue
             if (module.rel_path, target) not in used:
                 unused.append((module.rel_path, suppression.line))
     return unused

@@ -1,0 +1,63 @@
+"""``repro.lint.flow`` — cross-module simulation-safety analyses.
+
+The per-module rules (RPR001-RPR006) catch *syntactic* hazards; this
+package catches *flow* bugs — the ones that corrupt a frontier chart
+without failing a test.  It builds a project-wide symbol table and
+call/import graph (:mod:`repro.lint.flow.graph`) and runs three
+dataflow analyses on top, shipped as four rules:
+
+* RPR007 ``rng-lineage`` — every RNG descends from a threaded or
+  seed-stream-derived seed, proven across call chains;
+* RPR008 ``rng-sharing`` — no RNG object crosses a process-pool or
+  kernel-actor boundary as a shared object;
+* RPR009 ``nondeterminism-taint`` — unordered-iteration results
+  (sets, ``os.listdir``, ``glob``) never flow into the event heap,
+  scheduling surfaces, or exported output;
+* RPR010 ``phase-partition`` — the ``*_seconds`` phase fields of
+  ``ExecutionResult``/``BatchCompleted``/``BatchSpan`` stay in sync,
+  so the 1e-6 partition identity cannot silently open.
+
+Importing this package registers the rules; ``repro lint --flow``
+runs only them, and ``--graph-dump FILE`` serializes the graph.
+"""
+
+from __future__ import annotations
+
+from repro.lint.flow import (  # noqa: F401  (import-for-registration)
+    phases,
+    rng,
+    taint,
+)
+from repro.lint.flow.graph import (
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectGraph,
+    build_graph,
+    module_graph_name,
+    project_graph,
+)
+from repro.lint.rules.base import REGISTRY, Rule
+
+#: The rule codes this package contributes.
+FLOW_CODES = ("RPR007", "RPR008", "RPR009", "RPR010")
+
+
+def flow_rules() -> list[Rule]:
+    """One fresh instance of every flow rule, in code order."""
+    return [REGISTRY[code]() for code in FLOW_CODES]
+
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FLOW_CODES",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectGraph",
+    "build_graph",
+    "flow_rules",
+    "module_graph_name",
+    "project_graph",
+]

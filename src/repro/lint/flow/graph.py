@@ -1,0 +1,480 @@
+"""Project-wide symbol table and call/import graph.
+
+The flow rules (RPR007-RPR010) are whole-program analyses: an RNG
+constructed in ``repro.library.requests`` is only provably
+seed-stream-derived if every *call site* of the constructing function
+threads a derived seed in, and the phase partition only reconciles if
+the ``*_seconds`` fields of three classes in three modules agree.
+This module builds the shared substrate those rules walk:
+
+* a **symbol table** — every top-level function, method, and class of
+  every module in the run, under stable dotted qualified names
+  (``repro.workload.seed_stream.trial_state``,
+  ``repro.serve.fair.WeightedFairQueues.push``);
+* an **import graph** — which project modules each module imports
+  (external imports are resolved but not edges);
+* a **call graph** — every call site, resolved to a project symbol
+  where the import map or module-local names allow it, annotated with
+  the enclosing function so dataflow can walk caller -> callee.
+
+Resolution is deliberately conservative: a call through a local
+variable, a dynamic dispatch, or a name the import map cannot place
+simply stays unresolved (``internal=False``) — the flow rules must
+never *guess* a target, because a wrong edge turns into a wrong
+finding.  The graph is memoized on the :class:`ProjectContext` so the
+four flow rules share one build per run, and ``repro lint
+--graph-dump`` serializes it as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.core import (
+    ModuleContext,
+    ProjectContext,
+    dotted_parts,
+)
+
+#: Cache key on :attr:`ProjectContext.cache`.
+_CACHE_KEY = "flow-graph"
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualified: str
+    module: str
+    rel_path: str
+    line: int
+    #: Declared parameter names, in order (``self``/``cls`` included).
+    params: tuple[str, ...]
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+    @property
+    def is_method(self) -> bool:
+        """Does the first parameter bind the instance/class?"""
+        return bool(self.params) and self.params[0] in ("self", "cls")
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition and its body-level field names."""
+
+    qualified: str
+    module: str
+    rel_path: str
+    line: int
+    name: str
+    #: Names assigned or annotated directly in the class body.
+    fields: tuple[str, ...]
+    node: ast.ClassDef
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression, resolved as far as statically possible."""
+
+    #: Qualified name of the enclosing function ("" = module body).
+    caller: str
+    #: Dotted callee; project-qualified when ``internal`` is true.
+    callee: str
+    #: Does ``callee`` name a symbol defined in this run's modules?
+    internal: bool
+    rel_path: str
+    line: int
+    node: ast.Call
+
+
+@dataclass
+class ModuleInfo:
+    """One module of the run, as a graph node."""
+
+    name: str
+    rel_path: str
+    #: Project-internal modules this module imports.
+    imports: tuple[str, ...]
+    context: ModuleContext
+
+
+@dataclass
+class ProjectGraph:
+    """Symbol table + import graph + call graph of one lint run."""
+
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    calls: list[CallSite] = field(default_factory=list)
+
+    def classes_named(self, name: str) -> list[ClassInfo]:
+        """All project classes with the given bare name."""
+        return [
+            info for info in self.classes.values() if info.name == name
+        ]
+
+    def calls_to(self, qualified: str) -> list[CallSite]:
+        """All resolved call sites targeting one project symbol."""
+        return [
+            site
+            for site in self.calls
+            if site.internal and site.callee == qualified
+        ]
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-safe serialization for ``--graph-dump`` artifacts."""
+        modules = {
+            name: {
+                "path": info.rel_path,
+                "imports": sorted(info.imports),
+            }
+            for name, info in sorted(self.modules.items())
+        }
+        functions = {
+            qualified: {
+                "path": info.rel_path,
+                "line": info.line,
+                "params": list(info.params),
+            }
+            for qualified, info in sorted(self.functions.items())
+        }
+        classes = {
+            qualified: {
+                "path": info.rel_path,
+                "line": info.line,
+                "fields": list(info.fields),
+            }
+            for qualified, info in sorted(self.classes.items())
+        }
+        calls = [
+            {
+                "caller": site.caller,
+                "callee": site.callee,
+                "internal": site.internal,
+                "path": site.rel_path,
+                "line": site.line,
+            }
+            for site in sorted(
+                self.calls,
+                key=lambda s: (s.rel_path, s.line, s.callee),
+            )
+        ]
+        return {
+            "version": 1,
+            "modules": modules,
+            "functions": functions,
+            "classes": classes,
+            "calls": calls,
+            "counts": {
+                "modules": len(modules),
+                "functions": len(functions),
+                "classes": len(classes),
+                "calls": len(calls),
+                "internal_calls": sum(
+                    1 for site in self.calls if site.internal
+                ),
+            },
+        }
+
+
+def module_graph_name(module: ModuleContext) -> str:
+    """Stable dotted node name for a module.
+
+    Packaged modules use their import name; loose files (fixtures,
+    scripts) fall back to the repo-relative path with slashes turned
+    into dots, so every module in a run has exactly one node.
+    """
+    if module.module_name is not None:
+        return module.module_name
+    trimmed = module.rel_path
+    if trimmed.endswith(".py"):
+        trimmed = trimmed[: -len(".py")]
+    return trimmed.replace("/", ".")
+
+
+def _absolutize(origin: str, module: ModuleContext) -> str:
+    """Resolve a possibly-relative import origin to a dotted name."""
+    if not origin.startswith("."):
+        return origin
+    level = len(origin) - len(origin.lstrip("."))
+    remainder = origin[level:]
+    base = module_graph_name(module).split(".")
+    if module.path.stem != "__init__":
+        base = base[:-1]
+    # Each extra dot beyond the first climbs one more package.
+    base = base[: len(base) - (level - 1)] if level > 1 else base
+    parts = [part for part in base if part]
+    if remainder:
+        parts.extend(remainder.split("."))
+    return ".".join(parts)
+
+
+class _Resolver:
+    """Maps dotted origins onto project symbols."""
+
+    def __init__(self, graph: ProjectGraph) -> None:
+        self._graph = graph
+        self._by_tail: dict[str, list[str]] = {}
+        for name in graph.modules:
+            tail = name.rsplit(".", 1)[-1]
+            self._by_tail.setdefault(tail, []).append(name)
+
+    def module_for(self, dotted: str) -> tuple[str, str] | None:
+        """Split ``dotted`` into (project module, symbol path).
+
+        Tries longest-prefix match against full module names first;
+        when nothing matches, falls back to the *tail* name — loose
+        fixture modules import each other by bare file name — but
+        only when that tail is unambiguous in the run.
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self._graph.modules:
+                return prefix, ".".join(parts[cut:])
+        tail_owners = self._by_tail.get(parts[0])
+        if tail_owners is not None and len(tail_owners) == 1:
+            return tail_owners[0], ".".join(parts[1:])
+        return None
+
+    def resolve_call(
+        self, dotted: str
+    ) -> tuple[str, bool]:
+        """Project-qualify a dotted callee when it names our symbol."""
+        located = self.module_for(dotted)
+        if located is None:
+            return dotted, False
+        module_name, symbol = located
+        if not symbol:
+            return module_name, False
+        qualified = f"{module_name}.{symbol}"
+        if (
+            qualified in self._graph.functions
+            or qualified in self._graph.classes
+        ):
+            return qualified, True
+        return qualified, False
+
+
+def _class_fields(node: ast.ClassDef) -> tuple[str, ...]:
+    """Names assigned or annotated directly in a class body."""
+    names: list[str] = []
+    for statement in node.body:
+        target: ast.expr | None = None
+        if isinstance(statement, ast.AnnAssign):
+            target = statement.target
+        elif isinstance(statement, ast.Assign):
+            target = (
+                statement.targets[0]
+                if len(statement.targets) == 1
+                else None
+            )
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+    return tuple(names)
+
+
+def _function_params(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[str, ...]:
+    arguments = node.args
+    return tuple(
+        param.arg
+        for param in (
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        )
+    )
+
+
+class _SymbolCollector(ast.NodeVisitor):
+    """First pass: functions, methods, classes of one module."""
+
+    def __init__(
+        self, graph: ProjectGraph, module: ModuleContext, name: str
+    ) -> None:
+        self._graph = graph
+        self._module = module
+        self._name = name
+        self._scope: list[str] = []
+
+    def _qualify(self, leaf: str) -> str:
+        return ".".join([self._name, *self._scope, leaf])
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qualified = self._qualify(node.name)
+        self._graph.classes[qualified] = ClassInfo(
+            qualified=qualified,
+            module=self._name,
+            rel_path=self._module.rel_path,
+            line=node.lineno,
+            name=node.name,
+            fields=_class_fields(node),
+            node=node,
+        )
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        qualified = self._qualify(node.name)
+        # First definition wins: overloads/redefinitions keep the
+        # original node so line anchors stay stable.
+        self._graph.functions.setdefault(
+            qualified,
+            FunctionInfo(
+                qualified=qualified,
+                module=self._name,
+                rel_path=self._module.rel_path,
+                line=node.lineno,
+                params=_function_params(node),
+                node=node,
+            ),
+        )
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef
+    ) -> None:
+        self._visit_function(node)
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Second pass: every call site, resolved where possible."""
+
+    def __init__(
+        self,
+        graph: ProjectGraph,
+        resolver: _Resolver,
+        module: ModuleContext,
+        name: str,
+    ) -> None:
+        self._graph = graph
+        self._resolver = resolver
+        self._module = module
+        self._name = name
+        self._scope: list[str] = []
+        self._class_stack: list[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(node.name)
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+        self._scope.pop()
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef
+    ) -> None:
+        self._visit_function(node)
+
+    def _caller(self) -> str:
+        if not self._scope:
+            return ""
+        return ".".join([self._name, *self._scope])
+
+    def _resolve_target(self, func: ast.expr) -> tuple[str, bool]:
+        """(callee name, internal?) for one call target expression."""
+        parts = dotted_parts(func)
+        if parts is None:
+            return "<dynamic>", False
+        head = parts[0]
+        # self.method() / cls.method() inside a class body resolves to
+        # a sibling method of the enclosing class when one exists.
+        if head in ("self", "cls") and self._class_stack:
+            candidate = ".".join(
+                [self._name, *self._class_stack, *parts[1:]]
+            )
+            if candidate in self._graph.functions:
+                return candidate, True
+            return ".".join(parts), False
+        origin = self._module.imports.get(head)
+        if origin is not None:
+            dotted = _absolutize(
+                ".".join([origin, *parts[1:]]), self._module
+            )
+            return self._resolver.resolve_call(dotted)
+        # A bare name defined at module top level.
+        candidate = ".".join([self._name, *parts])
+        if (
+            candidate in self._graph.functions
+            or candidate in self._graph.classes
+        ):
+            return candidate, True
+        return ".".join(parts), False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee, internal = self._resolve_target(node.func)
+        self._graph.calls.append(
+            CallSite(
+                caller=self._caller(),
+                callee=callee,
+                internal=internal,
+                rel_path=self._module.rel_path,
+                line=node.lineno,
+                node=node,
+            )
+        )
+        self.generic_visit(node)
+
+
+def build_graph(project: ProjectContext) -> ProjectGraph:
+    """Construct the symbol table and call/import graph of a run."""
+    graph = ProjectGraph()
+    names: dict[str, str] = {}
+    for module in project.modules:
+        name = module_graph_name(module)
+        names[module.rel_path] = name
+        graph.modules[name] = ModuleInfo(
+            name=name,
+            rel_path=module.rel_path,
+            imports=(),
+            context=module,
+        )
+    for module in project.modules:
+        _SymbolCollector(
+            graph, module, names[module.rel_path]
+        ).visit(module.tree)
+    resolver = _Resolver(graph)
+    for module in project.modules:
+        name = names[module.rel_path]
+        internal_imports: set[str] = set()
+        for origin in module.imports.values():
+            dotted = _absolutize(origin, module)
+            located = resolver.module_for(dotted)
+            if located is not None and located[0] != name:
+                internal_imports.add(located[0])
+        graph.modules[name].imports = tuple(sorted(internal_imports))
+        _CallCollector(graph, resolver, module, name).visit(
+            module.tree
+        )
+    return graph
+
+
+def project_graph(project: ProjectContext) -> ProjectGraph:
+    """The memoized graph of a run (built at most once per project)."""
+    cached = project.cache.get(_CACHE_KEY)
+    if isinstance(cached, ProjectGraph):
+        return cached
+    graph = build_graph(project)
+    project.cache[_CACHE_KEY] = graph
+    return graph

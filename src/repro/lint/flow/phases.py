@@ -1,0 +1,208 @@
+"""RPR010 — phase partition: ``*_seconds`` accounting stays closed.
+
+The paper's figures decompose response time into phases, and every
+layer of the repo re-states the same identity: on
+``ExecutionResult`` the executor measures it, on ``BatchCompleted``
+the bus carries it, and on ``BatchSpan`` the trace reconstructs it —
+``locate + transfer + rewind + fault == total`` to 1e-6.  The runtime
+cross-checks (``repro trace --smoke``) verify the *values*; this rule
+verifies the *shape*: adding a phase to one class and forgetting the
+others silently un-balances the partition on a path no smoke test
+exercises until a chart is already wrong.
+
+Cross-module checks (via the project symbol table):
+
+* every phase field of ``BatchCompleted`` must exist on
+  ``BatchSpan`` (a phase the event carries but the span drops cannot
+  reconcile);
+* ``BatchSpan.phase_seconds`` must sum *exactly* the phase fields —
+  an omitted term under-counts, a non-phase term double-counts;
+* every phase field of ``ExecutionResult`` must exist on
+  ``BatchCompleted`` (a measured phase that never reaches the bus is
+  invisible to the golden traces).
+
+Per-module check:
+
+* no ``+``/``-`` arithmetic mixing a ``*_seconds`` name with a name
+  in another time unit (``*_hours``, ``*_minutes``, ``*_ms``,
+  ``*_per_hour``) — conversion is multiplication at the boundary,
+  never addition.
+
+Phase fields are the ``*_seconds`` dataclass fields minus the
+structural ones (``total``/``queue_wait``/``estimated``/
+``completion``/``start``/``end``/``arrival``), so a brand-new phase
+is recognized without registration.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.core import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    terminal_name,
+)
+from repro.lint.flow.graph import ClassInfo, project_graph
+from repro.lint.rules.base import Rule, register
+
+#: ``*_seconds`` fields that are structure, not partition members.
+_NON_PHASE = {
+    "total_seconds",
+    "queue_wait_seconds",
+    "estimated_seconds",
+    "completion_seconds",
+    "start_seconds",
+    "end_seconds",
+    "arrival_seconds",
+    "response_seconds",
+    "phase_seconds",
+}
+
+#: The three layers whose phase sets must agree.
+_EVENT_CLASS = "BatchCompleted"
+_SPAN_CLASS = "BatchSpan"
+_RESULT_CLASS = "ExecutionResult"
+
+#: Name suffixes in non-second time units (and hour-scale rates).
+_OTHER_UNIT_SUFFIXES = (
+    "_hours",
+    "_minutes",
+    "_mins",
+    "_ms",
+    "_msec",
+    "_msecs",
+    "_millis",
+    "_milliseconds",
+    "_per_hour",
+)
+
+
+def _phase_fields(info: ClassInfo) -> set[str]:
+    """The partition-member fields of one class."""
+    return {
+        name
+        for name in info.fields
+        if name.endswith("_seconds") and name not in _NON_PHASE
+    }
+
+
+def _phase_sum_terms(info: ClassInfo) -> set[str] | None:
+    """``self.X`` names summed by a ``phase_seconds`` property.
+
+    Returns None when the class defines no ``phase_seconds`` —
+    nothing to audit then.
+    """
+    for statement in info.node.body:
+        if (
+            isinstance(statement, ast.FunctionDef)
+            and statement.name == "phase_seconds"
+        ):
+            terms: set[str] = set()
+            for node in ast.walk(statement):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    terms.add(node.attr)
+            return terms
+    return None
+
+
+@register
+class PhasePartitionRule(Rule):
+    """Keep the execution-phase partition closed across layers."""
+
+    code = "RPR010"
+    name = "phase-partition"
+    rationale = (
+        "Response-time charts decompose into phases that must "
+        "partition execution exactly; a phase added to one layer but "
+        "not the others un-balances the 1e-6 identity on a path no "
+        "smoke test sees."
+    )
+
+    def check_module(
+        self, module: ModuleContext
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            left = terminal_name(node.left)
+            right = terminal_name(node.right)
+            if left is None or right is None:
+                continue
+            for seconds, other in ((left, right), (right, left)):
+                if not seconds.endswith("_seconds"):
+                    continue
+                if other.endswith(_OTHER_UNIT_SUFFIXES):
+                    yield module.finding(
+                        node,
+                        self.code,
+                        f"adds/subtracts {seconds!r} and {other!r} "
+                        "without unit conversion; convert to "
+                        "seconds (multiply at the boundary) before "
+                        "accumulating",
+                    )
+                    break
+
+    def finish(self, project: ProjectContext) -> Iterable[Finding]:
+        graph = project_graph(project)
+        by_path = project.by_rel_path()
+        events = graph.classes_named(_EVENT_CLASS)
+        spans = graph.classes_named(_SPAN_CLASS)
+        results = graph.classes_named(_RESULT_CLASS)
+        for span in spans:
+            module = by_path[span.rel_path]
+            span_fields = set(span.fields)
+            span_phases = _phase_fields(span)
+            for event in events:
+                for phase in sorted(
+                    _phase_fields(event) - span_fields
+                ):
+                    yield by_path[event.rel_path].finding(
+                        event.node,
+                        self.code,
+                        f"phase {phase!r} on {_EVENT_CLASS} has no "
+                        f"matching {_SPAN_CLASS} field — the trace "
+                        "cannot reconcile the partition",
+                    )
+            terms = _phase_sum_terms(span)
+            if terms is None:
+                continue
+            for phase in sorted(span_phases - terms):
+                yield module.finding(
+                    span.node,
+                    self.code,
+                    f"{_SPAN_CLASS}.phase_seconds omits phase "
+                    f"{phase!r}; the phase sum no longer equals "
+                    "total_seconds",
+                )
+            for extra in sorted(terms - span_phases):
+                yield module.finding(
+                    span.node,
+                    self.code,
+                    f"{_SPAN_CLASS}.phase_seconds sums non-phase "
+                    f"field {extra!r}; the partition double-counts",
+                )
+        if events:
+            event_phases: set[str] = set()
+            for event in events:
+                event_phases |= _phase_fields(event)
+            for result in results:
+                for phase in sorted(
+                    _phase_fields(result) - event_phases
+                ):
+                    yield by_path[result.rel_path].finding(
+                        result.node,
+                        self.code,
+                        f"phase {phase!r} measured on "
+                        f"{_RESULT_CLASS} never reaches "
+                        f"{_EVENT_CLASS} — it is invisible to "
+                        "traces and golden regressions",
+                    )

@@ -1,0 +1,478 @@
+"""RPR007/RPR008 — RNG lineage and RNG sharing across boundaries.
+
+The parallel engine's bit-identity guarantee (serial == N workers,
+any N) holds because every random stream in the system descends from
+:mod:`repro.workload.seed_stream`: a ``(workload_seed, length,
+trial)`` triple hashes to its own 48-bit state, so any trial can run
+anywhere and still draw exactly its bytes.  Two flow bugs break that
+silently:
+
+* **RPR007 (rng-lineage)** — an RNG constructed from a *hardcoded*
+  seed.  Two components that both bake in ``seed=42`` share a stream
+  and correlate; a magic number deep in library code also cannot be
+  swept.  Seeds must arrive as parameters, attributes of a config
+  object, or calls into the seed-stream derivation; the only literal
+  form allowed is a module-level ``UPPER_CASE`` constant — the
+  documented way an *entry point* (example, benchmark) declares its
+  seed.  The check is cross-module: a literal passed at a call site
+  into a parameter that (transitively, through the call graph) feeds
+  an RNG constructor is the same bug one hop removed, and is flagged
+  at the call site.
+* **RPR008 (rng-sharing)** — an RNG object crossing a process-pool
+  or kernel-actor boundary.  A generator pickled to a worker forks
+  its state: both sides draw the same bytes, and merge order decides
+  the statistics.  Only *derived seeds* may cross; the worker
+  constructs its own generator.
+
+Both rules resolve call targets through the project graph and stay
+conservative: an expression whose lineage cannot be proven bad is
+allowed (the runtime golden regressions are the backstop), so every
+finding is actionable.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.core import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    resolve_origin,
+    terminal_name,
+)
+from repro.lint.flow.graph import (
+    CallSite,
+    FunctionInfo,
+    ProjectGraph,
+    project_graph,
+)
+from repro.lint.rules.base import Rule, register
+
+#: Fully-resolved constructors that start a random stream.
+_RNG_ORIGINS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+}
+
+#: The repo's own generator, recognized by terminal name wherever it
+#: was imported from (the class moved once already).
+_RNG_TERMINALS = {"LRand48"}
+
+#: Keyword names that carry the seed/state into a constructor.
+_SEED_KEYWORDS = ("seed", "state", "raw_state")
+
+#: Modules whose functions *are* the derivation layer: literal
+#: arguments to them (trial indexes, namespace tags) are the intended
+#: API, not a lineage violation.
+_SEED_FACTORY_SUFFIXES = ("seed_stream",)
+
+#: Pool-submission method names (concurrent.futures + multiprocessing).
+_SUBMIT_ATTRS = {
+    "submit",
+    "map",
+    "map_async",
+    "apply",
+    "apply_async",
+    "starmap",
+    "starmap_async",
+    "imap",
+    "imap_unordered",
+}
+
+#: Kernel-actor boundary: event/callback scheduling surfaces.
+_ACTOR_ATTRS = {"schedule"}
+
+#: Origin prefixes that construct a process pool.
+_POOL_PREFIXES = ("concurrent.futures", "multiprocessing")
+
+
+def _is_rng_constructor(
+    node: ast.Call, module: ModuleContext
+) -> bool:
+    """Does this call construct a random generator?"""
+    origin = resolve_origin(node.func, module.imports)
+    if origin is not None and origin in _RNG_ORIGINS:
+        return True
+    tail = terminal_name(node.func)
+    return tail in _RNG_TERMINALS
+
+
+def _seed_expressions(node: ast.Call) -> list[ast.expr]:
+    """The argument expressions that seed an RNG construction."""
+    seeds = list(node.args[:1])
+    seeds.extend(
+        keyword.value
+        for keyword in node.keywords
+        if keyword.arg in _SEED_KEYWORDS
+    )
+    return seeds
+
+
+def _module_constants(
+    module: ModuleContext,
+) -> tuple[set[str], set[str]]:
+    """(UPPER_CASE constant names, lowercase literal-bound names)."""
+    upper: set[str] = set()
+    lower: set[str] = set()
+    for statement in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+            value = statement.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id.isupper():
+                upper.add(target.id)
+            elif isinstance(value, ast.Constant):
+                lower.add(target.id)
+    return upper, lower
+
+
+def _literal_seed(
+    expr: ast.expr, upper: set[str], lower: set[str]
+) -> bool:
+    """Is this seed expression a hardcoded literal (and not a declared
+    ``UPPER_CASE`` entry-point constant)?"""
+    if isinstance(expr, ast.Constant):
+        return isinstance(expr.value, (int, float))
+    if isinstance(expr, ast.UnaryOp) and isinstance(
+        expr.operand, ast.Constant
+    ):
+        return isinstance(expr.operand.value, (int, float))
+    if isinstance(expr, ast.Name):
+        if expr.id in upper:
+            return False
+        return expr.id in lower
+    return False
+
+
+def _is_seed_factory(qualified: str) -> bool:
+    """Is this symbol part of the seed-derivation layer itself?"""
+    module = qualified.rsplit(".", 2)[0] if "." in qualified else ""
+    return qualified.rsplit(".", 1)[0].endswith(
+        _SEED_FACTORY_SUFFIXES
+    ) or module.endswith(_SEED_FACTORY_SUFFIXES)
+
+
+def _map_arguments(
+    site: CallSite, callee: FunctionInfo
+) -> list[tuple[str, ast.expr]]:
+    """Pair a call site's argument expressions with parameter names."""
+    params = list(callee.params)
+    if callee.is_method:
+        params = params[1:]
+    pairs: list[tuple[str, ast.expr]] = []
+    for index, arg in enumerate(site.node.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if index < len(params):
+            pairs.append((params[index], arg))
+    for keyword in site.node.keywords:
+        if keyword.arg is not None and keyword.arg in callee.params:
+            pairs.append((keyword.arg, keyword.value))
+    return pairs
+
+
+@register
+class RngLineageRule(Rule):
+    """Prove every RNG descends from a threaded/derived seed."""
+
+    code = "RPR007"
+    name = "rng-lineage"
+    rationale = (
+        "Parallel runs are bit-identical only because every stream "
+        "derives from seed_stream; a hardcoded seed — directly or "
+        "through a call chain — correlates streams and cannot be "
+        "swept."
+    )
+
+    def check_module(
+        self, module: ModuleContext
+    ) -> Iterable[Finding]:
+        upper, lower = _module_constants(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_rng_constructor(node, module):
+                continue
+            for seed in _seed_expressions(node):
+                if _literal_seed(seed, upper, lower):
+                    yield module.finding(
+                        seed,
+                        self.code,
+                        "RNG seeded from a hardcoded literal; derive "
+                        "the state via repro.workload.seed_stream, "
+                        "thread the seed in as a parameter, or "
+                        "declare a module-level UPPER_CASE seed "
+                        "constant at the entry point",
+                    )
+
+    def finish(self, project: ProjectContext) -> Iterable[Finding]:
+        graph = project_graph(project)
+        seed_params = self._seed_parameters(graph)
+        if not seed_params:
+            return
+        by_path = project.by_rel_path()
+        constants = {
+            module.rel_path: _module_constants(module)
+            for module in project.modules
+        }
+        for site in graph.calls:
+            if not site.internal:
+                continue
+            callee = graph.functions.get(site.callee)
+            if callee is None or _is_seed_factory(site.callee):
+                continue
+            upper, lower = constants[site.rel_path]
+            for param, expr in _map_arguments(site, callee):
+                if (site.callee, param) not in seed_params:
+                    continue
+                if _literal_seed(expr, upper, lower):
+                    module = by_path[site.rel_path]
+                    yield module.finding(
+                        expr,
+                        self.code,
+                        f"literal seed passed to {param!r} of "
+                        f"{site.callee}(), which feeds an RNG "
+                        "constructor; derive it via "
+                        "repro.workload.seed_stream or thread it "
+                        "from the caller's seed",
+                    )
+
+    def _seed_parameters(
+        self, graph: ProjectGraph
+    ) -> set[tuple[str, str]]:
+        """(function, param) pairs that flow into RNG seeds.
+
+        Seeded directly (the param appears as a seed argument of an
+        RNG constructor inside the function), then propagated to
+        callers to a fixpoint: a caller param forwarded into a known
+        seed param is itself a seed param.
+        """
+        seeds: set[tuple[str, str]] = set()
+        for info in graph.functions.values():
+            if _is_seed_factory(info.qualified):
+                continue
+            module = graph.modules[info.module].context
+            params = set(info.params)
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not _is_rng_constructor(node, module):
+                    continue
+                for seed in _seed_expressions(node):
+                    if (
+                        isinstance(seed, ast.Name)
+                        and seed.id in params
+                    ):
+                        seeds.add((info.qualified, seed.id))
+        changed = True
+        while changed:
+            changed = False
+            for site in graph.calls:
+                if not site.internal or not site.caller:
+                    continue
+                callee = graph.functions.get(site.callee)
+                caller = graph.functions.get(site.caller)
+                if callee is None or caller is None:
+                    continue
+                if _is_seed_factory(site.callee):
+                    continue
+                caller_params = set(caller.params)
+                for param, expr in _map_arguments(site, callee):
+                    if (site.callee, param) not in seeds:
+                        continue
+                    if (
+                        isinstance(expr, ast.Name)
+                        and expr.id in caller_params
+                    ):
+                        entry = (site.caller, expr.id)
+                        if entry not in seeds:
+                            seeds.add(entry)
+                            changed = True
+        return seeds
+
+
+@register
+class RngSharingRule(Rule):
+    """Ban RNG objects crossing pool or kernel-actor boundaries."""
+
+    code = "RPR008"
+    name = "rng-sharing"
+    rationale = (
+        "A generator pickled to a worker (or captured by a scheduled "
+        "kernel action) forks its state: both sides draw the same "
+        "bytes and merge order decides the statistics — only derived "
+        "seeds may cross, with the generator built on the far side."
+    )
+
+    def check_module(
+        self, module: ModuleContext
+    ) -> Iterable[Finding]:
+        for scope in _scopes(module.tree):
+            yield from self._check_scope(module, scope)
+
+    def _check_scope(
+        self, module: ModuleContext, scope: list[ast.stmt]
+    ) -> Iterable[Finding]:
+        rng_names: set[str] = set()
+        pool_names: set[str] = set()
+        for statement in scope:
+            if isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue  # analyzed as its own scope
+            for node in _walk_scope(statement):
+                self._track(node, module, rng_names, pool_names)
+                if not isinstance(node, ast.Call):
+                    continue
+                attr = (
+                    node.func.attr
+                    if isinstance(node.func, ast.Attribute)
+                    else None
+                )
+                if attr is None:
+                    continue
+                receiver = node.func.value
+                is_pool_submit = (
+                    attr in _SUBMIT_ATTRS
+                    and isinstance(receiver, ast.Name)
+                    and receiver.id in pool_names
+                )
+                is_actor = attr in _ACTOR_ATTRS
+                if not (is_pool_submit or is_actor):
+                    continue
+                boundary = (
+                    "a process-pool boundary"
+                    if is_pool_submit
+                    else "the kernel-actor boundary"
+                )
+                for passed in _call_argument_values(node):
+                    if (
+                        isinstance(passed, ast.Name)
+                        and passed.id in rng_names
+                    ) or (
+                        isinstance(passed, ast.Call)
+                        and _is_rng_constructor(passed, module)
+                    ):
+                        yield module.finding(
+                            passed,
+                            self.code,
+                            f"RNG object crosses {boundary} as a "
+                            "shared object; pass the derived seed "
+                            "(repro.workload.seed_stream) and "
+                            "construct the generator on the far side",
+                        )
+
+    def _track(
+        self,
+        node: ast.AST,
+        module: ModuleContext,
+        rng_names: set[str],
+        pool_names: set[str],
+    ) -> None:
+        """Record RNG- and pool-valued local bindings."""
+        if isinstance(node, ast.Assign):
+            targets = [
+                target
+                for target in node.targets
+                if isinstance(target, ast.Name)
+            ]
+            self._bind(node.value, targets, module, rng_names, pool_names)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                self._bind(
+                    node.value,
+                    [node.target],
+                    module,
+                    rng_names,
+                    pool_names,
+                )
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    self._bind(
+                        item.context_expr,
+                        [item.optional_vars],
+                        module,
+                        rng_names,
+                        pool_names,
+                    )
+
+    def _bind(
+        self,
+        value: ast.expr,
+        targets: list[ast.Name],
+        module: ModuleContext,
+        rng_names: set[str],
+        pool_names: set[str],
+    ) -> None:
+        if not targets:
+            return
+        is_rng = (
+            isinstance(value, ast.Call)
+            and _is_rng_constructor(value, module)
+        ) or (isinstance(value, ast.Name) and value.id in rng_names)
+        is_pool = isinstance(value, ast.Call) and _is_pool_constructor(
+            value, module
+        )
+        for target in targets:
+            rng_names.discard(target.id)
+            pool_names.discard(target.id)
+            if is_rng:
+                rng_names.add(target.id)
+            if is_pool:
+                pool_names.add(target.id)
+
+
+def _is_pool_constructor(
+    node: ast.Call, module: ModuleContext
+) -> bool:
+    origin = resolve_origin(node.func, module.imports)
+    return origin is not None and origin.startswith(_POOL_PREFIXES)
+
+
+def _call_argument_values(node: ast.Call) -> Iterable[ast.expr]:
+    for arg in node.args:
+        yield arg.value if isinstance(arg, ast.Starred) else arg
+    for keyword in node.keywords:
+        yield keyword.value
+
+
+def _scopes(tree: ast.Module) -> list[list[ast.stmt]]:
+    """The module body plus every function body, each as one scope."""
+    scopes: list[list[ast.stmt]] = [tree.body]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(node.body)
+    return scopes
+
+
+def _walk_scope(statement: ast.stmt) -> Iterable[ast.AST]:
+    """Walk a statement without descending into nested functions."""
+    stack: list[ast.AST] = [statement]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                continue
+            stack.append(child)

@@ -1,0 +1,336 @@
+"""RPR009 — nondeterminism taint: unordered values must not order anything.
+
+The DES kernel breaks ties on a ``(seconds, priority, seq)`` tuple,
+so *everything* that decides the order in which events are scheduled,
+requests are pushed, or records are written is part of the replayable
+state.  Python ``dict`` preserves insertion order — iterating one is
+deterministic when its construction was — but a ``set`` iterates in
+hash order (salted per process for ``str`` keys), and ``os.listdir``
+/ ``glob`` return whatever order the filesystem feels like.  A value
+born from one of those sources is **tainted**: iterating it, or
+passing it into an ordering-sensitive sink (the event heap, a
+``schedule``/``push``/``publish`` surface, JSONL output), silently
+makes the run irreproducible.
+
+The analysis is a forward taint pass per scope (module body and each
+function body, in statement order):
+
+* **sources** — set displays/comprehensions, ``set()``/
+  ``frozenset()``, ``os.listdir``/``os.scandir``/``os.walk``,
+  ``glob.glob``/``glob.iglob``, and pathlib's ``iterdir``/``glob``/
+  ``rglob`` methods;
+* **propagation** — through local names, order-preserving wrappers
+  (``list``/``tuple``/``iter``/``enumerate``/``reversed``/
+  ``filter``/``map``), set operators and set methods, and
+  ``dict.fromkeys`` (the dict's insertion order is then tainted);
+* **sanitizers** — ``sorted(...)`` launders taint; order-insensitive
+  reductions (``len``/``sum``/``min``/``max``/``any``/``all``) and
+  membership tests consume taint without leaking order;
+* **sinks** — direct iteration (``for``/comprehensions), the heap
+  (``heapq.*``), ``schedule``/``push``/``publish`` method calls,
+  ``json.dump(s)``, and stream ``write``/``writelines``.
+
+Findings read "sort it first": the fix is almost always a
+``sorted(...)`` with an explicit, total key.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.core import Finding, ModuleContext, resolve_origin
+from repro.lint.rules.base import Rule, register
+
+#: Resolved call origins that return unordered collections.
+_UNORDERED_ORIGINS = {
+    "os.listdir",
+    "os.scandir",
+    "os.walk",
+    "glob.glob",
+    "glob.iglob",
+}
+
+#: Method names returning filesystem-ordered iterables (pathlib).
+_UNORDERED_ATTRS = {"iterdir", "glob", "rglob"}
+
+#: Builtin constructors of unordered collections.
+_SET_BUILTINS = {"set", "frozenset"}
+
+#: Builtins that preserve the order of their (tainted) input.
+_PRESERVING_BUILTINS = {
+    "list",
+    "tuple",
+    "iter",
+    "enumerate",
+    "reversed",
+    "filter",
+    "map",
+}
+
+#: Set methods whose result inherits the receiver's unorderedness.
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+    "keys",
+    "values",
+    "items",
+}
+
+#: Resolved origins that are ordering-sensitive sinks.
+_SINK_ORIGINS = {
+    "heapq.heappush",
+    "heapq.heappushpop",
+    "heapq.heapreplace",
+    "heapq.heapify",
+    "json.dump",
+    "json.dumps",
+}
+
+#: Method names that feed the event/scheduling/export surfaces.
+_SINK_ATTRS = {"schedule", "push", "publish", "write", "writelines"}
+
+#: Set binary operators (union/intersection/difference/symmetric).
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+@register
+class NondeterminismTaintRule(Rule):
+    """Track unordered-iteration taint into ordering-sensitive sinks."""
+
+    code = "RPR009"
+    name = "nondeterminism-taint"
+    rationale = (
+        "Set and filesystem iteration order is not replayable; once "
+        "it reaches the event heap, a scheduling surface, or "
+        "exported output, runs stop being bit-identical — sort with "
+        "a total key first."
+    )
+
+    def check_module(
+        self, module: ModuleContext
+    ) -> Iterable[Finding]:
+        yield from _TaintPass(module, self.code).run(
+            module.tree.body
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                yield from _TaintPass(module, self.code).run(
+                    node.body
+                )
+
+
+class _TaintPass:
+    """One forward taint pass over one scope, in statement order."""
+
+    def __init__(self, module: ModuleContext, code: str) -> None:
+        self._module = module
+        self._code = code
+        self._tainted: set[str] = set()
+        self._findings: list[Finding] = []
+
+    def run(self, body: list[ast.stmt]) -> list[Finding]:
+        for statement in body:
+            self._statement(statement)
+        return self._findings
+
+    # -- statements ----------------------------------------------------
+
+    def _statement(self, statement: ast.stmt) -> None:
+        if isinstance(
+            statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return  # analyzed as its own scope
+        if isinstance(statement, ast.Assign):
+            self._visit_expr(statement.value)
+            tainted = self._is_tainted(statement.value)
+            for target in statement.targets:
+                self._bind(target, tainted)
+            return
+        if isinstance(statement, ast.AnnAssign):
+            if statement.value is not None:
+                self._visit_expr(statement.value)
+                self._bind(
+                    statement.target,
+                    self._is_tainted(statement.value),
+                )
+            return
+        if isinstance(statement, ast.AugAssign):
+            self._visit_expr(statement.value)
+            if isinstance(statement.target, ast.Name):
+                if self._is_tainted(statement.value):
+                    self._tainted.add(statement.target.id)
+            return
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._visit_expr(statement.iter)
+            if self._is_tainted(statement.iter):
+                self._flag_iteration(statement.iter)
+            self._bind(statement.target, False)
+            for child in (*statement.body, *statement.orelse):
+                self._statement(child)
+            return
+        if isinstance(statement, (ast.If, ast.While)):
+            self._visit_expr(statement.test)
+            for child in (*statement.body, *statement.orelse):
+                self._statement(child)
+            return
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                self._visit_expr(item.context_expr)
+                if isinstance(item.optional_vars, ast.Name):
+                    self._bind(item.optional_vars, False)
+            for child in statement.body:
+                self._statement(child)
+            return
+        if isinstance(statement, ast.Try):
+            for child in statement.body:
+                self._statement(child)
+            for handler in statement.handlers:
+                for child in handler.body:
+                    self._statement(child)
+            for child in (*statement.orelse, *statement.finalbody):
+                self._statement(child)
+            return
+        if isinstance(statement, ast.ClassDef):
+            for child in statement.body:
+                self._statement(child)
+            return
+        for child in ast.iter_child_nodes(statement):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+
+    def _bind(self, target: ast.expr, tainted: bool) -> None:
+        if isinstance(target, ast.Name):
+            if tainted:
+                self._tainted.add(target.id)
+            else:
+                self._tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, tainted)
+
+    # -- expressions ---------------------------------------------------
+
+    def _visit_expr(self, expr: ast.expr) -> None:
+        """Find sinks inside one expression tree."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.comprehension):
+                if self._is_tainted(node.iter):
+                    self._flag_iteration(node.iter)
+            elif isinstance(node, ast.Call):
+                self._check_sink(node)
+
+    def _check_sink(self, node: ast.Call) -> None:
+        origin = resolve_origin(node.func, self._module.imports)
+        is_sink = origin is not None and origin in _SINK_ORIGINS
+        if not is_sink and isinstance(node.func, ast.Attribute):
+            is_sink = node.func.attr in _SINK_ATTRS
+        if not is_sink:
+            return
+        for passed in (
+            *node.args,
+            *(keyword.value for keyword in node.keywords),
+        ):
+            if self._is_tainted(passed):
+                sink = (
+                    origin
+                    if origin in _SINK_ORIGINS
+                    else node.func.attr  # type: ignore[union-attr]
+                )
+                self._findings.append(
+                    self._module.finding(
+                        passed,
+                        self._code,
+                        f"unordered value flows into {sink}(); "
+                        "its order becomes scheduling/output state "
+                        "— sort it with a total key first",
+                    )
+                )
+
+    def _flag_iteration(self, expr: ast.expr) -> None:
+        self._findings.append(
+            self._module.finding(
+                expr,
+                self._code,
+                "iteration over an unordered collection leaks hash/"
+                "filesystem order into the run; wrap it in "
+                "sorted(...) with a total key",
+            )
+        )
+
+    def _is_tainted(self, expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in self._tainted
+        if isinstance(expr, ast.Starred):
+            return self._is_tainted(expr.value)
+        if isinstance(expr, ast.IfExp):
+            return self._is_tainted(expr.body) or self._is_tainted(
+                expr.orelse
+            )
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, _SET_OPS
+        ):
+            return self._is_tainted(expr.left) or self._is_tainted(
+                expr.right
+            )
+        if isinstance(expr, ast.Call):
+            return self._is_tainted_call(expr)
+        return False
+
+    def _is_tainted_call(self, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            # Builtins only count when not shadowed by an import.
+            if name in self._module.imports:
+                return False
+            if name in _SET_BUILTINS:
+                return True
+            if name == "sorted":
+                return False  # the sanitizer
+            if name in _PRESERVING_BUILTINS:
+                if name == "map":
+                    return any(
+                        self._is_tainted(arg) for arg in node.args[1:]
+                    )
+                if name == "filter":
+                    return any(
+                        self._is_tainted(arg) for arg in node.args[1:]
+                    )
+                return any(
+                    self._is_tainted(arg) for arg in node.args
+                )
+            return False
+        origin = resolve_origin(func, self._module.imports)
+        if origin is not None and origin in _UNORDERED_ORIGINS:
+            return True
+        if isinstance(func, ast.Attribute):
+            if func.attr in _UNORDERED_ATTRS:
+                # pathlib-shaped receiver; strings have no such
+                # methods, so terminal-name matching is safe here.
+                return True
+            if func.attr == "fromkeys" and node.args:
+                return self._is_tainted(node.args[0])
+            if func.attr in _SET_METHODS:
+                receiver_tainted = self._is_tainted(func.value)
+                args_tainted = any(
+                    self._is_tainted(arg) for arg in node.args
+                )
+                return receiver_tainted or (
+                    func.attr
+                    in (
+                        "union",
+                        "intersection",
+                        "difference",
+                        "symmetric_difference",
+                    )
+                    and args_tainted
+                )
+        return False

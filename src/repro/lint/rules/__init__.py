@@ -16,7 +16,12 @@ from repro.lint.rules import (  # noqa: F401  (import-for-registration)
     taxonomy,
     units,
 )
-from repro.lint.rules.base import (
+
+# The cross-module flow analyses (RPR007-RPR010) live in their own
+# package but register into the same rule registry on import.
+import repro.lint.flow  # noqa: F401,E402  (import-for-registration)
+
+from repro.lint.rules.base import (  # noqa: E402
     REGISTRY,
     Rule,
     default_rules,

@@ -13,7 +13,8 @@ float-typed suffixes (``_seconds``, ``_ratio``, ``_fraction``,
 ``_probability``).  Comparisons against an exact-zero literal or
 ``math.inf``/``math.nan`` are exempt: zero and infinity are exact in
 IEEE-754 and are used as deliberate sentinels (e.g. "jitter disabled",
-"timeout disabled").
+"timeout disabled").  ``== pytest.approx(...)`` is exempt too — that
+*is* the tolerance comparison the rule asks for.
 """
 
 from __future__ import annotations
@@ -35,6 +36,9 @@ _FLOAT_SUFFIXES = ("_seconds", "_ratio", "_fraction", "_probability")
 
 #: Resolved names that are exact float sentinels (comparison-safe).
 _EXACT_SENTINELS = {"math.inf", "math.nan"}
+
+#: Calls that already perform a tolerance comparison under ``==``.
+_TOLERANT_CALLS = {"pytest.approx"}
 
 
 def _is_zero_or_inf_literal(node: ast.AST) -> bool:
@@ -61,6 +65,11 @@ class _FloatVerdict:
         self.exempt = _is_zero_or_inf_literal(node) or (
             resolve_origin(inner, module.imports) in _EXACT_SENTINELS
         )
+        if isinstance(inner, ast.Call):
+            self.exempt = self.exempt or (
+                resolve_origin(inner.func, module.imports)
+                in _TOLERANT_CALLS
+            )
         self.suspicious = False
         if self.exempt:
             return

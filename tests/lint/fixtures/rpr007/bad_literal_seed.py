@@ -1,0 +1,11 @@
+"""Known-bad: RNGs constructed directly from hardcoded literal seeds."""
+
+import random
+
+import numpy as np
+
+
+def build_generators():
+    local = random.Random(42)
+    vectorized = np.random.default_rng(7)
+    return local, vectorized

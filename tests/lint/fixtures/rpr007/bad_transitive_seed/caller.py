@@ -1,0 +1,8 @@
+"""Known-bad: a literal seed laundered through one call hop."""
+
+from rng_helper import make_rng
+
+
+def sample():
+    rng = make_rng(123)
+    return rng.random()

@@ -1,0 +1,7 @@
+"""Helper whose ``seed`` parameter feeds an RNG constructor."""
+
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)

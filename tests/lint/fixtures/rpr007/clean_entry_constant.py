@@ -1,0 +1,11 @@
+"""Known-clean: a module-level UPPER_CASE constant is the declared
+entry-point seed — the one place a literal is supposed to live."""
+
+import random
+
+DEMO_SEED = 11
+
+
+def main():
+    rng = random.Random(DEMO_SEED)
+    return rng.random()

@@ -1,0 +1,14 @@
+"""Known-clean: seeds arrive as parameters and stay parameters."""
+
+import random
+
+import numpy as np
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def draw(seed, count):
+    rng = np.random.default_rng(seed)
+    return [int(value) for value in rng.integers(0, 100, size=count)]

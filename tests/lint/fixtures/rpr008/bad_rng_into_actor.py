@@ -1,0 +1,9 @@
+"""Known-bad: an RNG handed to a kernel-actor ``schedule`` surface —
+the draw order then depends on event interleaving, not the seed."""
+
+import random
+
+
+def install(kernel, seed):
+    rng = random.Random(seed)
+    kernel.schedule(0.0, rng)

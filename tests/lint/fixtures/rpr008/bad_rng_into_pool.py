@@ -1,0 +1,15 @@
+"""Known-bad: a live RNG object crosses a process-pool boundary."""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(rng):
+    return rng.random()
+
+
+def run(seed):
+    rng = random.Random(seed)
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(work, rng)
+    return future.result()

@@ -1,0 +1,17 @@
+"""Known-clean: the RNG stays in one scope; only plain data is
+submitted to the pool."""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(values):
+    return sum(values)
+
+
+def run(seed):
+    rng = random.Random(seed)
+    values = [rng.random() for _ in range(8)]
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(work, values)
+    return future.result()

@@ -1,0 +1,16 @@
+"""Known-clean: the *seed* crosses the pool boundary, never the RNG —
+each worker constructs its own generator from its own seed."""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def run(seeds):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, seed) for seed in seeds]
+    return [future.result() for future in futures]

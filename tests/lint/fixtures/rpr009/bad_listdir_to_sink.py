@@ -1,0 +1,15 @@
+"""Known-bad: filesystem order flows into the heap and the output."""
+
+import heapq
+import json
+import os
+
+
+def enqueue(heap, directory):
+    names = os.listdir(directory)
+    heapq.heappush(heap, names)
+
+
+def export(stream, directory):
+    entries = list(os.listdir(directory))
+    stream.write(json.dumps(entries))

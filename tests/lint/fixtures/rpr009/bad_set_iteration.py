@@ -1,0 +1,14 @@
+"""Known-bad: iterating sets leaks hash order into the run."""
+
+
+def collect(labels):
+    pending = {label.strip() for label in labels}
+    ordered = []
+    for label in pending:
+        ordered.append(label)
+    return ordered
+
+
+def merge(left, right):
+    combined = set(left) | set(right)
+    return [item for item in combined]

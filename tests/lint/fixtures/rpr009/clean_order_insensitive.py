@@ -1,0 +1,8 @@
+"""Known-clean: sets used only for membership and counting — order
+never escapes."""
+
+
+def audit(batch, allowed):
+    seen = set(batch)
+    unknown = seen - set(allowed)
+    return len(unknown), ("primary" in seen)

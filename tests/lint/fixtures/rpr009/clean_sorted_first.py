@@ -1,0 +1,15 @@
+"""Known-clean: every unordered source is sorted before it orders
+anything downstream."""
+
+import json
+import os
+
+
+def collect(labels):
+    pending = {label.strip() for label in labels}
+    return [label for label in sorted(pending)]
+
+
+def export(stream, directory):
+    entries = sorted(os.listdir(directory))
+    stream.write(json.dumps(entries))

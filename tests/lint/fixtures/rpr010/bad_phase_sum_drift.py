@@ -1,0 +1,20 @@
+"""Known-bad: ``phase_seconds`` omits one phase and double-counts a
+structural field — the partition identity silently opens."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BatchSpan:
+    locate_seconds: float
+    transfer_seconds: float
+    rewind_seconds: float
+    total_seconds: float
+
+    @property
+    def phase_seconds(self):
+        return (
+            self.locate_seconds
+            + self.transfer_seconds
+            + self.total_seconds
+        )

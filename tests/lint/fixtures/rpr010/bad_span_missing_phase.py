@@ -1,0 +1,22 @@
+"""Known-bad: the event carries a phase the span cannot reconcile."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BatchCompleted:
+    locate_seconds: float
+    transfer_seconds: float
+    fault_seconds: float
+    total_seconds: float
+
+
+@dataclass
+class BatchSpan:
+    locate_seconds: float
+    transfer_seconds: float
+    total_seconds: float
+
+    @property
+    def phase_seconds(self):
+        return self.locate_seconds + self.transfer_seconds

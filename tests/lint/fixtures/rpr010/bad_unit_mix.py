@@ -1,0 +1,5 @@
+"""Known-bad: seconds and hours added without a conversion."""
+
+
+def budget(elapsed_seconds, horizon_hours):
+    return elapsed_seconds + horizon_hours

@@ -1,0 +1,9 @@
+"""Known-clean: unit conversion happens by multiplication at the
+boundary, and only seconds are ever accumulated."""
+
+SECONDS_PER_HOUR = 3600.0
+
+
+def budget(elapsed_seconds, horizon_hours):
+    horizon_seconds = horizon_hours * SECONDS_PER_HOUR
+    return elapsed_seconds + horizon_seconds

@@ -1,0 +1,28 @@
+"""Known-clean: all three layers carry the same closed phase set."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ExecutionResult:
+    locate_seconds: float
+    transfer_seconds: float
+    total_seconds: float
+
+
+@dataclass
+class BatchCompleted:
+    locate_seconds: float
+    transfer_seconds: float
+    total_seconds: float
+
+
+@dataclass
+class BatchSpan:
+    locate_seconds: float
+    transfer_seconds: float
+    total_seconds: float
+
+    @property
+    def phase_seconds(self):
+        return self.locate_seconds + self.transfer_seconds

@@ -1,0 +1,140 @@
+"""``repro lint --changed``: git-aware report narrowing.
+
+The invariant under test: ``--changed`` narrows what is *reported*,
+never what is *analyzed* — and degrades to full-tree reporting the
+moment git cannot answer.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.changed import changed_rel_paths
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import run_lint
+
+_BAD = "import time\nNOW = time.time()\n"
+
+
+def _git(repo: Path, *argv: str) -> None:
+    subprocess.run(
+        ["git", *argv],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@example.invalid",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@example.invalid",
+            "HOME": str(repo),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+@pytest.fixture()
+def repo(tmp_path):
+    """A tiny git repo with one committed clean file."""
+    _git(tmp_path, "init", "-q")
+    (tmp_path / "committed.py").write_text(_BAD, encoding="utf-8")
+    _git(tmp_path, "add", "committed.py")
+    _git(tmp_path, "commit", "-qm", "seed")
+    return tmp_path
+
+
+def test_changed_set_empty_on_clean_worktree(repo):
+    assert changed_rel_paths(repo) == set()
+
+
+def test_changed_set_sees_modified_and_untracked(repo):
+    (repo / "committed.py").write_text(_BAD + "x = 1\n", encoding="utf-8")
+    (repo / "fresh.py").write_text("y = 2\n", encoding="utf-8")
+    (repo / "notes.txt").write_text("not python\n", encoding="utf-8")
+    assert changed_rel_paths(repo) == {"committed.py", "fresh.py"}
+
+
+def test_changed_returns_none_outside_a_repo(tmp_path):
+    assert changed_rel_paths(tmp_path) is None
+
+
+def test_report_filter_narrows_findings_not_analysis(repo):
+    """Findings in unchanged files drop; the files are still parsed."""
+    (repo / "fresh.py").write_text(_BAD, encoding="utf-8")
+    run = run_lint([repo], root=repo, report_rel_paths={"fresh.py"})
+    assert run.files_checked == 2
+    assert {finding.path for finding in run.findings} == {"fresh.py"}
+    unfiltered = run_lint([repo], root=repo)
+    assert {finding.path for finding in unfiltered.findings} == {
+        "committed.py",
+        "fresh.py",
+    }
+
+
+def test_cross_module_rules_still_see_unchanged_files(repo):
+    """A changed call site is flagged even when the seed-consuming
+    helper lives in an unchanged, committed module."""
+    (repo / "helper.py").write_text(
+        textwrap.dedent(
+            """\
+            import random
+
+
+            def make_rng(seed):
+                return random.Random(seed)
+            """
+        ),
+        encoding="utf-8",
+    )
+    _git(repo, "add", "helper.py")
+    _git(repo, "commit", "-qm", "helper")
+    (repo / "caller.py").write_text(
+        textwrap.dedent(
+            """\
+            from helper import make_rng
+
+            rng = make_rng(99)
+            """
+        ),
+        encoding="utf-8",
+    )
+    run = run_lint(
+        [repo], root=repo, report_rel_paths=changed_rel_paths(repo)
+    )
+    assert [finding.code for finding in run.findings] == ["RPR007"]
+    assert run.findings[0].path == "caller.py"
+
+
+def test_cli_changed_quick_exit_when_nothing_changed(
+    repo, capsys, monkeypatch
+):
+    monkeypatch.chdir(repo)
+    assert lint_main([str(repo), "--changed"]) == 0
+    assert "no modified Python files" in capsys.readouterr().out
+
+
+def test_cli_changed_reports_only_changed_files(
+    repo, capsys, monkeypatch
+):
+    monkeypatch.chdir(repo)
+    (repo / "fresh.py").write_text(_BAD, encoding="utf-8")
+    assert lint_main([str(repo), "--changed"]) == 1
+    out = capsys.readouterr().out
+    assert "fresh.py" in out
+    assert "committed.py" not in out
+
+
+def test_cli_changed_falls_back_to_full_tree(
+    tmp_path, capsys, monkeypatch
+):
+    """Outside a repo, --changed reports everything and says so."""
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "bad.py").write_text(_BAD, encoding="utf-8")
+    assert lint_main([str(tmp_path), "--changed"]) == 1
+    captured = capsys.readouterr()
+    assert "full tree" in captured.err
+    assert "bad.py" in captured.out

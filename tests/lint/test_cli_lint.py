@@ -60,7 +60,8 @@ def test_json_report_schema(tmp_path, capsys):
     codes = [rule["code"] for rule in payload["rules"]]
     assert codes == sorted(codes)
     assert {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-            "RPR006"} <= set(codes)
+            "RPR006", "RPR007", "RPR008", "RPR009",
+            "RPR010"} <= set(codes)
 
 
 def test_baseline_tolerates_known_findings(tmp_path, capsys):
@@ -114,5 +115,45 @@ def test_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-                 "RPR006"):
+                 "RPR006", "RPR007", "RPR008", "RPR009", "RPR010"):
         assert code in out
+
+
+def test_flow_only_ignores_per_module_rules(tmp_path, capsys):
+    """--flow runs RPR007-RPR010 and nothing else."""
+    _write_bad(tmp_path)  # RPR001 bait the flow rules must skip
+    assert lint_main([str(tmp_path), "--flow"]) == 0
+    capsys.readouterr()
+    (tmp_path / "seeded.py").write_text(
+        "import random\nrng = random.Random(42)\n", encoding="utf-8"
+    )
+    assert lint_main([str(tmp_path), "--flow"]) == 1
+    out = capsys.readouterr().out
+    assert "RPR007" in out
+    assert "RPR001" not in out
+
+
+def test_flow_mode_accepts_foreign_suppressions(tmp_path, capsys):
+    """A valid RPR001 suppression is not 'unknown' under --flow."""
+    (tmp_path / "ok.py").write_text(
+        "import time\n"
+        "NOW = time.time()  # repro: noqa RPR001 -- test clock\n",
+        encoding="utf-8",
+    )
+    assert lint_main([str(tmp_path), "--flow"]) == 0
+    assert "RPR000" not in capsys.readouterr().out
+
+
+def test_graph_dump_writes_artifact(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text(
+        "def helper():\n    return 1\n\n\nvalue = helper()\n",
+        encoding="utf-8",
+    )
+    artifact = tmp_path / "graph.json"
+    assert lint_main(
+        [str(tmp_path / "mod.py"), "--graph-dump", str(artifact)]
+    ) == 0
+    payload = json.loads(artifact.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert payload["counts"]["modules"] == 1
+    assert payload["counts"]["internal_calls"] == 1

@@ -44,6 +44,23 @@ CORPUS = {
     "rpr006/bad_ms_suffix.py": {"RPR006"},
     "rpr006/clean_seconds.py": set(),
     "rpr006/clean_hours.py": set(),
+    "rpr007/bad_literal_seed.py": {"RPR007"},
+    "rpr007/bad_transitive_seed": {"RPR007"},
+    "rpr007/clean_threaded_seed.py": set(),
+    "rpr007/clean_entry_constant.py": set(),
+    "rpr008/bad_rng_into_pool.py": {"RPR008"},
+    "rpr008/bad_rng_into_actor.py": {"RPR008"},
+    "rpr008/clean_seed_handoff.py": set(),
+    "rpr008/clean_local_rng.py": set(),
+    "rpr009/bad_set_iteration.py": {"RPR009"},
+    "rpr009/bad_listdir_to_sink.py": {"RPR009"},
+    "rpr009/clean_sorted_first.py": set(),
+    "rpr009/clean_order_insensitive.py": set(),
+    "rpr010/bad_span_missing_phase.py": {"RPR010"},
+    "rpr010/bad_phase_sum_drift.py": {"RPR010"},
+    "rpr010/bad_unit_mix.py": {"RPR010"},
+    "rpr010/clean_partition.py": set(),
+    "rpr010/clean_converted_units.py": set(),
     "rpr000/bad_reasonless.py": {"RPR000"},
     "rpr000/bad_unknown_code.py": {"RPR000"},
     "rpr000/clean_suppressed.py": set(),

@@ -1,0 +1,114 @@
+"""The project graph: coverage, resolution, memoization, dumps.
+
+The acceptance bar for the flow analyzer is *coverage*: every module
+under ``src/repro`` must be a node in the graph, because a module the
+graph cannot see is a module whose call sites the RNG-lineage
+fixpoint silently skips.
+"""
+
+from __future__ import annotations
+
+import json
+
+from pathlib import Path
+
+from repro.lint.engine import iter_python_files
+from repro.lint.flow import (
+    build_graph,
+    module_graph_name,
+    project_graph,
+)
+
+# Deliberately not `from conftest import REPO_ROOT`: that import
+# resolves to the wrong conftest when benchmarks/ is collected in
+# the same pytest invocation.
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _graph(live_run):
+    assert live_run.project is not None
+    return project_graph(live_run.project)
+
+
+def test_graph_covers_every_module_under_src_repro(live_run):
+    """Every .py file under src/repro is a graph node."""
+    graph = _graph(live_run)
+    files = iter_python_files([REPO_ROOT / "src" / "repro"])
+    assert len(files) == len(graph.modules)
+    for module in live_run.project.modules:
+        name = module_graph_name(module)
+        assert name in graph.modules, f"{module.rel_path} not in graph"
+        assert graph.modules[name].rel_path == module.rel_path
+
+
+def test_graph_module_names_are_import_names(live_run):
+    """Packaged modules keep their dotted import names as node ids."""
+    graph = _graph(live_run)
+    assert "repro.lint.engine" in graph.modules
+    assert "repro.workload.seed_stream" in graph.modules
+    assert "repro.obs.trace" in graph.modules
+
+
+def test_import_edges_are_project_internal(live_run):
+    graph = _graph(live_run)
+    engine = graph.modules["repro.lint.engine"]
+    assert "repro.lint.core" in engine.imports
+    assert "repro.lint.rules" in engine.imports
+    for name, info in graph.modules.items():
+        for imported in info.imports:
+            assert imported in graph.modules, (
+                f"{name} records an edge to {imported}, which is "
+                "not a node"
+            )
+            assert imported != name
+
+
+def test_symbol_table_holds_functions_and_classes(live_run):
+    graph = _graph(live_run)
+    assert "repro.lint.engine.run_lint" in graph.functions
+    run_lint_info = graph.functions["repro.lint.engine.run_lint"]
+    assert run_lint_info.params[0] == "paths"
+    assert not run_lint_info.is_method
+    assert graph.classes_named("ExecutionResult")
+    assert graph.classes_named("BatchCompleted")
+    assert graph.classes_named("BatchSpan")
+
+
+def test_call_edges_resolve_across_modules(live_run):
+    graph = _graph(live_run)
+    sites = graph.calls_to("repro.lint.engine.load_module")
+    assert any(
+        site.caller == "repro.lint.engine.run_lint" for site in sites
+    )
+    # Unresolvable targets stay conservative, never guessed.
+    for site in graph.calls:
+        if site.callee == "<dynamic>":
+            assert not site.internal
+
+
+def test_graph_is_memoized_per_project(live_run):
+    assert _graph(live_run) is _graph(live_run)
+
+
+def test_build_graph_fresh_equals_memoized_shape(live_run):
+    fresh = build_graph(live_run.project)
+    memoized = _graph(live_run)
+    assert set(fresh.modules) == set(memoized.modules)
+    assert set(fresh.functions) == set(memoized.functions)
+    assert len(fresh.calls) == len(memoized.calls)
+
+
+def test_to_record_is_json_safe_and_consistent(live_run):
+    record = _graph(live_run).to_record()
+    payload = json.loads(json.dumps(record))
+    assert payload["version"] == 1
+    counts = payload["counts"]
+    assert counts["modules"] == len(payload["modules"])
+    assert counts["functions"] == len(payload["functions"])
+    assert counts["classes"] == len(payload["classes"])
+    assert counts["calls"] == len(payload["calls"])
+    assert counts["internal_calls"] <= counts["calls"]
+    internal = [
+        site for site in payload["calls"] if site["internal"]
+    ]
+    assert internal, "a live tree with no internal call edges is wrong"

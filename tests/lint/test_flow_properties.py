@@ -1,0 +1,122 @@
+"""Property: flow findings are invariant under alpha-renaming.
+
+The flow analyses reason about *structure* — call edges, parameter
+positions, taint propagation — never about what things are called
+(the one deliberate exception: UPPER_CASE entry-point seed
+constants, which is why the renaming strategy below stays
+lowercase).  Relabeling every module and symbol in a program must
+therefore produce the identical finding set, code for code and line
+for line.
+"""
+
+from __future__ import annotations
+
+import keyword
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint import run_lint
+from repro.lint.flow import flow_rules
+
+#: Names that collide with the analyses' own vocabulary or builtins.
+_RESERVED = {
+    "random",
+    "seed",
+    "rng",
+    "set",
+    "sorted",
+    "list",
+    "os",
+    "heapq",
+    "json",
+    "self",
+    "cls",
+}
+
+_identifier = (
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz",
+        min_size=2,
+        max_size=8,
+    )
+    .filter(lambda name: not keyword.iskeyword(name))
+    .filter(lambda name: name not in _RESERVED)
+)
+
+_labels = st.lists(
+    _identifier, min_size=4, max_size=4, unique=True
+)
+
+
+def _bad_program(labels):
+    """A transitive literal-seed violation, under arbitrary names."""
+    helper_mod, caller_mod, factory, variable = labels
+    helper = (
+        "import random\n"
+        "\n"
+        "\n"
+        f"def {factory}(seed):\n"
+        "    return random.Random(seed)\n"
+    )
+    caller = (
+        f"from {helper_mod} import {factory}\n"
+        "\n"
+        f"{variable} = {factory}(17)\n"
+    )
+    return helper_mod, helper, caller_mod, caller
+
+
+def _clean_program(labels):
+    """The same shape with the seed threaded — never a finding."""
+    helper_mod, caller_mod, factory, func = labels
+    helper = (
+        "import random\n"
+        "\n"
+        "\n"
+        f"def {factory}(seed):\n"
+        "    return random.Random(seed)\n"
+    )
+    caller = (
+        f"from {helper_mod} import {factory}\n"
+        "\n"
+        "\n"
+        f"def {func}(seed):\n"
+        f"    return {factory}(seed)\n"
+    )
+    return helper_mod, helper, caller_mod, caller
+
+
+def _lint(helper_mod, helper, caller_mod, caller):
+    # A fresh directory per example: Hypothesis reruns this body many
+    # times and stale modules from earlier examples must not leak in.
+    with tempfile.TemporaryDirectory() as name:
+        root = Path(name)
+        (root / f"{helper_mod}.py").write_text(
+            helper, encoding="utf-8"
+        )
+        (root / f"{caller_mod}.py").write_text(
+            caller, encoding="utf-8"
+        )
+        run = run_lint([root], rules=flow_rules(), root=root)
+    return [
+        (finding.path.split("/")[-1], finding.line, finding.code)
+        for finding in run.findings
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(labels=_labels)
+def test_bad_finding_survives_any_relabeling(labels):
+    helper_mod, helper, caller_mod, caller = _bad_program(labels)
+    found = _lint(helper_mod, helper, caller_mod, caller)
+    assert found == [(f"{caller_mod}.py", 3, "RPR007")]
+
+
+@settings(max_examples=25, deadline=None)
+@given(labels=_labels)
+def test_clean_program_stays_clean_under_any_relabeling(labels):
+    helper_mod, helper, caller_mod, caller = _clean_program(labels)
+    assert _lint(helper_mod, helper, caller_mod, caller) == []

@@ -24,7 +24,8 @@ BASELINE_PATH = REPO_ROOT / "tools" / "lint_baseline.json"
 
 def test_all_advertised_rules_are_registered():
     assert set(REGISTRY) == {
-        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+        "RPR007", "RPR008", "RPR009", "RPR010",
     }
 
 
